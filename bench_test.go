@@ -1,0 +1,427 @@
+package repro
+
+// One benchmark per paper artifact (figures and quantitative claims; the
+// short paper has no numbered tables). The experiment ids E1–E11 are
+// defined in DESIGN.md §3 and reported in EXPERIMENTS.md. Ablation
+// benchmarks cover the design choices DESIGN.md calls out.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/portal"
+	"repro/internal/rdf"
+	"repro/internal/registry"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/viz"
+)
+
+// --- shared fixtures (built once) ---
+
+var (
+	scholarlyOnce sync.Once
+	scholarlyTool *core.HBOLD
+	scholarlyURL  = "http://scholarly.example.org/sparql"
+)
+
+func scholarlyFixture(b *testing.B) *core.HBOLD {
+	scholarlyOnce.Do(func() {
+		tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+		tool.Registry.Add(registry.Entry{URL: scholarlyURL, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+		tool.Connect(scholarlyURL, endpoint.LocalClient{Store: synth.Scholarly(1)})
+		if err := tool.Process(scholarlyURL); err != nil {
+			panic(err)
+		}
+		scholarlyTool = tool
+	})
+	return scholarlyTool
+}
+
+var (
+	corpusOnce  sync.Once
+	corpusTool  *core.HBOLD
+	corpusURLs  []string
+	corpusDescs []synth.EndpointDesc
+)
+
+// corpusFixture indexes a slice of the corpus's indexable endpoints
+// (enough for stable medians while keeping setup time modest).
+func corpusFixture(b *testing.B, n int) (*core.HBOLD, []string) {
+	corpusOnce.Do(func() {
+		corpusDescs = synth.Corpus(1)
+		tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+		count := 0
+		for _, d := range corpusDescs {
+			if !d.Indexable || d.Dead || d.OutageProb > 0 {
+				continue
+			}
+			if count >= 40 {
+				break
+			}
+			tool.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title, Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+			tool.Connect(d.URL, endpoint.LocalClient{Store: synth.BuildStore(d)})
+			if err := tool.Process(d.URL); err != nil {
+				panic(err)
+			}
+			corpusURLs = append(corpusURLs, d.URL)
+			count++
+		}
+		corpusTool = tool
+	})
+	if n > len(corpusURLs) {
+		n = len(corpusURLs)
+	}
+	return corpusTool, corpusURLs[:n]
+}
+
+// --- E1: Figure 2 exploration walkthrough ---
+
+func BenchmarkE1_ExplorationWalkthrough(b *testing.B) {
+	tool := scholarlyFixture(b)
+	event := synth.ScholarlyNS + "Event"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := tool.Explore(scholarlyURL, event)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Expand(event); err != nil {
+			b.Fatal(err)
+		}
+		ex.ExpandAll()
+		if !ex.Complete() {
+			b.Fatal("walkthrough incomplete")
+		}
+	}
+}
+
+// --- E2: §3.2 precomputed vs on-the-fly Cluster Schema display ---
+
+func BenchmarkE2_OnTheFly(b *testing.B) {
+	tool, urls := corpusFixture(b, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tool.ClusterSchemaOnTheFly(urls[i%len(urls)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2_Precomputed(b *testing.B) {
+	tool, urls := corpusFixture(b, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tool.ClusterSchema(urls[i%len(urls)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: §3.3 portal crawl ---
+
+func BenchmarkE3_PortalCrawl(b *testing.B) {
+	corpus := synth.Corpus(1)
+	portals := portal.BuildAll(corpus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := registry.New(registry.DefaultPolicy)
+		for _, d := range corpus {
+			if d.PreExisting {
+				reg.Add(registry.Entry{URL: d.URL, Source: registry.SourceDataHub})
+			}
+		}
+		rep, err := crawler.Crawl(portals, reg, clock.Epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TotalAdded() != 70 || rep.ListedAfter != 680 {
+			b.Fatalf("crawl counts wrong: +%d → %d", rep.TotalAdded(), rep.ListedAfter)
+		}
+	}
+}
+
+// --- E4–E7: the §3.5 visualization layouts (Figures 4–7) ---
+
+func benchView(b *testing.B, render func(cs *cluster.Schema, s *schema.Summary) string) {
+	tool := scholarlyFixture(b)
+	s, err := tool.Summary(scholarlyURL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := tool.ClusterSchema(scholarlyURL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := render(cs, s); len(out) < 100 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkE4_Treemap(b *testing.B) {
+	benchView(b, func(cs *cluster.Schema, s *schema.Summary) string {
+		return viz.TreemapView(cs, s, 1000, 700)
+	})
+}
+
+func BenchmarkE5_Sunburst(b *testing.B) {
+	benchView(b, func(cs *cluster.Schema, s *schema.Summary) string {
+		return viz.SunburstView(cs, s, 800)
+	})
+}
+
+func BenchmarkE6_CirclePack(b *testing.B) {
+	benchView(b, func(cs *cluster.Schema, s *schema.Summary) string {
+		return viz.CirclePackView(cs, s, 800)
+	})
+}
+
+func BenchmarkE7_EdgeBundling(b *testing.B) {
+	benchView(b, func(cs *cluster.Schema, s *schema.Summary) string {
+		return viz.BundleView(cs, s, synth.ScholarlyNS+"Event", 900)
+	})
+}
+
+// --- E8: §5 "tested on 130 Big LD" full pipeline ---
+
+func BenchmarkE8_FullPipeline(b *testing.B) {
+	descs := synth.Corpus(1)
+	var indexable []synth.EndpointDesc
+	for _, d := range descs {
+		if d.Indexable && !d.Dead && d.OutageProb == 0 {
+			indexable = append(indexable, d)
+		}
+	}
+	// pre-build stores so the bench times the pipeline, not generation
+	stores := make([]*store.Store, 0, 12)
+	for i := 0; i < 12 && i < len(indexable); i++ {
+		stores = append(stores, synth.BuildStore(indexable[i]))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := indexable[i%len(stores)]
+		st := stores[i%len(stores)]
+		tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+		tool.Registry.Add(registry.Entry{URL: d.URL, AddedAt: clock.Epoch})
+		tool.Connect(d.URL, endpoint.LocalClient{Store: st})
+		if err := tool.Process(d.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: §3.1 update scheduler over a simulated 60 days ---
+
+func BenchmarkE9_UpdateScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ck := clock.NewSim(clock.Epoch)
+		reg := registry.New(registry.DefaultPolicy)
+		avail := make([]*endpoint.Availability, 200)
+		for j := range avail {
+			reg.Add(registry.Entry{URL: fmt.Sprintf("http://e%d/sparql", j), AddedAt: clock.Epoch})
+			avail[j] = endpoint.NewAvailability(int64(j), 0.15)
+		}
+		for day := 0; day < 60; day++ {
+			for _, url := range reg.Due(ck.Now()) {
+				var idx int
+				fmt.Sscanf(url, "http://e%d/sparql", &idx)
+				if avail[idx].UpOn(day) {
+					reg.RecordSuccess(url, ck.Now())
+				} else {
+					reg.RecordFailure(url, ck.Now())
+				}
+			}
+			ck.AdvanceDays(1)
+		}
+		if reg.IndexedCount() < 190 {
+			b.Fatalf("scheduler left %d endpoints unindexed", 200-reg.IndexedCount())
+		}
+	}
+}
+
+// --- E10: §3.4 manual insertion with notification ---
+
+func BenchmarkE10_ManualInsertion(b *testing.B) {
+	st := synth.Generate(synth.Spec{Name: "manual", Classes: 6, Instances: 200, ObjectProps: 8, DataProps: 6, LinkFactor: 1, Seed: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+		url := "http://manual.example.org/sparql"
+		if err := tool.SubmitEndpoint(url, "Manual LD", "user@example.org"); err != nil {
+			b.Fatal(err)
+		}
+		tool.Connect(url, endpoint.LocalClient{Store: st})
+		if ok, _ := tool.RunDue(); ok != 1 {
+			b.Fatal("manual endpoint not processed")
+		}
+		if tool.Outbox.Len() != 1 {
+			b.Fatal("notification not sent")
+		}
+	}
+}
+
+// --- E11: Listing 1 verbatim ---
+
+func BenchmarkE11_Listing1Query(b *testing.B) {
+	portals := portal.BuildAll(synth.Corpus(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := portals[i%len(portals)]
+		res, err := p.Client().Query(portal.Listing1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != p.SparqlDatasets {
+			b.Fatalf("rows = %d, want %d", len(res.Rows), p.SparqlDatasets)
+		}
+	}
+}
+
+// --- Ablations ---
+
+var (
+	ablSummaryOnce sync.Once
+	ablSummary     *schema.Summary
+)
+
+func ablationSummary(b *testing.B) *schema.Summary {
+	ablSummaryOnce.Do(func() {
+		st := synth.Generate(synth.Spec{
+			Name: "abl", Classes: 40, Instances: 4000, ObjectProps: 80,
+			DataProps: 30, LinkFactor: 1, CommunitySeeds: 5, Seed: 17,
+		})
+		ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "abl", clock.Epoch)
+		if err != nil {
+			panic(err)
+		}
+		ablSummary = schema.Build(ix)
+	})
+	return ablSummary
+}
+
+func benchCommunity(b *testing.B, alg cluster.Algorithm) {
+	s := ablationSummary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := cluster.Build(s, cluster.Options{Algorithm: alg, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cs.NumClusters() == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkAblation_CommunityLouvain(b *testing.B) {
+	benchCommunity(b, cluster.Louvain)
+}
+
+func BenchmarkAblation_CommunityLabelPropagation(b *testing.B) {
+	benchCommunity(b, cluster.LabelPropagation)
+}
+
+func BenchmarkAblation_CommunityGirvanNewman(b *testing.B) {
+	benchCommunity(b, cluster.GirvanNewman)
+}
+
+var (
+	ablStoreOnce sync.Once
+	ablStore     *store.Store
+)
+
+func ablationStore(b *testing.B) *store.Store {
+	ablStoreOnce.Do(func() {
+		ablStore = synth.Generate(synth.Spec{
+			Name: "ablx", Classes: 10, Instances: 2000, ObjectProps: 15,
+			DataProps: 10, LinkFactor: 1, Seed: 23,
+		})
+	})
+	return ablStore
+}
+
+func BenchmarkAblation_ExtractionAggregate(b *testing.B) {
+	st := ablationStore(b)
+	c := endpoint.LocalClient{Store: st}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := extraction.New().Extract(c, "x", clock.Epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.Strategy != "aggregate" {
+			b.Fatal("expected aggregate strategy")
+		}
+	}
+}
+
+func BenchmarkAblation_ExtractionMixed(b *testing.B) {
+	st := ablationStore(b)
+	r := endpoint.NewRemote("nogroup", "x", st, endpoint.ProfileNoGroupBy, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := extraction.New().Extract(r, "x", clock.Epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.Strategy != "mixed" {
+			b.Fatal("expected mixed strategy")
+		}
+	}
+}
+
+func BenchmarkAblation_ExtractionEnumerate(b *testing.B) {
+	st := ablationStore(b)
+	r := endpoint.NewRemote("noagg", "x", st, endpoint.ProfileNoAgg, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := extraction.New().Extract(r, "x", clock.Epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.Strategy != "enumerate" {
+			b.Fatal("expected enumerate strategy")
+		}
+	}
+}
+
+func BenchmarkAblation_StoreIndexedLookup(b *testing.B) {
+	st := ablationStore(b)
+	typeT := store.Pattern{P: rdf.NewIRI(rdf.RDFType)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.Count(typeT) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkAblation_StoreFullScanFilter(b *testing.B) {
+	st := ablationStore(b)
+	want := rdf.NewIRI(rdf.RDFType)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		st.Match(store.Pattern{}, func(t rdf.Triple) bool {
+			if t.P == want {
+				n++
+			}
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Command hbold is the H-BOLD command line: it can serve the
+// presentation layer over a demo corpus, run index extraction on a
+// Turtle file, render the §3.5 visualizations to SVG files, simulate the
+// §3.3 portal crawl, and list indexed datasets.
+//
+// Usage:
+//
+//	hbold serve [-addr :8080] [-datasets N]
+//	hbold extract <file.ttl>
+//	hbold render <file.ttl> <outdir>
+//	hbold crawl
+//	hbold query <file.ttl> <sparql-query>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/turtle"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "extract":
+		cmdExtract(os.Args[2:])
+	case "render":
+		cmdRender(os.Args[2:])
+	case "crawl":
+		cmdCrawl()
+	case "query":
+		cmdQuery(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hbold serve [-addr :8080] [-datasets N]   start the presentation layer over a demo corpus
+  hbold extract <file.ttl>                  run index extraction on a Turtle file
+  hbold render <file.ttl> <outdir>          render all visualizations of a Turtle file to SVG
+  hbold crawl                               simulate the §3.3 open-data-portal crawl
+  hbold query <file.ttl> <sparql>           run a SPARQL query over a Turtle file`)
+	os.Exit(2)
+}
+
+func loadTurtle(path string) *store.Store {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	g, err := turtle.Parse(string(data))
+	if err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	return store.FromGraph(g)
+}
+
+// pipeline runs extract → summary → cluster over a local store.
+func pipeline(name string, st *store.Store) (*schema.Summary, *cluster.Schema) {
+	tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+	tool.Registry.Add(registry.Entry{URL: name, Title: name, AddedAt: clock.Epoch})
+	tool.Connect(name, endpoint.LocalClient{Store: st})
+	if err := tool.Process(name); err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	s, _ := tool.Summary(name)
+	cs, _ := tool.ClusterSchema(name)
+	return s, cs
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	n := fs.Int("datasets", 5, "number of demo datasets to index (plus the Scholarly LD)")
+	fs.Parse(args)
+
+	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+	surl := "http://scholarly.example.org/sparql"
+	tool.Registry.Add(registry.Entry{URL: surl, Title: "Scholarly LD"})
+	tool.Connect(surl, endpoint.LocalClient{Store: synth.Scholarly(1)})
+	if err := tool.Process(surl); err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	count := 0
+	for _, d := range synth.Corpus(1) {
+		if count >= *n {
+			break
+		}
+		if !d.Indexable || d.Dead || d.OutageProb > 0 {
+			continue
+		}
+		tool.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title})
+		tool.Connect(d.URL, endpoint.LocalClient{Store: synth.BuildStore(d)})
+		if err := tool.Process(d.URL); err != nil {
+			log.Printf("hbold: skip %s: %v", d.URL, err)
+			continue
+		}
+		count++
+	}
+	log.Printf("hbold: serving %d datasets on %s", len(tool.Datasets()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(tool)))
+}
+
+func cmdExtract(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	st := loadTurtle(args[0])
+	s, cs := pipeline(args[0], st)
+	fmt.Printf("dataset        %s\n", args[0])
+	fmt.Printf("triples        %d\n", s.Triples)
+	fmt.Printf("classes        %d\n", s.NumClasses())
+	fmt.Printf("instances      %d\n", s.TotalInstances)
+	fmt.Printf("summary edges  %d\n", len(s.Edges))
+	fmt.Printf("clusters       %d (modularity %.3f)\n", cs.NumClusters(), cs.Modularity)
+	for i, c := range cs.Clusters {
+		fmt.Printf("  cluster %-2d %-24s %d classes, %d instances\n", i, c.Label, len(c.Classes), c.Instances)
+	}
+}
+
+func cmdRender(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	st := loadTurtle(args[0])
+	s, cs := pipeline(args[0], st)
+	outdir := args[1]
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	focus := ""
+	if len(s.Nodes) > 0 {
+		// focus the highest-degree class, like the paper's Figure 7
+		best, bestD := "", -1
+		for _, n := range s.Nodes {
+			if d := s.Degree(n.IRI); d > bestD {
+				best, bestD = n.IRI, d
+			}
+		}
+		focus = best
+	}
+	files := map[string]string{
+		"treemap.svg":       viz.TreemapView(cs, s, 1000, 700),
+		"sunburst.svg":      viz.SunburstView(cs, s, 800),
+		"circlepack.svg":    viz.CirclePackView(cs, s, 800),
+		"bundle.svg":        viz.BundleView(cs, s, focus, 900),
+		"cluster-graph.svg": viz.ClusterGraphView(cs, 900),
+		"summary-graph.svg": viz.SummaryGraphView(s, nil, 900),
+	}
+	for name, content := range files {
+		path := filepath.Join(outdir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatalf("hbold: %v", err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+}
+
+func cmdCrawl() {
+	corpus := synth.Corpus(1)
+	portals := portal.BuildAll(corpus)
+	reg := registry.New(registry.DefaultPolicy)
+	for _, d := range corpus {
+		if d.PreExisting {
+			reg.Add(registry.Entry{URL: d.URL, Title: d.Title, Source: registry.SourceDataHub})
+		}
+	}
+	fmt.Printf("endpoints listed before crawl: %d\n", reg.Len())
+	rep, err := crawler.Crawl(portals, reg, clock.Epoch)
+	if err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	for _, pr := range rep.Portals {
+		fmt.Printf("  %-22s discovered %2d, already listed %2d, added %2d\n",
+			pr.Portal, pr.Discovered, pr.AlreadyListed, pr.Added)
+	}
+	fmt.Printf("endpoints listed after crawl:  %d (+%d)\n", rep.ListedAfter, rep.TotalAdded())
+}
+
+func cmdQuery(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	st := loadTurtle(args[0])
+	res, err := sparql.Exec(st, args[1])
+	if err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	fmt.Print(res.Table())
+}

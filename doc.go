@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Providing Effective
+// Visualizations over Big Linked Data" (Desimoni & Po, EDBT/ICDT 2020
+// Workshops): the H-BOLD system for hierarchical, interactive visual
+// exploration of big Linked Data, together with every substrate it needs
+// (SPARQL engine and protocol, endpoint simulation, document store,
+// community detection, and the D3-style layouts re-implemented as pure-Go
+// geometry).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate
+// every figure and quantitative claim of the paper; cmd/hbold is the CLI
+// and cmd/hbold-bench the experiment harness.
+package repro

@@ -1,0 +1,62 @@
+// Portalcrawl reproduces §3.3: H-BOLD starts from the old DataHub list of
+// 610 endpoints, crawls the three open data portals with the paper's
+// Listing 1 query, and grows the list to 680 (+70 new); then a few days
+// of the daily extraction job raise the indexed population from 110
+// toward 130.
+//
+// Run with: go run ./examples/portalcrawl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+func main() {
+	corpus := synth.Corpus(1)
+	ck := clock.NewSim(clock.Epoch)
+	tool := core.New(docstore.MustOpenMem(), ck)
+
+	// the pre-crawl registry: H-BOLD's old endpoint list
+	for _, d := range corpus {
+		if d.PreExisting {
+			tool.Registry.Add(registry.Entry{
+				URL: d.URL, Title: d.Title,
+				Source: registry.SourceDataHub, AddedAt: ck.Now(),
+			})
+		}
+	}
+	fmt.Printf("before crawl: %d endpoints listed\n\n", tool.Registry.Len())
+
+	// crawl the portals with Listing 1
+	rep, err := tool.CrawlPortals(portal.BuildAll(corpus))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pr := range rep.Portals {
+		fmt.Printf("%-24s discovered %2d endpoints (%2d already listed, %2d new)\n",
+			pr.Portal, pr.Discovered, pr.AlreadyListed, pr.Added)
+	}
+	fmt.Printf("\nafter crawl: %d endpoints listed (+%d)\n", rep.ListedAfter, rep.TotalAdded())
+
+	// connect simulated remotes and run the daily job for a week so the
+	// §3.1 retry policy can work through transient outages
+	for i, d := range corpus {
+		tool.Connect(d.URL, synth.BuildRemote(d, ck, int64(i)))
+	}
+	fmt.Println("\nrunning the daily extraction job:")
+	for day := 0; day < 7; day++ {
+		ok, failed := tool.RunDue()
+		fmt.Printf("  day %d: %3d extractions ok, %3d failed — %3d endpoints indexed\n",
+			day, ok, failed, tool.Registry.IndexedCount())
+		ck.AdvanceDays(1)
+	}
+	fmt.Printf("\nindexed endpoints: %d (paper: 110 → 130)\n", tool.Registry.IndexedCount())
+}

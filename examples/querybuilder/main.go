@@ -1,0 +1,73 @@
+// Querybuilder demonstrates H-BOLD's visual querying: the user composes
+// a query by clicking classes, attributes and connections in the Schema
+// Summary view, and the tool generates and executes the SPARQL query
+// automatically.
+//
+// Run with: go run ./examples/querybuilder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/endpoint"
+	"repro/internal/querybuilder"
+	"repro/internal/synth"
+)
+
+func main() {
+	// The user is exploring the Scholarly LD's Schema Summary.
+	st := synth.Scholarly(1)
+	client := endpoint.LocalClient{Store: st}
+
+	// Visual selection: the Event class, its label attribute, the
+	// hasSituation connection to Situation with its description, and a
+	// regex filter on the label — all clicks in the UI.
+	q := &querybuilder.Query{
+		Class:      synth.ScholarlyNS + "Event",
+		Attributes: []string{synth.ScholarlyNS + "label"},
+		Paths: []querybuilder.Path{{
+			Property:    synth.ScholarlyNS + "hasSituation",
+			TargetClass: synth.ScholarlyNS + "Situation",
+			Attributes:  []string{synth.ScholarlyNS + "description"},
+		}},
+		Filters: []querybuilder.Filter{
+			{Var: "label", Op: "regex", Value: "label 1"},
+		},
+		Distinct: true,
+		Limit:    10,
+	}
+
+	text, err := q.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated SPARQL:")
+	fmt.Println(text)
+	fmt.Println()
+
+	res, err := q.Run(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results (%d rows):\n%s", len(res.Rows), res.Table())
+
+	// A second visual query: count the InProceedings per author, going
+	// backwards along the author property.
+	q2 := &querybuilder.Query{
+		Class:     synth.ScholarlyNS + "InProceedings",
+		Paths:     []querybuilder.Path{{Property: synth.ScholarlyNS + "author"}},
+		CountOnly: true,
+	}
+	text2, err := q2.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncount query:")
+	fmt.Println(text2)
+	res2, err := q2.Run(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nauthor links: %s\n", res2.Rows[0]["count"].Value)
+}

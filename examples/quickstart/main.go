@@ -1,0 +1,59 @@
+// Quickstart: index a Linked Data source with H-BOLD and print its
+// Cluster Schema — the minimal end-to-end use of the public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+func main() {
+	// 1. Create the tool: a document store (the MongoDB stand-in) plus a
+	// clock. The real clock is fine for interactive use.
+	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+
+	// 2. Register a SPARQL endpoint and connect a client for it. Here the
+	// endpoint is the synthetic ScholarlyData source served in-process;
+	// endpoint.NewHTTPClient("https://.../sparql") would work the same
+	// way against a live endpoint.
+	url := "http://scholarly.example.org/sparql"
+	tool.Registry.Add(registry.Entry{URL: url, Title: "Scholarly LD"})
+	tool.Connect(url, endpoint.LocalClient{Store: synth.Scholarly(1)})
+
+	// 3. Run the server-layer pipeline: index extraction → Schema
+	// Summary → Cluster Schema → persistence.
+	if err := tool.Process(url); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read the artifacts back, exactly as the presentation layer does.
+	s, err := tool.Summary(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := tool.ClusterSchema(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dataset: %s\n", url)
+	fmt.Printf("  %d triples, %d classes, %d instances\n", s.Triples, s.NumClasses(), s.TotalInstances)
+	fmt.Printf("  Schema Summary: %d nodes, %d edges\n", s.NumClasses(), len(s.Edges))
+	fmt.Printf("  Cluster Schema: %d clusters (modularity %.3f)\n\n", cs.NumClusters(), cs.Modularity)
+	for i, c := range cs.Clusters {
+		fmt.Printf("  cluster %d %q — %d classes, %d instances\n", i, c.Label, len(c.Classes), c.Instances)
+		for _, iri := range c.Classes {
+			n, _ := s.NodeByIRI(iri)
+			fmt.Printf("      %-20s %6d instances, %d attributes\n", n.Label, n.Instances, len(n.Attributes))
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package repro
+
+// End-to-end integration tests across all modules: the full H-BOLD
+// lifecycle from portal crawl through daily extraction to the HTTP
+// presentation layer, over the simulated endpoint corpus.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+// TestEndToEndLifecycle walks the whole Figure 1 architecture: seed the
+// old endpoint list, crawl the portals, run the daily job for several
+// simulated days, then drive the presentation layer over HTTP.
+func TestEndToEndLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full lifecycle is slow")
+	}
+	corpus := synth.Corpus(7)
+	ck := clock.NewSim(clock.Epoch)
+	tool := core.New(docstore.MustOpenMem(), ck)
+
+	// 1. the pre-crawl registry (610 endpoints)
+	for _, d := range corpus {
+		if d.PreExisting {
+			tool.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title, Source: registry.SourceDataHub, AddedAt: ck.Now()})
+		}
+	}
+
+	// 2. crawl the portals: 610 → 680
+	rep, err := tool.CrawlPortals(portal.BuildAll(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ListedAfter != synth.TotalEndpoints || rep.TotalAdded() != synth.NewEndpoints {
+		t.Fatalf("crawl: %d listed, +%d", rep.ListedAfter, rep.TotalAdded())
+	}
+
+	// 3. connect remotes for a manageable slice of the corpus: all the
+	// indexable endpoints plus a sample of dead/broken ones
+	connected := 0
+	deadConnected := 0
+	for i, d := range corpus {
+		if d.Indexable {
+			tool.Connect(d.URL, synth.BuildRemote(d, ck, int64(i)))
+			connected++
+		} else if deadConnected < 20 {
+			tool.Connect(d.URL, synth.BuildRemote(d, ck, int64(i)))
+			deadConnected++
+		}
+	}
+	if connected != synth.TotalIndexable {
+		t.Fatalf("connected %d indexable, want %d", connected, synth.TotalIndexable)
+	}
+
+	// 4. daily extraction job for a simulated week — flaky endpoints get
+	// their §3.1 retries
+	for day := 0; day < 7; day++ {
+		tool.RunDue()
+		ck.AdvanceDays(1)
+	}
+	indexed := tool.Registry.IndexedCount()
+	if indexed != synth.TotalIndexable {
+		t.Fatalf("indexed = %d, want %d (paper: 130)", indexed, synth.TotalIndexable)
+	}
+
+	// 5. every indexed dataset has valid persisted artifacts
+	for _, info := range tool.Datasets() {
+		s, err := tool.Summary(info.URL)
+		if err != nil {
+			t.Fatalf("summary %s: %v", info.URL, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("summary %s invalid: %v", info.URL, err)
+		}
+		cs, err := tool.ClusterSchema(info.URL)
+		if err != nil {
+			t.Fatalf("cluster %s: %v", info.URL, err)
+		}
+		if err := cs.Validate(); err != nil {
+			t.Fatalf("cluster %s invalid: %v", info.URL, err)
+		}
+		if cs.TotalInstances != s.TotalInstances {
+			t.Fatalf("instance mismatch on %s", info.URL)
+		}
+	}
+
+	// 6. presentation layer over HTTP
+	srv := httptest.NewServer(server.New(tool))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list []core.DatasetInfo
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != indexed {
+		t.Fatalf("dataset list = %d, want %d", len(list), indexed)
+	}
+	// render one view of the first dataset
+	resp, err = http.Get(srv.URL + "/view/treemap?dataset=" + url.QueryEscape(list[0].URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(string(svgBody), "<svg") {
+		t.Fatalf("treemap render failed: %d", resp.StatusCode)
+	}
+}
+
+// TestExtractionOverProtocol runs index extraction through the real HTTP
+// SPARQL protocol rather than in-process clients.
+func TestExtractionOverProtocol(t *testing.T) {
+	st := synth.Generate(synth.Spec{Name: "proto", Classes: 8, Instances: 400, ObjectProps: 12, DataProps: 8, LinkFactor: 1, Seed: 6})
+	srv := endpoint.Serve(st, nil)
+	defer srv.Close()
+	client := endpoint.NewHTTPClient(srv.URL)
+	ix, err := extraction.New().Extract(client, srv.URL, clock.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumClasses() != 8 || ix.Instances != 400 {
+		t.Fatalf("index = %d classes, %d instances", ix.NumClasses(), ix.Instances)
+	}
+	// and the same through a quirky endpoint over HTTP
+	srv2 := endpoint.Serve(st, endpoint.ProfileNoAgg)
+	defer srv2.Close()
+	ix2, err := extraction.New().Extract(endpoint.NewHTTPClient(srv2.URL), srv2.URL, clock.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Strategy != "enumerate" {
+		t.Fatalf("strategy = %s", ix2.Strategy)
+	}
+	if ix2.Instances != ix.Instances || ix2.NumClasses() != ix.NumClasses() {
+		t.Fatal("protocol extraction strategies disagree")
+	}
+}
+
+// TestPaperCountsEndToEnd re-asserts the §3.3 arithmetic at system level.
+func TestPaperCountsEndToEnd(t *testing.T) {
+	if synth.PreExistingEndpoints != 610 || synth.TotalEndpoints != 680 ||
+		synth.PreExistingIndexable != 110 || synth.TotalIndexable != 130 ||
+		synth.NewEndpoints != 70 {
+		t.Fatal("corpus constants drifted from the paper")
+	}
+	if synth.PortalEDPDatasets+synth.PortalEUODPDatasets+synth.PortalIODSDatasets != 89 {
+		t.Fatal("portal dataset split must total 89")
+	}
+}

@@ -1,0 +1,54 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := (Real{}).Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim(Epoch)
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("start = %v", s.Now())
+	}
+	s.Advance(3 * time.Hour)
+	if !s.Now().Equal(Epoch.Add(3 * time.Hour)) {
+		t.Fatalf("after Advance = %v", s.Now())
+	}
+	s.AdvanceDays(2)
+	if !s.Now().Equal(Epoch.Add(3*time.Hour + 48*time.Hour)) {
+		t.Fatalf("after AdvanceDays = %v", s.Now())
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	s := NewSim(Epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Advance(time.Minute)
+			s.Now()
+		}()
+	}
+	wg.Wait()
+	if got := s.Now().Sub(Epoch); got != 50*time.Minute {
+		t.Fatalf("concurrent advances lost: %v", got)
+	}
+}
+
+func TestEpochIsPaperEvaluationPeriod(t *testing.T) {
+	if Epoch.Year() != 2020 || Epoch.Month() != time.January {
+		t.Fatalf("Epoch = %v", Epoch)
+	}
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/schema"
+	"repro/internal/synth"
+)
+
+func scholarlySummary(t testing.TB) *schema.Summary {
+	t.Helper()
+	st := synth.Scholarly(1)
+	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema.Build(ix)
+}
+
+func modularSummary(t testing.TB, seed int64) *schema.Summary {
+	t.Helper()
+	st := synth.Generate(synth.Spec{
+		Name: "mod", Classes: 30, Instances: 3000, ObjectProps: 60,
+		DataProps: 20, LinkFactor: 1, CommunitySeeds: 4, Seed: seed,
+	})
+	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "mod", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema.Build(ix)
+}
+
+func TestBuildScholarly(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, err := Build(s, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cs.NumClusters() < 2 {
+		t.Fatalf("clusters = %d, want >= 2", cs.NumClusters())
+	}
+	if cs.NumClusters() >= s.NumClasses() {
+		t.Fatalf("clustering did not shrink the graph: %d clusters for %d classes",
+			cs.NumClusters(), s.NumClasses())
+	}
+	if cs.Algorithm != Louvain {
+		t.Fatalf("default algorithm = %s", cs.Algorithm)
+	}
+}
+
+func TestEveryClassInExactlyOneCluster(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, err := Build(s, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, c := range cs.Clusters {
+		for _, m := range c.Classes {
+			seen[m]++
+		}
+	}
+	if len(seen) != s.NumClasses() {
+		t.Fatalf("clustered %d classes, summary has %d", len(seen), s.NumClasses())
+	}
+	for iri, n := range seen {
+		if n != 1 {
+			t.Fatalf("class %s appears in %d clusters", iri, n)
+		}
+	}
+}
+
+func TestInstancesPreserved(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, _ := Build(s, Options{Seed: 1})
+	total := 0
+	for _, c := range cs.Clusters {
+		total += c.Instances
+	}
+	if total != s.TotalInstances {
+		t.Fatalf("cluster instances = %d, summary = %d", total, s.TotalInstances)
+	}
+	if cs.TotalInstances != s.TotalInstances {
+		t.Fatalf("TotalInstances not carried over")
+	}
+}
+
+func TestLabelsAreMaxDegreeClasses(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, _ := Build(s, Options{Seed: 1})
+	for _, c := range cs.Clusters {
+		// find max-degree member
+		best, bestD := "", -1
+		for _, m := range c.Classes {
+			if d := s.Degree(m); d > bestD {
+				bestD = d
+				n, _ := s.NodeByIRI(m)
+				best = n.Label
+			}
+		}
+		if c.Label != best {
+			t.Fatalf("cluster label %q, want %q (max degree member)", c.Label, best)
+		}
+	}
+}
+
+func TestClustersSortedByInstances(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, _ := Build(s, Options{Seed: 1})
+	for i := 1; i < len(cs.Clusters); i++ {
+		if cs.Clusters[i-1].Instances < cs.Clusters[i].Instances {
+			t.Fatal("clusters not sorted")
+		}
+	}
+}
+
+func TestEdgesAggregated(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, _ := Build(s, Options{Seed: 1})
+	if cs.NumClusters() > 1 && len(cs.Edges) == 0 {
+		t.Fatal("no inter-cluster edges on a connected summary")
+	}
+	for _, e := range cs.Edges {
+		if e.Links <= 0 || e.Count <= 0 {
+			t.Fatalf("edge %+v has non-positive counts", e)
+		}
+		if e.From >= e.To {
+			t.Fatalf("edge %+v not canonically ordered", e)
+		}
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	s := scholarlySummary(t)
+	cs, _ := Build(s, Options{Seed: 1})
+	for iri := range map[string]bool{synth.ScholarlyNS + "Event": true, synth.ScholarlyNS + "Person": true} {
+		ci := cs.ClusterOf(iri)
+		if ci < 0 {
+			t.Fatalf("ClusterOf(%s) = -1", iri)
+		}
+	}
+	if cs.ClusterOf("http://nope") != -1 {
+		t.Fatal("unknown class should be -1")
+	}
+}
+
+func TestModularStructureRecovered(t *testing.T) {
+	s := modularSummary(t, 7)
+	cs, err := Build(s, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Modularity < 0.2 {
+		t.Fatalf("modularity = %v on a plannted-modular schema", cs.Modularity)
+	}
+	k := cs.NumClusters()
+	if k < 2 || k > 12 {
+		t.Fatalf("clusters = %d on 4-community schema", k)
+	}
+}
+
+func TestAlgorithmsProduceValidSchemas(t *testing.T) {
+	s := modularSummary(t, 3)
+	for _, alg := range []Algorithm{Louvain, LabelPropagation, GirvanNewman} {
+		cs, err := Build(s, Options{Algorithm: alg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if err := cs.Validate(); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if cs.Algorithm != alg {
+			t.Fatalf("algorithm not recorded")
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	s := scholarlySummary(t)
+	if _, err := Build(s, Options{Algorithm: "kmeans"}); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	s := modularSummary(t, 5)
+	a, _ := Build(s, Options{Seed: 42})
+	b, _ := Build(s, Options{Seed: 42})
+	if a.NumClusters() != b.NumClusters() {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].Label != b.Clusters[i].Label || len(a.Clusters[i].Classes) != len(b.Clusters[i].Classes) {
+			t.Fatal("cluster contents differ across runs")
+		}
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	cs := &Schema{Clusters: []Cluster{
+		{Label: "a", Classes: []string{"http://x"}},
+		{Label: "b", Classes: []string{"http://x"}},
+	}}
+	if err := cs.Validate(); err == nil {
+		t.Fatal("overlap must fail validation")
+	}
+}
+
+func TestValidateCatchesSelfEdge(t *testing.T) {
+	cs := &Schema{
+		Clusters: []Cluster{{Label: "a", Classes: []string{"http://x"}}},
+		Edges:    []Edge{{From: 0, To: 0, Links: 1, Count: 1}},
+	}
+	if err := cs.Validate(); err == nil {
+		t.Fatal("self edge must fail validation")
+	}
+}
+
+func TestSingletonSummary(t *testing.T) {
+	s := &schema.Summary{
+		Dataset:        "x",
+		Nodes:          []schema.Node{{IRI: "http://only", Label: "Only", Instances: 5}},
+		TotalInstances: 5,
+	}
+	cs, err := Build(s, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.NumClusters() != 1 || cs.Clusters[0].Label != "Only" {
+		t.Fatalf("singleton schema = %+v", cs)
+	}
+}

@@ -1,0 +1,336 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoCliques builds two K5 cliques joined by a single bridge edge — the
+// canonical community structure.
+func twoCliques() *Graph {
+	g := NewGraph(10)
+	for c := 0; c < 2; c++ {
+		base := c * 5
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddEdge(base+i, base+j, 1)
+			}
+		}
+	}
+	g.AddEdge(0, 5, 1)
+	return g
+}
+
+// ring builds a cycle graph.
+func ring(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 1, 1) // accumulates
+	if g.Weight(0, 1) != 3 || g.Weight(1, 0) != 3 {
+		t.Fatalf("Weight = %v", g.Weight(0, 1))
+	}
+	if g.TotalWeight() != 4 {
+		t.Fatalf("TotalWeight = %v", g.TotalWeight())
+	}
+	if g.Degree(1) != 4 {
+		t.Fatalf("Degree(1) = %v", g.Degree(1))
+	}
+	nbrs := g.Neighbors(1)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 2 {
+		t.Fatalf("Neighbors = %v", nbrs)
+	}
+}
+
+func TestSelfLoopDegree(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0, 1.5)
+	if g.Degree(0) != 3 {
+		t.Fatalf("self loop degree = %v, want 3", g.Degree(0))
+	}
+	if g.TotalWeight() != 1.5 {
+		t.Fatalf("total = %v", g.TotalWeight())
+	}
+}
+
+func TestEdgeCountAndIteration(t *testing.T) {
+	g := twoCliques()
+	if g.EdgeCount() != 21 { // 10 + 10 + bridge
+		t.Fatalf("EdgeCount = %d", g.EdgeCount())
+	}
+	// each edge visited once with u <= v
+	g.Edges(func(u, v int, w float64) {
+		if u > v {
+			t.Fatalf("edge order violated: (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGraph(2).AddEdge(0, 5, 1)
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 1, -3)
+	if g.TotalWeight() != 0 || g.EdgeCount() != 0 {
+		t.Fatal("non-positive weights must be ignored")
+	}
+}
+
+func TestPartitionNormalize(t *testing.T) {
+	p := Partition{7, 7, 3, 3, 9}
+	k := p.Normalize()
+	if k != 3 {
+		t.Fatalf("k = %d", k)
+	}
+	want := Partition{0, 0, 1, 1, 2}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("p = %v", p)
+		}
+	}
+}
+
+func TestPartitionMembers(t *testing.T) {
+	p := Partition{0, 1, 0, 1, 2}
+	m := p.Members()
+	if len(m) != 3 || len(m[0]) != 2 || m[0][0] != 0 || m[0][1] != 2 {
+		t.Fatalf("Members = %v", m)
+	}
+}
+
+func TestModularityPerfectSplit(t *testing.T) {
+	g := twoCliques()
+	good := Partition{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	bad := make(Partition, 10) // everything together
+	qGood := Modularity(g, good)
+	qBad := Modularity(g, bad)
+	if qGood <= qBad {
+		t.Fatalf("Q(good)=%v should beat Q(all-in-one)=%v", qGood, qBad)
+	}
+	if qGood < 0.3 {
+		t.Fatalf("Q(good)=%v unexpectedly low", qGood)
+	}
+}
+
+func TestModularityAllSingletonsNegativeOrZero(t *testing.T) {
+	g := twoCliques()
+	p := make(Partition, g.N())
+	for i := range p {
+		p[i] = i
+	}
+	if q := Modularity(g, p); q > 0 {
+		t.Fatalf("singleton modularity = %v, want <= 0", q)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := NewGraph(4)
+	if q := Modularity(g, make(Partition, 4)); q != 0 {
+		t.Fatalf("Q = %v", q)
+	}
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := twoCliques()
+	p := Louvain(g, 1)
+	if k := p.NumCommunities(); k != 2 {
+		t.Fatalf("communities = %d, want 2 (partition %v)", k, p)
+	}
+	// the two cliques must be separated
+	for i := 1; i < 5; i++ {
+		if p[i] != p[0] {
+			t.Fatalf("clique 1 split: %v", p)
+		}
+		if p[5+i] != p[5] {
+			t.Fatalf("clique 2 split: %v", p)
+		}
+	}
+	if p[0] == p[5] {
+		t.Fatalf("cliques merged: %v", p)
+	}
+}
+
+func TestLouvainDeterministicPerSeed(t *testing.T) {
+	g := randomModularGraph(60, 4, 0.6, 0.02, 99)
+	p1 := Louvain(g, 5)
+	p2 := Louvain(g, 5)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("Louvain not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestLouvainImprovesModularity(t *testing.T) {
+	g := randomModularGraph(80, 4, 0.5, 0.02, 7)
+	p := Louvain(g, 1)
+	flat := make(Partition, g.N())
+	if Modularity(g, p) <= Modularity(g, flat) {
+		t.Fatalf("Louvain Q=%v should beat trivial Q=%v", Modularity(g, p), Modularity(g, flat))
+	}
+}
+
+func TestLouvainRecoversPlantedCommunities(t *testing.T) {
+	g := randomModularGraph(100, 5, 0.7, 0.01, 3)
+	p := Louvain(g, 2)
+	k := p.NumCommunities()
+	if k < 4 || k > 7 {
+		t.Fatalf("found %d communities, want ≈5", k)
+	}
+	if q := Modularity(g, p); q < 0.5 {
+		t.Fatalf("Q = %v, want > 0.5 on strongly modular graph", q)
+	}
+}
+
+func TestLouvainSingletonGraph(t *testing.T) {
+	g := NewGraph(1)
+	p := Louvain(g, 1)
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("p = %v", p)
+	}
+}
+
+func TestLouvainDisconnected(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(4, 5, 1)
+	p := Louvain(g, 1)
+	if p.NumCommunities() != 3 {
+		t.Fatalf("communities = %d, want 3", p.NumCommunities())
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliques()
+	p := LabelPropagation(g, 1)
+	// LP may occasionally merge; require it to find ≤ 3 communities and
+	// keep each clique intact or merged, never split across.
+	if k := p.NumCommunities(); k > 3 {
+		t.Fatalf("communities = %d", k)
+	}
+	for i := 1; i < 5; i++ {
+		if p[i] != p[0] || p[5+i] != p[5] {
+			t.Fatalf("clique split: %v", p)
+		}
+	}
+}
+
+func TestGirvanNewmanTwoCliques(t *testing.T) {
+	g := twoCliques()
+	p := GirvanNewman(g)
+	if k := p.NumCommunities(); k != 2 {
+		t.Fatalf("communities = %d, want 2 (%v)", k, p)
+	}
+	if p[0] == p[5] {
+		t.Fatalf("cliques merged: %v", p)
+	}
+}
+
+func TestGirvanNewmanRing(t *testing.T) {
+	p := GirvanNewman(ring(12))
+	if k := p.NumCommunities(); k < 2 {
+		t.Fatalf("ring should be cut into parts, got %d", k)
+	}
+}
+
+func TestAggregatePreservesTotalWeight(t *testing.T) {
+	g := twoCliques()
+	p := Louvain(g, 1)
+	k := p.NumCommunities()
+	agg := aggregate(g, p, k)
+	if agg.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("aggregate total %v != %v", agg.TotalWeight(), g.TotalWeight())
+	}
+}
+
+// Property: modularity of any partition is within [-1, 1].
+func TestQuickModularityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g := NewGraph(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		p := make(Partition, n)
+		for i := range p {
+			p[i] = rng.Intn(3)
+		}
+		q := Modularity(g, p)
+		return q >= -1.0001 && q <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Louvain's partition never scores below the all-singleton and
+// all-together baselines.
+func TestQuickLouvainBeatsBaselines(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		g := NewGraph(n)
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		if g.TotalWeight() == 0 {
+			return true
+		}
+		p := Louvain(g, seed)
+		q := Modularity(g, p)
+		flat := make(Partition, n)
+		singles := make(Partition, n)
+		for i := range singles {
+			singles[i] = i
+		}
+		return q >= Modularity(g, flat)-1e-9 && q >= Modularity(g, singles)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomModularGraph plants k communities over n nodes with given
+// intra/inter edge probabilities.
+func randomModularGraph(n, k int, pIn, pOut float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	comm := make([]int, n)
+	for i := range comm {
+		comm[i] = i % k
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if comm[i] == comm[j] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				g.AddEdge(i, j, 1)
+			}
+		}
+	}
+	return g
+}

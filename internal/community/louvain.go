@@ -1,0 +1,298 @@
+package community
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Louvain runs the Louvain modularity-optimization heuristic [Blondel et
+// al. 2008], the algorithm H-BOLD uses to build Cluster Schemas. The seed
+// drives the node visiting order; results are deterministic for a given
+// seed. It returns a normalized partition.
+func Louvain(g *Graph, seed int64) Partition {
+	rng := rand.New(rand.NewSource(seed))
+	// current assignment on the working (possibly aggregated) graph
+	work := g
+	// mapping from original node → community in the final hierarchy
+	assign := make(Partition, g.N())
+	for i := range assign {
+		assign[i] = i
+	}
+
+	for level := 0; level < 64; level++ {
+		local, moved := louvainLocal(work, rng)
+		k := local.Normalize()
+		// fold into the original assignment
+		for i := range assign {
+			assign[i] = local[assign[i]]
+		}
+		if !moved || k == work.N() {
+			break
+		}
+		work = aggregate(work, local, k)
+	}
+	assign.Normalize()
+	return assign
+}
+
+// louvainLocal runs phase 1 (local moves) until no single move improves
+// modularity. It reports whether any node changed community.
+func louvainLocal(g *Graph, rng *rand.Rand) (Partition, bool) {
+	n := g.N()
+	part := make(Partition, n)
+	commDeg := make([]float64, n) // Σ degree per community
+	for i := 0; i < n; i++ {
+		part[i] = i
+		commDeg[i] = g.Degree(i)
+	}
+	m2 := 2 * g.TotalWeight()
+	if m2 == 0 {
+		return part, false
+	}
+
+	order := rng.Perm(n)
+	movedAny := false
+	for pass := 0; pass < 128; pass++ {
+		movedThisPass := false
+		for _, u := range order {
+			cu := part[u]
+			du := g.Degree(u)
+			// weights from u to each neighboring community
+			wTo := map[int]float64{}
+			for v, w := range g.adj[u] {
+				if v == u {
+					continue
+				}
+				wTo[part[v]] += w
+			}
+			// remove u from its community
+			commDeg[cu] -= du
+			// best gain; staying put is gain of wTo[cu] - du*commDeg[cu]/m2
+			bestC, bestGain := cu, wTo[cu]-du*commDeg[cu]/m2
+			// deterministic candidate order
+			cands := make([]int, 0, len(wTo))
+			for c := range wTo {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				if c == cu {
+					continue
+				}
+				gain := wTo[c] - du*commDeg[c]/m2
+				if gain > bestGain+1e-12 {
+					bestC, bestGain = c, gain
+				}
+			}
+			part[u] = bestC
+			commDeg[bestC] += du
+			if bestC != cu {
+				movedThisPass = true
+				movedAny = true
+			}
+		}
+		if !movedThisPass {
+			break
+		}
+	}
+	return part, movedAny
+}
+
+// aggregate builds the phase-2 graph whose nodes are the k communities of
+// part, with inter-community weights summed and intra-community weights
+// becoming self loops.
+func aggregate(g *Graph, part Partition, k int) *Graph {
+	out := NewGraph(k)
+	g.Edges(func(u, v int, w float64) {
+		out.AddEdge(part[u], part[v], w)
+	})
+	return out
+}
+
+// LabelPropagation runs synchronous-tie-broken asynchronous label
+// propagation [Raghavan et al. 2007]; a fast baseline for the ablation
+// benchmarks. Deterministic for a given seed.
+func LabelPropagation(g *Graph, seed int64) Partition {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	part := make(Partition, n)
+	for i := range part {
+		part[i] = i
+	}
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for _, u := range rng.Perm(n) {
+			wTo := map[int]float64{}
+			for v, w := range g.adj[u] {
+				if v == u {
+					continue
+				}
+				wTo[part[v]] += w
+			}
+			if len(wTo) == 0 {
+				continue
+			}
+			// pick the label with max incident weight; break ties by label id
+			best, bestW := part[u], wTo[part[u]]
+			labels := make([]int, 0, len(wTo))
+			for c := range wTo {
+				labels = append(labels, c)
+			}
+			sort.Ints(labels)
+			for _, c := range labels {
+				if wTo[c] > bestW+1e-12 {
+					best, bestW = c, wTo[c]
+				}
+			}
+			if best != part[u] {
+				part[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	part.Normalize()
+	return part
+}
+
+// GirvanNewman removes highest-betweenness edges until the modularity of
+// the connected-component partition stops improving [Girvan & Newman
+// 2002]. It is O(V·E²)-ish and only suitable for the small Schema
+// Summary graphs it is benchmarked on.
+func GirvanNewman(g *Graph) Partition {
+	// working copy of adjacency
+	adj := make([]map[int]float64, g.N())
+	for u := range adj {
+		adj[u] = make(map[int]float64, len(g.adj[u]))
+		for v, w := range g.adj[u] {
+			if v != u {
+				adj[u][v] = w
+			}
+		}
+	}
+	best := components(adj)
+	bestQ := Modularity(g, best)
+	edges := g.EdgeCount()
+	for i := 0; i < edges; i++ {
+		u, v, ok := maxBetweennessEdge(adj)
+		if !ok {
+			break
+		}
+		delete(adj[u], v)
+		delete(adj[v], u)
+		part := components(adj)
+		if q := Modularity(g, part); q > bestQ {
+			bestQ = q
+			best = part
+		}
+	}
+	best.Normalize()
+	return best
+}
+
+// components labels connected components of adj.
+func components(adj []map[int]float64) Partition {
+	n := len(adj)
+	part := make(Partition, n)
+	for i := range part {
+		part[i] = -1
+	}
+	c := 0
+	for s := 0; s < n; s++ {
+		if part[s] >= 0 {
+			continue
+		}
+		stack := []int{s}
+		part[s] = c
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := range adj[u] {
+				if part[v] < 0 {
+					part[v] = c
+					stack = append(stack, v)
+				}
+			}
+		}
+		c++
+	}
+	return part
+}
+
+// maxBetweennessEdge computes edge betweenness (unweighted shortest
+// paths, Brandes accumulation) and returns the edge with the highest
+// score, breaking ties by (u, v).
+func maxBetweennessEdge(adj []map[int]float64) (int, int, bool) {
+	n := len(adj)
+	score := map[[2]int]float64{}
+	for s := 0; s < n; s++ {
+		// BFS from s
+		dist := make([]int, n)
+		sigma := make([]float64, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue := []int{s}
+		var orderVisited []int
+		preds := make([][]int, n)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			orderVisited = append(orderVisited, u)
+			nbrs := make([]int, 0, len(adj[u]))
+			for v := range adj[u] {
+				nbrs = append(nbrs, v)
+			}
+			sort.Ints(nbrs)
+			for _, v := range nbrs {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		delta := make([]float64, n)
+		for i := len(orderVisited) - 1; i >= 0; i-- {
+			w := orderVisited[i]
+			for _, u := range preds[w] {
+				c := sigma[u] / sigma[w] * (1 + delta[w])
+				a, b := u, w
+				if a > b {
+					a, b = b, a
+				}
+				score[[2]int{a, b}] += c
+				delta[u] += c
+			}
+		}
+	}
+	if len(score) == 0 {
+		return 0, 0, false
+	}
+	var bestEdge [2]int
+	bestScore := -1.0
+	keys := make([][2]int, 0, len(score))
+	for e := range score {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, e := range keys {
+		if score[e] > bestScore {
+			bestScore = score[e]
+			bestEdge = e
+		}
+	}
+	return bestEdge[0], bestEdge[1], true
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+func newTool(t testing.TB) (*HBOLD, *clock.Sim) {
+	t.Helper()
+	ck := clock.NewSim(clock.Epoch)
+	h := New(docstore.MustOpenMem(), ck)
+	return h, ck
+}
+
+func connectScholarly(t testing.TB, h *HBOLD) string {
+	t.Helper()
+	url := "http://scholarly.example.org/sparql"
+	h.Registry.Add(registry.Entry{URL: url, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+	h.Connect(url, endpoint.LocalClient{Store: synth.Scholarly(1)})
+	return url
+}
+
+func TestProcessPipeline(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	// all three artifacts persisted
+	for _, coll := range []string{CollIndexes, CollSummaries, CollClusters} {
+		if !h.DB.Collection(coll).Has(url) {
+			t.Fatalf("collection %s missing %s", coll, url)
+		}
+	}
+	s, err := h.Summary(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClasses() != synth.ScholarlyClassCount() {
+		t.Fatalf("classes = %d", s.NumClasses())
+	}
+	cs, err := h.ClusterSchema(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := h.Registry.Get(url)
+	if !e.Indexed || e.LastSuccess.IsZero() {
+		t.Fatalf("registry entry = %+v", e)
+	}
+}
+
+func TestProcessUnknownClient(t *testing.T) {
+	h, _ := newTool(t)
+	if err := h.Process("http://nowhere/sparql"); err == nil {
+		t.Fatal("processing without a client must fail")
+	}
+}
+
+func TestProcessFailureRecorded(t *testing.T) {
+	h, _ := newTool(t)
+	url := "http://dead.example.org/sparql"
+	h.Registry.Add(registry.Entry{URL: url, AddedAt: clock.Epoch})
+	h.Connect(url, endpoint.NewRemote("dead", url, synth.Scholarly(2), nil, endpoint.AlwaysDown(), h.Clock))
+	if err := h.Process(url); err == nil {
+		t.Fatal("dead endpoint must fail")
+	}
+	e, _ := h.Registry.Get(url)
+	if e.ConsecutiveFailures != 1 || e.Indexed {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	if len(h.Datasets()) != 0 {
+		t.Fatal("no datasets before processing")
+	}
+	h.Process(url)
+	ds := h.Datasets()
+	if len(ds) != 1 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	d := ds[0]
+	if d.Classes != synth.ScholarlyClassCount() || d.Instances == 0 || d.Clusters == 0 {
+		t.Fatalf("dataset info = %+v", d)
+	}
+	if d.LastExtraction != "2020-01-03" {
+		t.Fatalf("LastExtraction = %s", d.LastExtraction)
+	}
+}
+
+func TestOnTheFlyMatchesPrecomputed(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	h.Process(url)
+	pre, err := h.ClusterSchema(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fly, err := h.ClusterSchemaOnTheFly(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumClusters() != fly.NumClusters() {
+		t.Fatalf("precomputed %d clusters, on-the-fly %d", pre.NumClusters(), fly.NumClusters())
+	}
+	for i := range pre.Clusters {
+		if pre.Clusters[i].Label != fly.Clusters[i].Label {
+			t.Fatal("cluster labels differ between paths")
+		}
+	}
+}
+
+func TestExplore(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	h.Process(url)
+	ex, err := h.Explore(url, synth.ScholarlyNS+"Event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d", ex.NodeCount())
+	}
+	if _, err := h.Explore(url, "http://nope"); err == nil {
+		t.Fatal("unknown focus must fail")
+	}
+	if _, err := h.Explore("http://unknown", synth.ScholarlyNS+"Event"); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestRunDueSchedule(t *testing.T) {
+	h, ck := newTool(t)
+	url := connectScholarly(t, h)
+	ok, failed := h.RunDue()
+	if ok != 1 || failed != 0 {
+		t.Fatalf("first run = %d ok, %d failed", ok, failed)
+	}
+	// nothing due tomorrow
+	ck.AdvanceDays(1)
+	ok, failed = h.RunDue()
+	if ok != 0 || failed != 0 {
+		t.Fatalf("day 1 = %d ok, %d failed", ok, failed)
+	}
+	// due again after a week
+	ck.AdvanceDays(6)
+	ok, _ = h.RunDue()
+	if ok != 1 {
+		t.Fatalf("day 7 = %d ok", ok)
+	}
+	_ = url
+}
+
+func TestRunDueCountsUnconnectableAsFailure(t *testing.T) {
+	h, _ := newTool(t)
+	h.Registry.Add(registry.Entry{URL: "http://unconnected/sparql", AddedAt: clock.Epoch})
+	ok, failed := h.RunDue()
+	if ok != 0 || failed != 1 {
+		t.Fatalf("run = %d ok, %d failed", ok, failed)
+	}
+}
+
+func TestManualInsertionWorkflow(t *testing.T) {
+	h, _ := newTool(t)
+	url := "http://manual.example.org/sparql"
+	if err := h.SubmitEndpoint(url, "My LD", "sub@example.org"); err != nil {
+		t.Fatal(err)
+	}
+	h.Connect(url, endpoint.LocalClient{Store: synth.Generate(synth.Spec{Name: "man", Classes: 5, Instances: 100, Seed: 3})})
+	ok, failed := h.RunDue()
+	if ok != 1 || failed != 0 {
+		t.Fatalf("run = %d ok, %d failed", ok, failed)
+	}
+	// notification sent, address deleted
+	if h.Outbox.Len() != 1 {
+		t.Fatalf("outbox = %d", h.Outbox.Len())
+	}
+	m := h.Outbox.Sent()[0]
+	if !strings.Contains(m.Subject, "completed") {
+		t.Fatalf("subject = %s", m.Subject)
+	}
+	if strings.Contains(m.RecipientHint, "sub@") {
+		t.Fatal("address not redacted")
+	}
+	e, _ := h.Registry.Get(url)
+	if e.PendingEmail != "" {
+		t.Fatal("address retained after notification")
+	}
+	// the dataset is listed among the others (§3.4)
+	found := false
+	for _, d := range h.Datasets() {
+		if d.URL == url {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("manually inserted dataset not listed")
+	}
+}
+
+func TestManualInsertionFailureNotifies(t *testing.T) {
+	h, _ := newTool(t)
+	url := "http://manual-dead.example.org/sparql"
+	h.SubmitEndpoint(url, "Dead LD", "sub@example.org")
+	h.Connect(url, endpoint.NewRemote("dead", url, synth.Scholarly(1), nil, endpoint.AlwaysDown(), h.Clock))
+	_, failed := h.RunDue()
+	if failed != 1 {
+		t.Fatalf("failed = %d", failed)
+	}
+	if h.Outbox.Len() != 1 {
+		t.Fatalf("outbox = %d", h.Outbox.Len())
+	}
+	if !strings.Contains(h.Outbox.Sent()[0].Subject, "failed") {
+		t.Fatalf("subject = %s", h.Outbox.Sent()[0].Subject)
+	}
+}
+
+func TestCrawlPortalsIntegration(t *testing.T) {
+	h, _ := newTool(t)
+	corpus := synth.Corpus(1)
+	for _, d := range corpus {
+		if d.PreExisting {
+			h.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title, Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+		}
+	}
+	rep, err := h.CrawlPortals(portal.BuildAll(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ListedBefore != 610 || rep.ListedAfter != 680 {
+		t.Fatalf("crawl %d → %d", rep.ListedBefore, rep.ListedAfter)
+	}
+}
+
+func TestFlakyEndpointEventuallyIndexed(t *testing.T) {
+	h, ck := newTool(t)
+	url := "http://flaky.example.org/sparql"
+	h.Registry.Add(registry.Entry{URL: url, AddedAt: clock.Epoch})
+	st := synth.Generate(synth.Spec{Name: "flaky", Classes: 4, Instances: 80, Seed: 9})
+	// heavy outage schedule: down often, up sometimes
+	h.Connect(url, endpoint.NewRemote("flaky", url, st, nil, endpoint.NewAvailability(5, 0.6), ck))
+	indexed := false
+	for day := 0; day < 30 && !indexed; day++ {
+		h.RunDue()
+		e, _ := h.Registry.Get(url)
+		indexed = e.Indexed
+		ck.AdvanceDays(1)
+	}
+	if !indexed {
+		t.Fatal("flaky endpoint never indexed despite daily retries")
+	}
+}
+
+func TestSummaryNotFound(t *testing.T) {
+	h, _ := newTool(t)
+	if _, err := h.Summary("http://none"); !errors.Is(err, docstore.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	h.Process(url)
+	ix, err := h.Index(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Endpoint != url || ix.NumClasses() != synth.ScholarlyClassCount() {
+		t.Fatalf("index = %+v", ix)
+	}
+	if !ix.ExtractedAt.Equal(clock.Epoch) {
+		t.Fatalf("ExtractedAt = %v", ix.ExtractedAt)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/registry"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func TestDiffRecordedOnRefresh(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	h := New(docstore.MustOpenMem(), ck)
+	url := "http://evolving.example.org/sparql"
+	st := store.FromGraph(turtle.MustParse(`
+@prefix ex: <http://ex/> .
+ex:a1 a ex:Author ; ex:name "A1" .
+ex:b1 a ex:Book ; ex:title "B1" .
+`))
+	h.Registry.Add(registry.Entry{URL: url, AddedAt: ck.Now()})
+	h.Connect(url, endpoint.LocalClient{Store: st})
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.LastDiff(url); ok {
+		t.Fatal("first extraction must not record a diff")
+	}
+
+	// the source evolves: a new class and more instances appear
+	st.AddSPO(rdf.NewIRI("http://ex/a2"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://ex/Author"))
+	st.AddSPO(rdf.NewIRI("http://ex/p1"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://ex/Publisher"))
+
+	ck.Advance(8 * 24 * time.Hour) // past the weekly refresh
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := h.LastDiff(url)
+	if !ok {
+		t.Fatal("refresh should record a diff")
+	}
+	if len(d.AddedClasses) != 1 || d.AddedClasses[0] != "http://ex/Publisher" {
+		t.Fatalf("added classes = %v", d.AddedClasses)
+	}
+	if d.InstanceDelta["http://ex/Author"] != 1 {
+		t.Fatalf("instance delta = %v", d.InstanceDelta)
+	}
+	if d.TriplesDelta != 2 {
+		t.Fatalf("triples delta = %d", d.TriplesDelta)
+	}
+}
+
+func TestNoDiffWhenUnchanged(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	h := New(docstore.MustOpenMem(), ck)
+	url := "http://static.example.org/sparql"
+	st := store.FromGraph(turtle.MustParse(`
+@prefix ex: <http://ex/> .
+ex:x a ex:Thing .
+`))
+	h.Registry.Add(registry.Entry{URL: url, AddedAt: ck.Now()})
+	h.Connect(url, endpoint.LocalClient{Store: st})
+	h.Process(url)
+	ck.Advance(8 * 24 * time.Hour)
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.LastDiff(url); ok {
+		t.Fatal("identical re-extraction must not record a diff")
+	}
+}

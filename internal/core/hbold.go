@@ -1,0 +1,313 @@
+// Package core is the H-BOLD facade: it wires the server layer (index
+// extraction, Schema Summary and Cluster Schema computation, document
+// storage, scheduling, crawling, manual insertion) to the presentation
+// layer (dataset list, hierarchical exploration, visualization views) —
+// the architecture of the paper's Figure 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/crawler"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/notify"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/schema"
+)
+
+// Collection names in the document store (the MongoDB stand-in).
+const (
+	CollIndexes   = "indexes"
+	CollSummaries = "summaries"
+	CollClusters  = "clusters"
+	CollRegistry  = "registry"
+	CollDiffs     = "diffs"
+)
+
+// HBOLD is the tool: one instance owns the endpoint registry, the
+// document store and the processing pipeline.
+type HBOLD struct {
+	Registry  *registry.Registry
+	DB        *docstore.DB
+	Extractor *extraction.Extractor
+	Outbox    *notify.Outbox
+	Clock     clock.Clock
+	// Seed drives community detection determinism.
+	Seed int64
+	// Algorithm selects the community detection method (default Louvain).
+	Algorithm cluster.Algorithm
+
+	mu      sync.RWMutex
+	clients map[string]endpoint.Client
+}
+
+// New builds an H-BOLD instance over the given document store. A nil db
+// gets a memory-only store; a nil ck uses the real clock.
+func New(db *docstore.DB, ck clock.Clock) *HBOLD {
+	if db == nil {
+		db = docstore.MustOpenMem()
+	}
+	if ck == nil {
+		ck = clock.Real{}
+	}
+	return &HBOLD{
+		Registry:  registry.New(registry.DefaultPolicy),
+		DB:        db,
+		Extractor: extraction.New(),
+		Outbox:    notify.NewOutbox(),
+		Clock:     ck,
+		clients:   make(map[string]endpoint.Client),
+	}
+}
+
+// Connect associates a SPARQL client with an endpoint URL. In the
+// deployed tool this is the HTTP connection to the public endpoint; in
+// experiments it is a simulated remote.
+func (h *HBOLD) Connect(url string, c endpoint.Client) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clients[url] = c
+}
+
+func (h *HBOLD) client(url string) (endpoint.Client, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	c, ok := h.clients[url]
+	if !ok {
+		return nil, fmt.Errorf("core: no client connected for %s", url)
+	}
+	return c, nil
+}
+
+// Process runs the full server-layer pipeline for one endpoint: index
+// extraction, Schema Summary computation, Cluster Schema computation
+// (server-side, per §3.2) and persistence. It records the outcome in the
+// registry and sends the §3.4 notification when a submitter is waiting.
+func (h *HBOLD) Process(url string) error {
+	now := h.Clock.Now()
+	c, err := h.client(url)
+	if err != nil {
+		return err
+	}
+	ix, err := h.Extractor.Extract(c, url, now)
+	if err != nil {
+		h.recordFailure(url, now, err)
+		return err
+	}
+	s := schema.Build(ix)
+	cs, err := cluster.Build(s, cluster.Options{Algorithm: h.Algorithm, Seed: h.Seed})
+	if err != nil {
+		h.recordFailure(url, now, err)
+		return err
+	}
+	// record what this refresh changed (§3.1: sources evolve, which is
+	// why extraction re-runs at all)
+	if old, err := h.Summary(url); err == nil {
+		if d := schema.Compare(old, s); !d.Unchanged() {
+			if err := h.DB.Collection(CollDiffs).Put(url, d); err != nil {
+				return err
+			}
+		}
+	}
+	if err := h.DB.Collection(CollIndexes).Put(url, ix); err != nil {
+		return err
+	}
+	if err := h.DB.Collection(CollSummaries).Put(url, s); err != nil {
+		return err
+	}
+	if err := h.DB.Collection(CollClusters).Put(url, cs); err != nil {
+		return err
+	}
+	if h.Registry.Has(url) {
+		if err := h.Registry.RecordSuccess(url, now); err != nil {
+			return err
+		}
+	} else {
+		h.Registry.Add(registry.Entry{URL: url, Title: url, Source: registry.SourceManual, AddedAt: now})
+		h.Registry.RecordSuccess(url, now)
+	}
+	if email, ok := h.Registry.TakePendingEmail(url); ok {
+		h.Outbox.Send(email, "H-BOLD: extraction completed",
+			notify.SuccessBody(url, s.NumClasses(), s.TotalInstances), now)
+	}
+	return nil
+}
+
+func (h *HBOLD) recordFailure(url string, now time.Time, cause error) {
+	if h.Registry.Has(url) {
+		h.Registry.RecordFailure(url, now)
+		e, _ := h.Registry.Get(url)
+		// a manual submitter is notified on the first failure too
+		if e.PendingEmail != "" {
+			if email, ok := h.Registry.TakePendingEmail(url); ok {
+				h.Outbox.Send(email, "H-BOLD: extraction failed",
+					notify.FailureBody(url, cause), now)
+			}
+		}
+	}
+}
+
+// RunDue processes every endpoint the §3.1 policy marks as due; it is
+// the body of the daily server-layer job. It returns the number of
+// endpoints processed successfully and the number that failed.
+func (h *HBOLD) RunDue() (ok, failed int) {
+	for _, url := range h.Registry.Due(h.Clock.Now()) {
+		if _, err := h.client(url); err != nil {
+			// endpoints with no connectable client count as failures
+			h.Registry.RecordFailure(url, h.Clock.Now())
+			failed++
+			continue
+		}
+		if err := h.Process(url); err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	return ok, failed
+}
+
+// CrawlPortals runs the §3.3 crawler over the portals and merges the
+// discovered endpoints into the registry.
+func (h *HBOLD) CrawlPortals(portals []*portal.Portal) (*crawler.Report, error) {
+	return crawler.Crawl(portals, h.Registry, h.Clock.Now())
+}
+
+// SubmitEndpoint implements the §3.4 manual insertion: the user provides
+// the endpoint URL and an e-mail address for the completion notification.
+func (h *HBOLD) SubmitEndpoint(url, title, email string) error {
+	return h.Registry.Submit(url, title, email, h.Clock.Now())
+}
+
+// --- presentation layer reads ---
+
+// DatasetInfo is one row of the dataset list.
+type DatasetInfo struct {
+	URL            string `json:"url"`
+	Title          string `json:"title"`
+	Classes        int    `json:"classes"`
+	Instances      int    `json:"instances"`
+	Triples        int    `json:"triples"`
+	Clusters       int    `json:"clusters"`
+	LastExtraction string `json:"lastExtraction"`
+}
+
+// Datasets lists the indexed datasets, sorted by URL — the presentation
+// layer's entry screen.
+func (h *HBOLD) Datasets() []DatasetInfo {
+	var out []DatasetInfo
+	for _, e := range h.Registry.Entries() {
+		if !e.Indexed {
+			continue
+		}
+		var s schema.Summary
+		if err := h.DB.Collection(CollSummaries).Get(e.URL, &s); err != nil {
+			continue
+		}
+		var cs cluster.Schema
+		clusters := 0
+		if err := h.DB.Collection(CollClusters).Get(e.URL, &cs); err == nil {
+			clusters = cs.NumClusters()
+		}
+		out = append(out, DatasetInfo{
+			URL: e.URL, Title: e.Title,
+			Classes: s.NumClasses(), Instances: s.TotalInstances,
+			Triples: s.Triples, Clusters: clusters,
+			LastExtraction: e.LastSuccess.Format("2006-01-02"),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Summary loads the stored Schema Summary of a dataset.
+func (h *HBOLD) Summary(url string) (*schema.Summary, error) {
+	var s schema.Summary
+	if err := h.DB.Collection(CollSummaries).Get(url, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ClusterSchema loads the stored (precomputed, §3.2) Cluster Schema.
+func (h *HBOLD) ClusterSchema(url string) (*cluster.Schema, error) {
+	var cs cluster.Schema
+	if err := h.DB.Collection(CollClusters).Get(url, &cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
+}
+
+// ClusterSchemaOnTheFly recomputes the Cluster Schema from the stored
+// Schema Summary, as the pre-§3.2 versions of the tool did on every user
+// click. It exists for the E2 experiment comparing the two paths.
+func (h *HBOLD) ClusterSchemaOnTheFly(url string) (*cluster.Schema, error) {
+	s, err := h.Summary(url)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Build(s, cluster.Options{Algorithm: h.Algorithm, Seed: h.Seed})
+}
+
+// Explore starts a presentation-layer exploration session on a dataset,
+// focused on a class (Figure 2 step 2).
+func (h *HBOLD) Explore(url, focusIRI string) (*schema.Exploration, error) {
+	s, err := h.Summary(url)
+	if err != nil {
+		return nil, err
+	}
+	return schema.NewExploration(s, focusIRI)
+}
+
+// LastDiff returns the schema change recorded by the most recent
+// re-extraction of the dataset, if any refresh changed anything.
+func (h *HBOLD) LastDiff(url string) (*schema.Diff, bool) {
+	var d schema.Diff
+	if err := h.DB.Collection(CollDiffs).Get(url, &d); err != nil {
+		return nil, false
+	}
+	return &d, true
+}
+
+// SaveState persists the endpoint registry into the document store and
+// flushes the store to disk (when file-backed), so a restarted instance
+// resumes with the same catalog and schedule state.
+func (h *HBOLD) SaveState() error {
+	if err := h.DB.Collection(CollRegistry).Put("entries", h.Registry.Entries()); err != nil {
+		return err
+	}
+	return h.DB.Flush()
+}
+
+// LoadState restores the endpoint registry persisted by SaveState. A
+// missing snapshot is not an error (fresh instance).
+func (h *HBOLD) LoadState() error {
+	var entries []registry.Entry
+	err := h.DB.Collection(CollRegistry).Get("entries", &entries)
+	if err != nil {
+		if errors.Is(err, docstore.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	h.Registry.Restore(entries)
+	return nil
+}
+
+// Index loads the stored extraction index of a dataset.
+func (h *HBOLD) Index(url string) (*extraction.Index, error) {
+	var ix extraction.Index
+	if err := h.DB.Collection(CollIndexes).Get(url, &ix); err != nil {
+		return nil, err
+	}
+	return &ix, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+// TestRestartDurability verifies that a file-backed instance survives a
+// restart: the registry, the indexes, the summaries and the cluster
+// schemas all come back, and the §3.1 schedule continues where it left
+// off.
+func TestRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	url := "http://scholarly.example.org/sparql"
+
+	// first life: index the dataset and persist
+	{
+		db, err := docstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := clock.NewSim(clock.Epoch)
+		tool := New(db, ck)
+		tool.Registry.Add(registry.Entry{URL: url, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: ck.Now()})
+		tool.Connect(url, endpoint.LocalClient{Store: synth.Scholarly(1)})
+		if err := tool.Process(url); err != nil {
+			t.Fatal(err)
+		}
+		if err := tool.SaveState(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// second life: a fresh instance over the same directory
+	db, err := docstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := clock.NewSim(clock.Epoch.Add(24 * time.Hour)) // the next day
+	tool := New(db, ck)
+	if err := tool.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Registry.Len() != 1 || tool.Registry.IndexedCount() != 1 {
+		t.Fatalf("registry not restored: %d entries, %d indexed",
+			tool.Registry.Len(), tool.Registry.IndexedCount())
+	}
+	// artifacts still readable
+	s, err := tool.Summary(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClasses() != synth.ScholarlyClassCount() {
+		t.Fatalf("summary classes = %d", s.NumClasses())
+	}
+	cs, err := tool.ClusterSchema(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// exploration works on the restored summary (NodeByIRI reindexes)
+	ex, err := tool.Explore(url, synth.ScholarlyNS+"Event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.ExpandAll()
+	if !ex.Complete() {
+		t.Fatal("exploration broken after restart")
+	}
+	// the schedule resumes: one day after extraction, nothing is due
+	if due := tool.Registry.Due(ck.Now()); len(due) != 0 {
+		t.Fatalf("due after restart = %v", due)
+	}
+	// ... until the weekly refresh
+	if due := tool.Registry.Due(clock.Epoch.Add(8 * 24 * time.Hour)); len(due) != 1 {
+		t.Fatalf("weekly refresh lost after restart")
+	}
+	// the dataset list is intact
+	if ds := tool.Datasets(); len(ds) != 1 || ds[0].Classes != synth.ScholarlyClassCount() {
+		t.Fatalf("datasets after restart = %+v", ds)
+	}
+}
+
+func TestLoadStateFreshInstance(t *testing.T) {
+	tool := New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+	if err := tool.LoadState(); err != nil {
+		t.Fatalf("fresh LoadState must be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package crawler implements §3.3's automatic insertion of SPARQL
+// endpoints: it runs the paper's Listing 1 query against each open data
+// portal, extracts the advertised endpoint URLs, deduplicates them
+// against the registry, and registers the new ones.
+package crawler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/portal"
+	"repro/internal/registry"
+)
+
+// PortalReport summarizes one portal crawl.
+type PortalReport struct {
+	// Portal is the portal name.
+	Portal string
+	// Discovered is the number of SPARQL endpoints the Listing 1 query
+	// returned.
+	Discovered int
+	// AlreadyListed is how many of those were already in the registry.
+	AlreadyListed int
+	// Added is how many new endpoints were registered.
+	Added int
+}
+
+// Report summarizes a full crawl across all portals.
+type Report struct {
+	Portals []PortalReport
+	// ListedBefore / ListedAfter are the registry sizes around the crawl.
+	ListedBefore, ListedAfter int
+}
+
+// TotalDiscovered sums discoveries over portals.
+func (r *Report) TotalDiscovered() int {
+	n := 0
+	for _, p := range r.Portals {
+		n += p.Discovered
+	}
+	return n
+}
+
+// TotalAdded sums newly added endpoints over portals.
+func (r *Report) TotalAdded() int {
+	n := 0
+	for _, p := range r.Portals {
+		n += p.Added
+	}
+	return n
+}
+
+// Crawl runs the Listing 1 query against every portal and merges the
+// results into the registry.
+func Crawl(portals []*portal.Portal, reg *registry.Registry, now time.Time) (*Report, error) {
+	rep := &Report{ListedBefore: reg.Len()}
+	for _, p := range portals {
+		pr := PortalReport{Portal: p.Name}
+		res, err := p.Client().Query(portal.Listing1)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: portal %s: %w", p.Name, err)
+		}
+		seen := map[string]bool{}
+		for _, row := range res.Rows {
+			url := row["url"].Value
+			if url == "" || seen[url] {
+				continue
+			}
+			seen[url] = true
+			pr.Discovered++
+			title := row["title"].Value
+			if reg.Has(url) {
+				pr.AlreadyListed++
+				continue
+			}
+			reg.Add(registry.Entry{
+				URL: url, Title: title,
+				Source: registry.SourcePortal, Portal: p.Name,
+				AddedAt: now,
+			})
+			pr.Added++
+		}
+		rep.Portals = append(rep.Portals, pr)
+	}
+	rep.ListedAfter = reg.Len()
+	return rep, nil
+}

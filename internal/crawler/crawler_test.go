@@ -1,0 +1,137 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+// seedRegistry loads the 610 pre-existing endpoints, as H-BOLD's old
+// DataHub list did.
+func seedRegistry(corpus []synth.EndpointDesc) *registry.Registry {
+	reg := registry.New(registry.DefaultPolicy)
+	for _, d := range corpus {
+		if d.PreExisting {
+			reg.Add(registry.Entry{
+				URL: d.URL, Title: d.Title,
+				Source: registry.SourceDataHub, AddedAt: clock.Epoch,
+			})
+		}
+	}
+	return reg
+}
+
+func TestCrawlReproducesPaperCounts(t *testing.T) {
+	corpus := synth.Corpus(1)
+	portals := portal.BuildAll(corpus)
+	reg := seedRegistry(corpus)
+
+	if reg.Len() != synth.PreExistingEndpoints {
+		t.Fatalf("pre-crawl registry = %d, want %d", reg.Len(), synth.PreExistingEndpoints)
+	}
+
+	rep, err := Crawl(portals, reg, clock.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// §3.3: 65 + 9 + 15 discovered
+	byPortal := map[string]PortalReport{}
+	for _, pr := range rep.Portals {
+		byPortal[pr.Portal] = pr
+	}
+	if got := byPortal[synth.PortalEDP].Discovered; got != 65 {
+		t.Errorf("EDP discovered = %d, want 65", got)
+	}
+	if got := byPortal[synth.PortalEUODP].Discovered; got != 9 {
+		t.Errorf("EUODP discovered = %d, want 9", got)
+	}
+	if got := byPortal[synth.PortalIODS].Discovered; got != 15 {
+		t.Errorf("IODS discovered = %d, want 15", got)
+	}
+	// +70 new, 610 → 680
+	if rep.TotalAdded() != 70 {
+		t.Errorf("added = %d, want 70", rep.TotalAdded())
+	}
+	if rep.ListedBefore != 610 || rep.ListedAfter != 680 {
+		t.Errorf("listed %d → %d, want 610 → 680", rep.ListedBefore, rep.ListedAfter)
+	}
+	if reg.Len() != synth.TotalEndpoints {
+		t.Errorf("registry = %d, want %d", reg.Len(), synth.TotalEndpoints)
+	}
+}
+
+func TestCrawlIdempotent(t *testing.T) {
+	corpus := synth.Corpus(2)
+	portals := portal.BuildAll(corpus)
+	reg := seedRegistry(corpus)
+	if _, err := Crawl(portals, reg, clock.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Crawl(portals, reg, clock.Epoch.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TotalAdded() != 0 {
+		t.Fatalf("second crawl added %d, want 0", rep2.TotalAdded())
+	}
+	if reg.Len() != synth.TotalEndpoints {
+		t.Fatalf("registry grew to %d", reg.Len())
+	}
+}
+
+func TestCrawlProvenanceRecorded(t *testing.T) {
+	corpus := synth.Corpus(3)
+	portals := portal.BuildAll(corpus)
+	reg := seedRegistry(corpus)
+	Crawl(portals, reg, clock.Epoch)
+	found := false
+	for _, e := range reg.Entries() {
+		if e.Source == registry.SourcePortal {
+			found = true
+			if e.Portal == "" {
+				t.Fatal("portal entry missing portal name")
+			}
+			if e.Title == "" {
+				t.Fatal("portal entry missing title from dc:title")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no portal-sourced entries")
+	}
+}
+
+func TestListing1FiltersNonSparql(t *testing.T) {
+	corpus := synth.Corpus(4)
+	portals := portal.BuildAll(corpus)
+	// the portals contain noise datasets with CSV downloads; Listing 1's
+	// regex must exclude them, so discovered == SparqlDatasets
+	for _, p := range portals {
+		res, err := p.Client().Query(portal.Listing1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != p.SparqlDatasets {
+			t.Fatalf("portal %s: %d rows, want %d", p.Name, len(res.Rows), p.SparqlDatasets)
+		}
+		for _, row := range res.Rows {
+			if u := row["url"].Value; !contains(u, "sparql") {
+				t.Fatalf("non-sparql URL leaked: %s", u)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

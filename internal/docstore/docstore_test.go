@@ -1,0 +1,187 @@
+package docstore
+
+import (
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+type doc struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestPutGet(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("summaries")
+	if err := c.Put("d1", doc{Name: "x", Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := c.Get("d1", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || got.Count != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db := MustOpenMem()
+	var got doc
+	err := db.Collection("c").Get("nope", &got)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("c")
+	c.Put("k", doc{Count: 1})
+	c.Put("k", doc{Count: 2})
+	var got doc
+	c.Get("k", &got)
+	if got.Count != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestDeleteAndHas(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("c")
+	c.Put("k", doc{})
+	if !c.Has("k") {
+		t.Fatal("Has should be true")
+	}
+	c.Delete("k")
+	if c.Has("k") {
+		t.Fatal("Has should be false after Delete")
+	}
+	c.Delete("k") // idempotent
+}
+
+func TestIDsSorted(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("c")
+	for _, id := range []string{"z", "a", "m"} {
+		c.Put(id, doc{})
+	}
+	ids := c.IDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "m" || ids[2] != "z" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("c")
+	for _, id := range []string{"a", "b", "c"} {
+		c.Put(id, doc{})
+	}
+	n := 0
+	c.Each(func(string, json.RawMessage) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("c")
+	c.Put("a", doc{Count: 1})
+	c.Put("b", doc{Count: 5})
+	c.Put("d", doc{Count: 9})
+	ids := c.Filter(func(raw json.RawMessage) bool {
+		var d doc
+		json.Unmarshal(raw, &d)
+		return d.Count > 3
+	})
+	if len(ids) != 2 || ids[0] != "b" || ids[1] != "d" {
+		t.Fatalf("Filter = %v", ids)
+	}
+}
+
+func TestCollectionsList(t *testing.T) {
+	db := MustOpenMem()
+	db.Collection("beta")
+	db.Collection("alpha")
+	names := db.Collections()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Collections = %v", names)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Collection("summaries")
+	c.Put("d1", doc{Name: "persisted", Count: 7})
+	c.Put("d2", doc{Name: "two", Count: 2})
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// verify file exists
+	if _, err := filepath.Glob(filepath.Join(dir, "summaries.json")); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := db2.Collection("summaries").Get("d1", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "persisted" || got.Count != 7 {
+		t.Fatalf("got %+v", got)
+	}
+	if db2.Collection("summaries").Len() != 2 {
+		t.Fatal("document count lost")
+	}
+}
+
+func TestFlushMemoryOnlyNoop(t *testing.T) {
+	db := MustOpenMem()
+	db.Collection("c").Put("k", doc{})
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutUnmarshalableFails(t *testing.T) {
+	db := MustOpenMem()
+	if err := db.Collection("c").Put("k", make(chan int)); err == nil {
+		t.Fatal("marshaling a channel should fail")
+	}
+}
+
+// Property: Put then Get returns the same document for arbitrary content.
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	db := MustOpenMem()
+	c := db.Collection("q")
+	f := func(id, name string, count int) bool {
+		if err := c.Put(id, doc{Name: name, Count: count}); err != nil {
+			return false
+		}
+		var got doc
+		if err := c.Get(id, &got); err != nil {
+			return false
+		}
+		return got.Name == name && got.Count == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

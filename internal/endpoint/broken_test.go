@@ -1,0 +1,28 @@
+package endpoint
+
+import (
+	"testing"
+)
+
+func TestProfileBrokenRejectsEverything(t *testing.T) {
+	st := testStore(t)
+	for _, q := range []string{
+		`ASK { ?s ?p ?o }`,
+		`SELECT ?s WHERE { ?s ?p ?o } LIMIT 1`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`,
+	} {
+		if _, err := Evaluate(st, q, ProfileBroken); err == nil {
+			t.Errorf("broken profile answered %q", q)
+		}
+	}
+}
+
+func TestProfileNoGroupByAllowsPlainCount(t *testing.T) {
+	st := testStore(t)
+	if _, err := Evaluate(st, `SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`, ProfileNoGroupBy); err != nil {
+		t.Fatalf("plain COUNT rejected: %v", err)
+	}
+	if _, err := Evaluate(st, `SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c`, ProfileNoGroupBy); err == nil {
+		t.Fatal("GROUP BY should be rejected")
+	}
+}

@@ -1,0 +1,77 @@
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/sparql"
+)
+
+// HTTPClient queries a SPARQL endpoint over the SPARQL protocol. It is
+// used against the in-process protocol servers in tests and examples, and
+// would work unchanged against a live endpoint.
+type HTTPClient struct {
+	// URL is the endpoint URL.
+	URL string
+	// HTTP is the underlying client; nil means a client with a 30 s
+	// timeout, matching the extraction pipeline's patience for slow
+	// public endpoints.
+	HTTP *http.Client
+	// Retries is the number of extra attempts on transient failure.
+	Retries int
+}
+
+// NewHTTPClient returns a client for the endpoint at rawURL.
+func NewHTTPClient(rawURL string) *HTTPClient {
+	return &HTTPClient{URL: rawURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Query implements Client by POSTing the query as a form.
+func (c *HTTPClient) Query(query string) (*sparql.Result, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		form := url.Values{"query": {query}}
+		resp, err := httpc.Post(c.URL, "application/x-www-form-urlencoded",
+			strings.NewReader(form.Encode()))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(string(body), 200))
+			// 4xx won't get better on retry
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				return nil, lastErr
+			}
+			continue
+		}
+		var res sparql.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			return nil, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
+		}
+		return &res, nil
+	}
+	return nil, lastErr
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

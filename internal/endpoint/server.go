@@ -1,0 +1,189 @@
+// Package endpoint implements the SPARQL protocol over HTTP — the service
+// interface through which H-BOLD talks to every Linked Data source — and a
+// simulation layer reproducing the operational behaviour of public
+// endpoints: intermittent availability, latency, and engine-specific
+// quirks (aggregate support, result-size caps) that the paper's Index
+// Extraction must work around with pattern strategies.
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Handler serves the SPARQL protocol (GET ?query= and POST form) over a
+// store.
+type Handler struct {
+	Store *store.Store
+	// Quirks optionally constrains the engine like a real implementation
+	// would; nil means a fully capable endpoint.
+	Quirks *Quirks
+}
+
+// ServeHTTP implements the SPARQL 1.1 protocol subset: query via GET
+// parameter or POST form, responding in the SPARQL JSON results format.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var query string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form", http.StatusBadRequest)
+			return
+		}
+		query = r.PostForm.Get("query")
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if query == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	res, err := Evaluate(h.Store, query, h.Quirks)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	if err := json.NewEncoder(w).Encode(res); err != nil {
+		// headers already sent; nothing useful to do
+		return
+	}
+}
+
+// Evaluate runs a query against st honouring the endpoint quirks.
+func Evaluate(st *store.Store, query string, q *Quirks) (*sparql.Result, error) {
+	parsed, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q != nil {
+		if err := q.Check(parsed); err != nil {
+			return nil, err
+		}
+	}
+	res, err := parsed.Exec(st)
+	if err != nil {
+		return nil, err
+	}
+	if q != nil && q.MaxRows > 0 && !res.Ask && len(res.Rows) > q.MaxRows {
+		// real endpoints silently truncate result sets
+		res.Rows = res.Rows[:q.MaxRows]
+	}
+	return res, nil
+}
+
+// Quirks models implementation differences between SPARQL engines that
+// the paper's pattern strategies must cope with [Benedetti et al. 2014].
+type Quirks struct {
+	// Name labels the simulated engine profile ("virtuoso-like", ...).
+	Name string
+	// NoAggregates rejects queries containing COUNT/SUM/AVG/MIN/MAX.
+	NoAggregates bool
+	// NoGroupBy rejects queries with GROUP BY even if aggregates work.
+	NoGroupBy bool
+	// MaxRows silently truncates SELECT results to this many rows (0 = no cap).
+	MaxRows int
+	// NoOptional rejects queries containing OPTIONAL.
+	NoOptional bool
+	// Broken rejects every query: the endpoint answers HTTP but is not a
+	// working SPARQL service ("not compatible with the index extraction
+	// phase", §3.3).
+	Broken bool
+}
+
+// Check rejects queries the simulated engine cannot run.
+func (q *Quirks) Check(parsed *sparql.Query) error {
+	if q.Broken {
+		return fmt.Errorf("endpoint %s: not a working SPARQL service", q.Name)
+	}
+	if q.NoGroupBy && len(parsed.GroupBy) > 0 {
+		return fmt.Errorf("endpoint %s: GROUP BY not supported", q.Name)
+	}
+	if q.NoAggregates {
+		for _, it := range parsed.Select {
+			if it.Expr != nil && sparql.HasAggregate(it.Expr) {
+				return fmt.Errorf("endpoint %s: aggregates not supported", q.Name)
+			}
+		}
+		if len(parsed.Having) > 0 {
+			return fmt.Errorf("endpoint %s: aggregates not supported", q.Name)
+		}
+	}
+	if q.NoOptional && containsOptional(parsed.Where) {
+		return fmt.Errorf("endpoint %s: OPTIONAL not supported", q.Name)
+	}
+	return nil
+}
+
+func containsOptional(g *sparql.GroupPattern) bool {
+	for _, el := range g.Elems {
+		switch x := el.(type) {
+		case *sparql.OptionalPattern:
+			return true
+		case *sparql.GroupPattern:
+			if containsOptional(x) {
+				return true
+			}
+		case *sparql.UnionPattern:
+			if containsOptional(x.Left) || containsOptional(x.Right) {
+				return true
+			}
+		case *sparql.MinusPattern:
+			if containsOptional(x.Inner) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Serve starts an httptest server exposing the store as a SPARQL endpoint
+// and returns it; the caller owns Close.
+func Serve(st *store.Store, quirks *Quirks) *httptest.Server {
+	return httptest.NewServer(&Handler{Store: st, Quirks: quirks})
+}
+
+// ServeFlaky starts a protocol server that answers with HTTP 500 while
+// *failures > 0 (decrementing it), then behaves normally. It exercises the
+// client retry path.
+func ServeFlaky(st *store.Store, failures *int) *httptest.Server {
+	h := &Handler{Store: st}
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if *failures > 0 {
+			*failures--
+			http.Error(w, "transient failure", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+}
+
+// Standard quirk profiles named after the behaviours observed on public
+// endpoints (the engines themselves are not named in the paper; profiles
+// capture the failure modes its references describe).
+var (
+	// ProfileFull supports everything.
+	ProfileFull = &Quirks{Name: "full"}
+	// ProfileNoAgg rejects aggregate queries — extraction must fall back
+	// to enumerating and counting client-side.
+	ProfileNoAgg = &Quirks{Name: "no-aggregates", NoAggregates: true, NoGroupBy: true}
+	// ProfileNoGroupBy supports plain COUNT but rejects GROUP BY — the
+	// middle tier of engine capabilities the pattern strategies probe.
+	ProfileNoGroupBy = &Quirks{Name: "no-group-by", NoGroupBy: true}
+	// ProfileCapped truncates results at 10000 rows — extraction must
+	// paginate with LIMIT/OFFSET.
+	ProfileCapped = &Quirks{Name: "capped", MaxRows: 10000}
+	// ProfileLegacy rejects aggregates and OPTIONAL and caps results —
+	// the worst endpoints on the open web.
+	ProfileLegacy = &Quirks{Name: "legacy", NoAggregates: true, NoGroupBy: true, NoOptional: true, MaxRows: 1000}
+	// ProfileBroken answers the protocol but fails every query.
+	ProfileBroken = &Quirks{Name: "broken", Broken: true}
+)

@@ -1,0 +1,207 @@
+package extraction
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/turtle"
+)
+
+func smallStore(t testing.TB) *store.Store {
+	t.Helper()
+	g, err := turtle.Parse(`
+@prefix ex: <http://ex/> .
+ex:a1 a ex:Author ; ex:name "A1" ; ex:wrote ex:b1, ex:b2 .
+ex:a2 a ex:Author ; ex:name "A2" ; ex:wrote ex:b2 .
+ex:b1 a ex:Book ; ex:title "B1" .
+ex:b2 a ex:Book ; ex:title "B2" .
+ex:p1 a ex:Publisher ; ex:published ex:b1 .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.FromGraph(g)
+}
+
+func checkSmallIndex(t *testing.T, ix *Index) {
+	t.Helper()
+	if ix.NumClasses() != 3 {
+		t.Fatalf("classes = %d, want 3", ix.NumClasses())
+	}
+	if ix.Instances != 5 {
+		t.Fatalf("instances = %d, want 5", ix.Instances)
+	}
+	if ix.Triples != 13 {
+		t.Fatalf("triples = %d, want 13", ix.Triples)
+	}
+	// classes sorted by descending instances: Author(2)=Book(2) then Publisher(1)
+	if ix.Classes[2].Label != "Publisher" {
+		t.Fatalf("last class = %s", ix.Classes[2].Label)
+	}
+	var author *ClassIndex
+	for i := range ix.Classes {
+		if ix.Classes[i].Label == "Author" {
+			author = &ix.Classes[i]
+		}
+	}
+	if author == nil {
+		t.Fatal("Author class missing")
+	}
+	if len(author.DataProperties) != 1 || author.DataProperties[0].IRI != "http://ex/name" || author.DataProperties[0].Count != 2 {
+		t.Fatalf("Author data props = %+v", author.DataProperties)
+	}
+	if len(author.ObjectProperties) != 1 {
+		t.Fatalf("Author object props = %+v", author.ObjectProperties)
+	}
+	op := author.ObjectProperties[0]
+	if op.IRI != "http://ex/wrote" || op.Target != "http://ex/Book" || op.Count != 3 {
+		t.Fatalf("Author wrote = %+v", op)
+	}
+}
+
+func TestExtractAggregate(t *testing.T) {
+	st := smallStore(t)
+	c := endpoint.LocalClient{Store: st}
+	ix, err := New().Extract(c, "local://small", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Strategy != "aggregate" {
+		t.Fatalf("strategy = %s", ix.Strategy)
+	}
+	checkSmallIndex(t, ix)
+}
+
+func TestExtractEnumerateFallback(t *testing.T) {
+	st := smallStore(t)
+	r := endpoint.NewRemote("noagg", "sim://noagg", st, endpoint.ProfileNoAgg, nil, nil)
+	ix, err := New().Extract(r, "sim://noagg", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Strategy != "enumerate" {
+		t.Fatalf("strategy = %s", ix.Strategy)
+	}
+	checkSmallIndex(t, ix)
+}
+
+func TestStrategiesAgree(t *testing.T) {
+	st := synth.Generate(synth.Spec{
+		Name: "agree", Classes: 6, Instances: 300, ObjectProps: 10,
+		DataProps: 8, LinkFactor: 1, Seed: 11,
+	})
+	agg, err := New().Extract(endpoint.LocalClient{Store: st}, "a", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := New().Extract(
+		endpoint.NewRemote("x", "x", st, endpoint.ProfileNoAgg, nil, nil), "b", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Instances != enum.Instances || agg.NumClasses() != enum.NumClasses() || agg.Triples != enum.Triples {
+		t.Fatalf("strategies disagree: agg=%d/%d/%d enum=%d/%d/%d",
+			agg.Instances, agg.NumClasses(), agg.Triples,
+			enum.Instances, enum.NumClasses(), enum.Triples)
+	}
+	for i := range agg.Classes {
+		a, b := agg.Classes[i], enum.Classes[i]
+		if a.IRI != b.IRI || a.Instances != b.Instances {
+			t.Fatalf("class %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.DataProperties) != len(b.DataProperties) {
+			t.Fatalf("class %s data props differ: %v vs %v", a.Label, a.DataProperties, b.DataProperties)
+		}
+		if len(a.ObjectProperties) != len(b.ObjectProperties) {
+			t.Fatalf("class %s object props differ: %v vs %v", a.Label, a.ObjectProperties, b.ObjectProperties)
+		}
+		for j := range a.ObjectProperties {
+			if a.ObjectProperties[j] != b.ObjectProperties[j] {
+				t.Fatalf("class %s op %d: %+v vs %+v", a.Label, j, a.ObjectProperties[j], b.ObjectProperties[j])
+			}
+		}
+	}
+}
+
+func TestExtractWithSmallPagesMatches(t *testing.T) {
+	st := smallStore(t)
+	e := &Extractor{PageSize: 2} // force many pages
+	ix, err := e.Extract(endpoint.NewRemote("x", "x", st, endpoint.ProfileNoAgg, nil, nil), "x", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSmallIndex(t, ix)
+}
+
+func TestExtractCappedEndpoint(t *testing.T) {
+	// a capped endpoint still supports aggregates; extraction succeeds
+	st := synth.Generate(synth.Spec{Name: "cap", Classes: 5, Instances: 200, ObjectProps: 6, DataProps: 5, LinkFactor: 1, Seed: 2})
+	r := endpoint.NewRemote("cap", "sim://cap", st, endpoint.ProfileCapped, nil, nil)
+	ix, err := New().Extract(r, "sim://cap", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Instances != 200 {
+		t.Fatalf("instances = %d", ix.Instances)
+	}
+}
+
+func TestExtractDeadEndpointFails(t *testing.T) {
+	st := smallStore(t)
+	r := endpoint.NewRemote("dead", "sim://dead", st, nil, endpoint.AlwaysDown(), nil)
+	if _, err := New().Extract(r, "sim://dead", time.Now()); err == nil {
+		t.Fatal("dead endpoint must fail extraction")
+	}
+}
+
+func TestMaxClassesGuard(t *testing.T) {
+	st := synth.Generate(synth.Spec{Name: "many", Classes: 30, Instances: 300, Seed: 1})
+	e := &Extractor{PageSize: 1000, MaxClasses: 10}
+	if _, err := e.Extract(endpoint.LocalClient{Store: st}, "x", time.Now()); err == nil {
+		t.Fatal("MaxClasses should abort extraction")
+	}
+}
+
+func TestRDFTypeExcludedFromProperties(t *testing.T) {
+	st := smallStore(t)
+	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "x", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ix.Classes {
+		for _, op := range c.ObjectProperties {
+			if op.IRI == rdf.RDFType {
+				t.Fatalf("rdf:type leaked into object properties of %s", c.Label)
+			}
+		}
+	}
+}
+
+func TestEmptyEndpoint(t *testing.T) {
+	ix, err := New().Extract(endpoint.LocalClient{Store: store.New()}, "empty", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumClasses() != 0 || ix.Instances != 0 || ix.Triples != 0 {
+		t.Fatalf("empty index = %+v", ix)
+	}
+}
+
+func TestExtractScholarly(t *testing.T) {
+	st := synth.Scholarly(1)
+	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumClasses() != synth.ScholarlyClassCount() {
+		t.Fatalf("classes = %d, want %d", ix.NumClasses(), synth.ScholarlyClassCount())
+	}
+	// Person is the largest class (1200)
+	if ix.Classes[0].Label != "Person" || ix.Classes[0].Instances != 1200 {
+		t.Fatalf("top class = %+v", ix.Classes[0])
+	}
+}

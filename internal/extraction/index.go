@@ -1,0 +1,469 @@
+// Package extraction implements H-BOLD's Index Extraction: the query
+// battery that derives, from any SPARQL endpoint, the structural and
+// statistical indexes the tool visualizes — number of instances, number
+// of classes, the list of classes with their properties, and per-class
+// instance counts.
+//
+// Public endpoints differ wildly in what they support, so extraction uses
+// pattern strategies [Benedetti, Bergamaschi & Po, LD4IE 2014]: it first
+// attempts the efficient aggregate queries and transparently falls back
+// to DISTINCT enumeration with LIMIT/OFFSET paging when the endpoint
+// rejects aggregates or truncates results.
+package extraction
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// local aliases keep the result-plumbing helpers short
+type (
+	sparqlResult  = sparql.Result
+	sparqlBinding = sparql.Binding
+)
+
+// Index is the output of one extraction run over one endpoint.
+type Index struct {
+	// Endpoint is the endpoint URL the index was extracted from.
+	Endpoint string `json:"endpoint"`
+	// ExtractedAt is the completion time.
+	ExtractedAt time.Time `json:"extractedAt"`
+	// Strategy records which pattern strategy succeeded ("aggregate" or
+	// "enumerate").
+	Strategy string `json:"strategy"`
+	// Triples is the endpoint's total triple count.
+	Triples int `json:"triples"`
+	// Instances is the number of typed instances (rdf:type statements).
+	Instances int `json:"instances"`
+	// Classes lists every instantiated class with its statistics, sorted
+	// by descending instance count.
+	Classes []ClassIndex `json:"classes"`
+}
+
+// NumClasses returns the number of instantiated classes.
+func (ix *Index) NumClasses() int { return len(ix.Classes) }
+
+// ClassIndex summarizes one instantiated class.
+type ClassIndex struct {
+	// IRI identifies the class.
+	IRI string `json:"iri"`
+	// Label is the display name (IRI local name).
+	Label string `json:"label"`
+	// Instances is the number of instances typed with this class.
+	Instances int `json:"instances"`
+	// DataProperties are the datatype properties observed on instances,
+	// with occurrence counts.
+	DataProperties []PropertyCount `json:"dataProperties"`
+	// ObjectProperties are the links to other classes: property IRI,
+	// target class and occurrence count.
+	ObjectProperties []LinkCount `json:"objectProperties"`
+}
+
+// PropertyCount is a property with its occurrence count.
+type PropertyCount struct {
+	IRI   string `json:"iri"`
+	Count int    `json:"count"`
+}
+
+// LinkCount is an object property with its range class and count.
+type LinkCount struct {
+	IRI    string `json:"iri"`
+	Target string `json:"target"`
+	Count  int    `json:"count"`
+}
+
+// Extractor runs index extraction against a Client.
+type Extractor struct {
+	// PageSize bounds enumeration pages; it must not exceed the smallest
+	// silent-truncation cap in the wild (1000 in our simulation).
+	PageSize int
+	// MaxClasses aborts extraction when an endpoint exposes more classes
+	// than H-BOLD can visualize (0 = unlimited).
+	MaxClasses int
+}
+
+// New returns an extractor with production defaults.
+func New() *Extractor {
+	return &Extractor{PageSize: 1000}
+}
+
+// Extract runs the full index extraction, trying the pattern strategies
+// from the most to the least capable: full aggregates (GROUP BY),
+// plain-COUNT ("mixed"), then pure enumeration with paging.
+func (e *Extractor) Extract(c endpoint.Client, url string, now time.Time) (*Index, error) {
+	ix := &Index{Endpoint: url, ExtractedAt: now}
+
+	if err := e.extractAggregate(c, ix); err == nil {
+		ix.Strategy = "aggregate"
+		e.fetchLabels(c, ix)
+		return ix, nil
+	}
+	*ix = Index{Endpoint: url, ExtractedAt: now}
+	if err := e.extractMixed(c, ix); err == nil {
+		ix.Strategy = "mixed"
+		e.fetchLabels(c, ix)
+		return ix, nil
+	}
+	*ix = Index{Endpoint: url, ExtractedAt: now}
+	if err := e.extractEnumerate(c, ix); err != nil {
+		return nil, fmt.Errorf("extraction: all strategies failed for %s: %w", url, err)
+	}
+	ix.Strategy = "enumerate"
+	e.fetchLabels(c, ix)
+	return ix, nil
+}
+
+// fetchLabels upgrades class display names with rdfs:label where the
+// ontology provides one (preferring untagged or English labels). It is
+// best effort: failures leave the IRI-derived local names in place.
+func (e *Extractor) fetchLabels(c endpoint.Client, ix *Index) {
+	if len(ix.Classes) == 0 {
+		return
+	}
+	res, err := c.Query(fmt.Sprintf(
+		`SELECT ?c ?l WHERE { ?c <%s> ?l } LIMIT 10000`, rdf.RDFSLabel))
+	if err != nil {
+		return
+	}
+	// rank: plain literal > @en > any other language; first wins per rank
+	rank := func(lang string) int {
+		switch lang {
+		case "":
+			return 0
+		case "en":
+			return 1
+		default:
+			return 2
+		}
+	}
+	labels := map[string]string{}
+	best := map[string]int{}
+	for _, row := range res.Rows {
+		cls, lab := row["c"], row["l"]
+		if !cls.IsIRI() || !lab.IsLiteral() || lab.Value == "" {
+			continue
+		}
+		r := rank(lab.Lang)
+		if cur, seen := best[cls.Value]; !seen || r < cur {
+			labels[cls.Value] = lab.Value
+			best[cls.Value] = r
+		}
+	}
+	for i := range ix.Classes {
+		if l, ok := labels[ix.Classes[i].IRI]; ok && l != "" {
+			ix.Classes[i].Label = l
+		}
+	}
+}
+
+// extractMixed handles endpoints that answer plain COUNT aggregates but
+// reject GROUP BY: classes and properties are enumerated with DISTINCT
+// paging, and each is counted with an ungrouped COUNT query.
+func (e *Extractor) extractMixed(c endpoint.Client, ix *Index) error {
+	page := e.PageSize
+	if page <= 0 {
+		page = 1000
+	}
+	res, err := c.Query(`SELECT (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }`)
+	if err != nil {
+		return err
+	}
+	ix.Triples = intResult(res, "n")
+
+	classIRIs, err := e.pageAll(c,
+		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY ?c`, "c", page)
+	if err != nil {
+		return err
+	}
+	if e.MaxClasses > 0 && len(classIRIs) > e.MaxClasses {
+		return fmt.Errorf("extraction: %d classes exceed limit %d", len(classIRIs), e.MaxClasses)
+	}
+	for _, cls := range classIRIs {
+		res, err := c.Query(fmt.Sprintf(
+			`SELECT (COUNT(?s) AS ?n) WHERE { ?s a <%s> }`, cls))
+		if err != nil {
+			return err
+		}
+		cnt := intResult(res, "n")
+		ci := ClassIndex{IRI: cls, Label: rdf.NewIRI(cls).LocalName(), Instances: cnt}
+		ix.Instances += cnt
+
+		// datatype properties: DISTINCT enumeration + one COUNT each
+		props, err := e.pageAll(c, fmt.Sprintf(
+			`SELECT DISTINCT ?p WHERE { ?s a <%s> . ?s ?p ?o FILTER isLiteral(?o) } ORDER BY ?p`, cls), "p", page)
+		if err != nil {
+			return err
+		}
+		for _, p := range props {
+			res, err := c.Query(fmt.Sprintf(
+				`SELECT (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s <%s> ?o FILTER isLiteral(?o) }`, cls, p))
+			if err != nil {
+				return err
+			}
+			ci.DataProperties = append(ci.DataProperties, PropertyCount{IRI: p, Count: intResult(res, "n")})
+		}
+
+		// object properties: DISTINCT (property, range class) pairs + COUNT
+		res2, err := c.Query(fmt.Sprintf(
+			`SELECT DISTINCT ?p ?d WHERE { ?s a <%s> . ?s ?p ?o . ?o a ?d } ORDER BY ?p ?d LIMIT %d`, cls, page))
+		if err != nil {
+			return err
+		}
+		for _, row := range res2.Rows {
+			p, d := row["p"].Value, row["d"].Value
+			if p == rdf.RDFType {
+				continue
+			}
+			res3, err := c.Query(fmt.Sprintf(
+				`SELECT (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s <%s> ?o . ?o a <%s> }`, cls, p, d))
+			if err != nil {
+				return err
+			}
+			ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{IRI: p, Target: d, Count: intResult(res3, "n")})
+		}
+		sortClassIndex(&ci)
+		ix.Classes = append(ix.Classes, ci)
+	}
+	sortClasses(ix.Classes)
+	return nil
+}
+
+// extractAggregate uses COUNT/GROUP BY queries.
+func (e *Extractor) extractAggregate(c endpoint.Client, ix *Index) error {
+	res, err := c.Query(`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`)
+	if err != nil {
+		return err
+	}
+	ix.Triples = intResult(res, "n")
+
+	res, err = c.Query(`SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n)`)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		cls := row["c"]
+		n := bindingInt(row, "n")
+		ix.Classes = append(ix.Classes, ClassIndex{
+			IRI: cls.Value, Label: cls.LocalName(), Instances: n,
+		})
+		ix.Instances += n
+	}
+	if e.MaxClasses > 0 && len(ix.Classes) > e.MaxClasses {
+		return fmt.Errorf("extraction: %d classes exceed limit %d", len(ix.Classes), e.MaxClasses)
+	}
+
+	for i := range ix.Classes {
+		ci := &ix.Classes[i]
+		// datatype properties
+		res, err = c.Query(fmt.Sprintf(
+			`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s ?p ?o FILTER isLiteral(?o) } GROUP BY ?p`, ci.IRI))
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			ci.DataProperties = append(ci.DataProperties, PropertyCount{
+				IRI: row["p"].Value, Count: bindingInt(row, "n"),
+			})
+		}
+		// object properties with their range classes
+		res, err = c.Query(fmt.Sprintf(
+			`SELECT ?p ?d (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s ?p ?o . ?o a ?d } GROUP BY ?p ?d`, ci.IRI))
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			if row["p"].Value == rdf.RDFType {
+				continue
+			}
+			ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{
+				IRI: row["p"].Value, Target: row["d"].Value, Count: bindingInt(row, "n"),
+			})
+		}
+		sortClassIndex(ci)
+	}
+	sortClasses(ix.Classes)
+	return nil
+}
+
+// extractEnumerate pages DISTINCT enumerations and counts client-side.
+func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
+	page := e.PageSize
+	if page <= 0 {
+		page = 1000
+	}
+
+	// distinct classes
+	classIRIs, err := e.pageAll(c,
+		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY ?c`, "c", page)
+	if err != nil {
+		return err
+	}
+	if e.MaxClasses > 0 && len(classIRIs) > e.MaxClasses {
+		return fmt.Errorf("extraction: %d classes exceed limit %d", len(classIRIs), e.MaxClasses)
+	}
+
+	ix.Classes = nil
+	ix.Instances = 0
+	ix.Triples = 0
+
+	// total triples by paging subjects of all statements
+	n, err := e.pageCount(c, `SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o`, page)
+	if err != nil {
+		return err
+	}
+	ix.Triples = n
+
+	for _, cls := range classIRIs {
+		t := rdf.NewIRI(cls)
+		cnt, err := e.pageCount(c, fmt.Sprintf(
+			`SELECT ?s WHERE { ?s a <%s> } ORDER BY ?s`, cls), page)
+		if err != nil {
+			return err
+		}
+		ci := ClassIndex{IRI: cls, Label: t.LocalName(), Instances: cnt}
+		ix.Instances += cnt
+
+		// properties: enumerate triples of typed subjects page by page and
+		// classify objects client-side
+		dataCounts := map[string]int{}
+		linkCounts := map[[2]string]int{}
+		offset := 0
+		for {
+			res, err := c.Query(fmt.Sprintf(
+				`SELECT ?p ?o WHERE { ?s a <%s> . ?s ?p ?o } ORDER BY ?p ?o LIMIT %d OFFSET %d`,
+				cls, page, offset))
+			if err != nil {
+				return err
+			}
+			for _, row := range res.Rows {
+				p := row["p"].Value
+				if p == rdf.RDFType {
+					continue
+				}
+				o := row["o"]
+				if o.IsLiteral() {
+					dataCounts[p]++
+				} else if o.IsIRI() {
+					// resolve the object's class with a spot query (ASK per
+					// candidate would be costly; instead fetch its types)
+					linkCounts[[2]string{p, o.Value}]++
+				}
+			}
+			if len(res.Rows) < page {
+				break
+			}
+			offset += page
+		}
+		for p, n := range dataCounts {
+			ci.DataProperties = append(ci.DataProperties, PropertyCount{IRI: p, Count: n})
+		}
+		// aggregate object links by target class: query each distinct
+		// object's type once, caching
+		typeCache := map[string]string{}
+		linkByClass := map[[2]string]int{}
+		for key, n := range linkCounts {
+			p, obj := key[0], key[1]
+			target, ok := typeCache[obj]
+			if !ok {
+				res, err := c.Query(fmt.Sprintf(
+					`SELECT ?c WHERE { <%s> a ?c } ORDER BY ?c LIMIT 1`, obj))
+				if err != nil {
+					return err
+				}
+				if len(res.Rows) > 0 {
+					target = res.Rows[0]["c"].Value
+				}
+				typeCache[obj] = target
+			}
+			if target != "" {
+				linkByClass[[2]string{p, target}] += n
+			}
+		}
+		for key, n := range linkByClass {
+			ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{IRI: key[0], Target: key[1], Count: n})
+		}
+		sortClassIndex(&ci)
+		ix.Classes = append(ix.Classes, ci)
+	}
+	sortClasses(ix.Classes)
+	return nil
+}
+
+// pageAll collects a single variable across LIMIT/OFFSET pages.
+func (e *Extractor) pageAll(c endpoint.Client, q, v string, page int) ([]string, error) {
+	var out []string
+	offset := 0
+	for {
+		res, err := c.Query(fmt.Sprintf("%s LIMIT %d OFFSET %d", q, page, offset))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			out = append(out, row[v].Value)
+		}
+		if len(res.Rows) < page {
+			return out, nil
+		}
+		offset += page
+	}
+}
+
+// pageCount counts result rows across pages without materializing them.
+func (e *Extractor) pageCount(c endpoint.Client, q string, page int) (int, error) {
+	n := 0
+	offset := 0
+	for {
+		res, err := c.Query(fmt.Sprintf("%s LIMIT %d OFFSET %d", q, page, offset))
+		if err != nil {
+			return 0, err
+		}
+		n += len(res.Rows)
+		if len(res.Rows) < page {
+			return n, nil
+		}
+		offset += page
+	}
+}
+
+func sortClasses(cs []ClassIndex) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Instances != cs[j].Instances {
+			return cs[i].Instances > cs[j].Instances
+		}
+		return cs[i].IRI < cs[j].IRI
+	})
+}
+
+func sortClassIndex(ci *ClassIndex) {
+	sort.Slice(ci.DataProperties, func(i, j int) bool {
+		return ci.DataProperties[i].IRI < ci.DataProperties[j].IRI
+	})
+	sort.Slice(ci.ObjectProperties, func(i, j int) bool {
+		a, b := ci.ObjectProperties[i], ci.ObjectProperties[j]
+		if a.IRI != b.IRI {
+			return a.IRI < b.IRI
+		}
+		return a.Target < b.Target
+	})
+}
+
+func intResult(res *sparqlResult, v string) int {
+	if len(res.Rows) == 0 {
+		return 0
+	}
+	return bindingInt(res.Rows[0], v)
+}
+
+func bindingInt(row sparqlBinding, v string) int {
+	t, ok := row[v]
+	if !ok {
+		return 0
+	}
+	n, _ := t.Int()
+	return int(n)
+}

@@ -1,0 +1,86 @@
+package extraction
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func labeledStore(t testing.TB) *store.Store {
+	t.Helper()
+	g, err := turtle.Parse(`
+@prefix ex: <http://ex/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:Writer rdfs:label "Autore"@it, "Author"@en .
+ex:Work rdfs:label "Opera Letteraria" .
+ex:a1 a ex:Writer ; ex:name "A1" .
+ex:b1 a ex:Work ; ex:title "B1" .
+ex:c1 a ex:Unlabeled .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.FromGraph(g)
+}
+
+func TestLabelsFromOntology(t *testing.T) {
+	ix, err := New().Extract(endpoint.LocalClient{Store: labeledStore(t)}, "x", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, c := range ix.Classes {
+		got[c.IRI] = c.Label
+	}
+	// plain label preferred
+	if got["http://ex/Work"] != "Opera Letteraria" {
+		t.Fatalf("Work label = %q", got["http://ex/Work"])
+	}
+	// @en preferred over @it
+	if got["http://ex/Writer"] != "Author" {
+		t.Fatalf("Writer label = %q", got["http://ex/Writer"])
+	}
+	// unlabeled classes keep the local name
+	if got["http://ex/Unlabeled"] != "Unlabeled" {
+		t.Fatalf("Unlabeled label = %q", got["http://ex/Unlabeled"])
+	}
+}
+
+func TestLabelsBestEffortOnBrokenLabelQuery(t *testing.T) {
+	// legacy endpoints reject nothing extra here, but a broken endpoint
+	// mid-extraction must not fail the whole index: simulate by using a
+	// store without labels — extraction succeeds with local names
+	st := smallStore(t)
+	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "x", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ix.Classes {
+		if c.Label == "" {
+			t.Fatalf("class %s lost its label", c.IRI)
+		}
+	}
+}
+
+func TestLabelsAppliedOnAllStrategies(t *testing.T) {
+	st := labeledStore(t)
+	for _, quirks := range []*endpoint.Quirks{endpoint.ProfileNoGroupBy, endpoint.ProfileNoAgg} {
+		r := endpoint.NewRemote("x", "x", st, quirks, nil, nil)
+		ix, err := New().Extract(r, "x", time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, c := range ix.Classes {
+			if c.IRI == "http://ex/Work" && c.Label == "Opera Letteraria" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("strategy %s: ontology label not applied", ix.Strategy)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package extraction
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/synth"
+)
+
+func TestExtractMixedStrategy(t *testing.T) {
+	st := smallStore(t)
+	r := endpoint.NewRemote("nogroup", "sim://nogroup", st, endpoint.ProfileNoGroupBy, nil, nil)
+	ix, err := New().Extract(r, "sim://nogroup", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Strategy != "mixed" {
+		t.Fatalf("strategy = %s, want mixed", ix.Strategy)
+	}
+	checkSmallIndex(t, ix)
+}
+
+func TestMixedAgreesWithAggregate(t *testing.T) {
+	st := synth.Generate(synth.Spec{
+		Name: "mixed", Classes: 6, Instances: 300, ObjectProps: 10,
+		DataProps: 8, LinkFactor: 1, Seed: 13,
+	})
+	agg, err := New().Extract(endpoint.LocalClient{Store: st}, "a", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := New().Extract(
+		endpoint.NewRemote("x", "x", st, endpoint.ProfileNoGroupBy, nil, nil), "b", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Strategy != "mixed" {
+		t.Fatalf("strategy = %s", mixed.Strategy)
+	}
+	if agg.Instances != mixed.Instances || agg.NumClasses() != mixed.NumClasses() || agg.Triples != mixed.Triples {
+		t.Fatalf("strategies disagree: agg=%d/%d/%d mixed=%d/%d/%d",
+			agg.Instances, agg.NumClasses(), agg.Triples,
+			mixed.Instances, mixed.NumClasses(), mixed.Triples)
+	}
+	for i := range agg.Classes {
+		a, m := agg.Classes[i], mixed.Classes[i]
+		if a.IRI != m.IRI || a.Instances != m.Instances {
+			t.Fatalf("class %d differs: %+v vs %+v", i, a, m)
+		}
+		if len(a.DataProperties) != len(m.DataProperties) {
+			t.Fatalf("class %s data props: %v vs %v", a.Label, a.DataProperties, m.DataProperties)
+		}
+		for j := range a.ObjectProperties {
+			if a.ObjectProperties[j] != m.ObjectProperties[j] {
+				t.Fatalf("class %s op %d: %+v vs %+v", a.Label, j, a.ObjectProperties[j], m.ObjectProperties[j])
+			}
+		}
+	}
+}
+
+func TestStrategyLadderOrder(t *testing.T) {
+	st := smallStore(t)
+	cases := []struct {
+		quirks *endpoint.Quirks
+		want   string
+	}{
+		{nil, "aggregate"},
+		{endpoint.ProfileFull, "aggregate"},
+		{endpoint.ProfileCapped, "aggregate"},
+		{endpoint.ProfileNoGroupBy, "mixed"},
+		{endpoint.ProfileNoAgg, "enumerate"},
+		{endpoint.ProfileLegacy, "enumerate"},
+	}
+	for _, c := range cases {
+		var client endpoint.Client
+		if c.quirks == nil {
+			client = endpoint.LocalClient{Store: st}
+		} else {
+			client = endpoint.NewRemote("x", "x", st, c.quirks, nil, nil)
+		}
+		ix, err := New().Extract(client, "x", time.Now())
+		if err != nil {
+			t.Fatalf("%v: %v", c.quirks, err)
+		}
+		if ix.Strategy != c.want {
+			t.Errorf("quirks %v: strategy = %s, want %s", c.quirks, ix.Strategy, c.want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package extraction
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// VoID renders the extraction index as a VoID dataset description — the
+// vocabulary LODeX/H-BOLD's lineage uses to expose dataset statistics.
+// The graph contains the dataset node with triple/entity counts and one
+// void:classPartition per instantiated class.
+func VoID(ix *Index) *rdf.Graph {
+	g := rdf.NewGraph()
+	ds := rdf.NewIRI(ix.Endpoint + "#dataset")
+	typeT := rdf.NewIRI(rdf.RDFType)
+	g.AddSPO(ds, typeT, rdf.NewIRI(rdf.VOIDNS+"Dataset"))
+	g.AddSPO(ds, rdf.NewIRI(rdf.VOIDNS+"sparqlEndpoint"), rdf.NewIRI(ix.Endpoint))
+	g.AddSPO(ds, rdf.NewIRI(rdf.VoIDTriples), rdf.NewInteger(int64(ix.Triples)))
+	g.AddSPO(ds, rdf.NewIRI(rdf.VoIDEntities), rdf.NewInteger(int64(ix.Instances)))
+	g.AddSPO(ds, rdf.NewIRI(rdf.VOIDNS+"classes"), rdf.NewInteger(int64(ix.NumClasses())))
+
+	for i, c := range ix.Classes {
+		part := rdf.NewIRI(fmt.Sprintf("%s#classPartition-%d", ix.Endpoint, i))
+		g.AddSPO(ds, rdf.NewIRI(rdf.VOIDNS+"classPartition"), part)
+		g.AddSPO(part, rdf.NewIRI(rdf.VOIDNS+"class"), rdf.NewIRI(c.IRI))
+		g.AddSPO(part, rdf.NewIRI(rdf.VoIDEntities), rdf.NewInteger(int64(c.Instances)))
+		props := int64(len(c.DataProperties) + len(c.ObjectProperties))
+		g.AddSPO(part, rdf.NewIRI(rdf.VOIDNS+"properties"), rdf.NewInteger(props))
+	}
+	return g
+}

@@ -1,0 +1,77 @@
+package extraction
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func TestVoIDExport(t *testing.T) {
+	st := smallStore(t)
+	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "http://small/sparql", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := VoID(ix)
+	// dataset node + 3 class partitions
+	ds := rdf.NewIRI("http://small/sparql#dataset")
+	if !g.Has(rdf.NewTriple(ds, rdf.NewIRI(rdf.VoIDTriples), rdf.NewInteger(13))) {
+		t.Fatal("triple count missing")
+	}
+	if !g.Has(rdf.NewTriple(ds, rdf.NewIRI(rdf.VoIDEntities), rdf.NewInteger(5))) {
+		t.Fatal("entity count missing")
+	}
+	parts := 0
+	g.Triples()
+	for _, tr := range g.Triples() {
+		if tr.P.Value == rdf.VOIDNS+"classPartition" {
+			parts++
+		}
+	}
+	if parts != 3 {
+		t.Fatalf("class partitions = %d, want 3", parts)
+	}
+}
+
+func TestVoIDIsValidTurtleAndQueryable(t *testing.T) {
+	st := smallStore(t)
+	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "http://small/sparql", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := VoID(ix)
+	ttl := turtle.WriteTurtle(g, rdf.CommonPrefixes())
+	if !strings.Contains(ttl, "void:") {
+		t.Fatalf("turtle missing void prefix usage:\n%s", ttl)
+	}
+	back, err := turtle.Parse(ttl)
+	if err != nil {
+		t.Fatalf("VoID turtle does not reparse: %v", err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip lost triples: %d vs %d", back.Len(), g.Len())
+	}
+	// and it is queryable with our own engine
+	res, err := sparql.Exec(store.FromGraph(g), `
+		PREFIX void: <http://rdfs.org/ns/void#>
+		SELECT ?c ?n WHERE {
+			?ds void:classPartition ?p .
+			?p void:class ?c .
+			?p void:entities ?n .
+		} ORDER BY DESC(?n)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if n, _ := res.Rows[0]["n"].Int(); n != 2 {
+		t.Fatalf("top partition entities = %d", n)
+	}
+}

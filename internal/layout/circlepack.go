@@ -1,0 +1,267 @@
+package layout
+
+import (
+	"math"
+	"sort"
+)
+
+// PackedCircle is one circle of the circle-packing layout.
+type PackedCircle struct {
+	// Node is the hierarchy node this circle renders.
+	Node *Tree
+	// Depth is 0 for the dataset circle, 1 for clusters, 2 for classes
+	// (Figure 6: inner circles are classes, intermediate circles are
+	// clusters, the external circle is the entire dataset).
+	Depth int
+	// Circle is the geometry.
+	Circle Circle
+}
+
+// CirclePack computes the circle-packing layout of Figure 6: each branch
+// of the hierarchy is a circle containing its sub-branch circles, with
+// leaf areas proportional to effective values. The layout is centered at
+// (cx, cy) with the root scaled to the given radius.
+func CirclePack(root *Tree, cx, cy, radius, padding float64) []PackedCircle {
+	// Bottom-up: pack each node's children in local coordinates, giving
+	// the node its enclosing radius; then top-down scale into place.
+	type packed struct {
+		tree     *Tree
+		r        float64
+		children []*packed
+		// local position within the parent's enclosing circle
+		x, y float64
+	}
+	var build func(t *Tree) *packed
+	build = func(t *Tree) *packed {
+		p := &packed{tree: t}
+		if t.IsLeaf() {
+			v := subtreeValue(t)
+			if v <= 0 {
+				v = 1
+			}
+			p.r = math.Sqrt(v)
+			return p
+		}
+		vals := effectiveValues(t)
+		for i, c := range t.Children {
+			cp := build(c)
+			if c.IsLeaf() {
+				v := vals[i]
+				if v <= 0 {
+					v = 1
+				}
+				cp.r = math.Sqrt(v)
+			}
+			cp.r += padding
+			p.children = append(p.children, cp)
+		}
+		// pack children (sorted big-first for density)
+		order := make([]int, len(p.children))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return p.children[order[a]].r > p.children[order[b]].r
+		})
+		circles := make([]Circle, len(order))
+		sorted := make([]*packed, len(order))
+		for i, idx := range order {
+			sorted[i] = p.children[idx]
+			circles[i] = Circle{R: sorted[i].r}
+		}
+		packSiblings(circles)
+		enc := encloseCircles(circles)
+		for i, c := range circles {
+			sorted[i].x = c.X - enc.X
+			sorted[i].y = c.Y - enc.Y
+		}
+		p.r = enc.R + padding
+		// undo the padding added to child radii for rendering
+		for _, c := range p.children {
+			c.r -= padding
+		}
+		return p
+	}
+	rootP := build(root)
+
+	var out []PackedCircle
+	var emit func(p *packed, x, y, scale float64, depth int)
+	emit = func(p *packed, x, y, scale float64, depth int) {
+		out = append(out, PackedCircle{
+			Node: p.tree, Depth: depth,
+			Circle: Circle{X: x, Y: y, R: p.r * scale},
+		})
+		for _, c := range p.children {
+			emit(c, x+c.x*scale, y+c.y*scale, scale, depth+1)
+		}
+	}
+	scale := 1.0
+	if rootP.r > 0 {
+		scale = radius / rootP.r
+	}
+	emit(rootP, cx, cy, scale, 0)
+	return out
+}
+
+// packSiblings positions the circles (radii pre-set) so they are
+// mutually tangent without overlap, following the front-chain algorithm
+// of d3-hierarchy [Wang et al., Visualization of large hierarchical data
+// by circle packing, 2006].
+func packSiblings(circles []Circle) {
+	n := len(circles)
+	if n == 0 {
+		return
+	}
+	circles[0].X, circles[0].Y = 0, 0
+	if n == 1 {
+		return
+	}
+	// first two circles tangent around the origin
+	circles[0].X = -circles[1].R
+	circles[1].X = circles[0].R
+	circles[1].Y = 0
+	if n == 2 {
+		return
+	}
+	// third circle tangent to the first two
+	place(&circles[2], circles[0], circles[1])
+
+	// circular doubly-linked front chain over circle indexes:
+	// 0 → 1 → 2 → 0
+	next := make([]int, n)
+	prev := make([]int, n)
+	next[0], next[1], next[2] = 1, 2, 0
+	prev[0], prev[1], prev[2] = 2, 0, 1
+
+	a, b := 0, 1
+	for i := 3; i < n; i++ {
+	retry:
+		place(&circles[i], circles[b], circles[a])
+		// scan the chain outward in both directions for an intersection,
+		// preferring the lighter side (d3's sj/sk heuristic)
+		j, k := next[b], prev[a]
+		sj, sk := circles[b].R, circles[a].R
+		for {
+			if sj <= sk {
+				if intersects(circles[j], circles[i]) {
+					b = j
+					next[a], prev[b] = b, a
+					goto retry
+				}
+				sj += circles[j].R
+				j = next[j]
+			} else {
+				if intersects(circles[k], circles[i]) {
+					a = k
+					next[a], prev[b] = b, a
+					goto retry
+				}
+				sk += circles[k].R
+				k = prev[k]
+			}
+			if j == next[k] {
+				break
+			}
+		}
+		// insert i between a and b
+		prev[i], next[i] = a, b
+		next[a], prev[b] = i, i
+		// move the anchor to the chain pair closest to the origin
+		bestA, bestScore := a, chainScore(circles[a], circles[next[a]])
+		for c := next[i]; c != a; c = next[c] {
+			if s := chainScore(circles[c], circles[next[c]]); s < bestScore {
+				bestA, bestScore = c, s
+			}
+		}
+		a = bestA
+		b = next[a]
+	}
+}
+
+// place positions c tangent to circles b and a, orienting it outside the
+// b→a axis (d3's place(b, a, c)).
+func place(c *Circle, a, b Circle) {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	d2 := dx*dx + dy*dy
+	if d2 == 0 {
+		c.X = a.X + a.R + c.R
+		c.Y = a.Y
+		return
+	}
+	a2 := (a.R + c.R) * (a.R + c.R)
+	b2 := (b.R + c.R) * (b.R + c.R)
+	if a2 > b2 {
+		x := (d2 + b2 - a2) / (2 * d2)
+		y := math.Sqrt(math.Max(0, b2/d2-x*x))
+		c.X = b.X - x*dx - y*dy
+		c.Y = b.Y - x*dy + y*dx
+	} else {
+		x := (d2 + a2 - b2) / (2 * d2)
+		y := math.Sqrt(math.Max(0, a2/d2-x*x))
+		c.X = a.X + x*dx - y*dy
+		c.Y = a.Y + x*dy + y*dx
+	}
+}
+
+func intersects(a, b Circle) bool {
+	dr := a.R + b.R - 1e-6
+	dx, dy := b.X-a.X, b.Y-a.Y
+	return dr > 0 && dr*dr > dx*dx+dy*dy
+}
+
+// chainScore is the squared distance of the weighted midpoint of a chain
+// pair from the origin (d3's next-placement heuristic).
+func chainScore(a, b Circle) float64 {
+	ab := a.R + b.R
+	dx := (a.X*b.R + b.X*a.R) / ab
+	dy := (a.Y*b.R + b.Y*a.R) / ab
+	return dx*dx + dy*dy
+}
+
+// encloseCircles returns a circle containing all the given circles. It
+// uses an iterative move-toward-farthest refinement and guarantees
+// containment by construction.
+func encloseCircles(circles []Circle) Circle {
+	if len(circles) == 0 {
+		return Circle{}
+	}
+	// start at the weighted centroid
+	cx, cy, wsum := 0.0, 0.0, 0.0
+	for _, c := range circles {
+		w := c.R * c.R
+		if w <= 0 {
+			w = 1e-9
+		}
+		cx += c.X * w
+		cy += c.Y * w
+		wsum += w
+	}
+	cx /= wsum
+	cy /= wsum
+	// iteratively shift towards the farthest circle
+	for iter := 0; iter < 200; iter++ {
+		fi, fd := -1, -1.0
+		for i, c := range circles {
+			d := math.Hypot(c.X-cx, c.Y-cy) + c.R
+			if d > fd {
+				fd = d
+				fi = i
+			}
+		}
+		f := circles[fi]
+		d := math.Hypot(f.X-cx, f.Y-cy)
+		if d < 1e-12 {
+			break
+		}
+		step := 0.5 / float64(iter+1)
+		cx += (f.X - cx) / d * d * step
+		cy += (f.Y - cy) / d * d * step
+	}
+	r := 0.0
+	for _, c := range circles {
+		if d := math.Hypot(c.X-cx, c.Y-cy) + c.R; d > r {
+			r = d
+		}
+	}
+	return Circle{X: cx, Y: cy, R: r}
+}

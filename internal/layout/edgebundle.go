@@ -1,0 +1,230 @@
+package layout
+
+import "math"
+
+// BundledLeaf is a leaf placed on the bundling circle.
+type BundledLeaf struct {
+	// Node is the hierarchy leaf (a class).
+	Node *Tree
+	// Angle is the placement angle (radians, 12 o'clock clockwise).
+	Angle float64
+	// Pos is the Cartesian position on the circle.
+	Pos Point
+}
+
+// BundledEdge is one adjacency rendered as a bundled spline.
+type BundledEdge struct {
+	// From and To are indexes into the Leaves slice.
+	From, To int
+	// Points sample the B-spline path from leaf to leaf.
+	Points []Point
+}
+
+// EdgeBundling is the hierarchical edge bundling layout of Figure 7
+// [Holten, IEEE TVCG 2006]: leaves sit on an invisible circumference and
+// adjacency edges are routed along the hierarchy, pulled together by the
+// bundling strength beta.
+type EdgeBundling struct {
+	// Leaves are the classes on the circle, in hierarchy order.
+	Leaves []BundledLeaf
+	// Edges are the bundled adjacency splines.
+	Edges []BundledEdge
+}
+
+// Bundle computes the layout. The hierarchy groups leaves (classes)
+// under internal nodes (clusters, then the root); adjacency pairs are
+// given as Ref pairs of leaves. beta in [0,1] is the bundling strength
+// (Holten recommends ≈0.85, which the renderer uses); samples is the
+// number of points per spline (≥2).
+func Bundle(root *Tree, adjacency [][2]string, cx, cy, radius, beta float64, samples int) *EdgeBundling {
+	if samples < 2 {
+		samples = 32
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	leaves := root.Leaves()
+	n := len(leaves)
+	eb := &EdgeBundling{}
+	if n == 0 {
+		return eb
+	}
+
+	// radial leaf placement in hierarchy order
+	leafIdx := map[string]int{}
+	for i, l := range leaves {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		eb.Leaves = append(eb.Leaves, BundledLeaf{
+			Node:  l,
+			Angle: ang,
+			Pos:   ArcPoint(cx, cy, ang, radius),
+		})
+		leafIdx[l.Ref] = i
+	}
+
+	// internal node positions: radius shrinks towards the root (the root
+	// sits at the center); each internal node at the angular centroid of
+	// its leaves
+	depth := root.Depth()
+	pos := map[*Tree]Point{}
+	var placeInternal func(t *Tree, level int)
+	placeInternal = func(t *Tree, level int) {
+		if t.IsLeaf() {
+			pos[t] = eb.Leaves[leafIdx[t.Ref]].Pos
+			return
+		}
+		for _, c := range t.Children {
+			placeInternal(c, level+1)
+		}
+		// centroid of descendant leaves, pulled towards the center
+		ls := t.Leaves()
+		sx, sy := 0.0, 0.0
+		for _, l := range ls {
+			p := eb.Leaves[leafIdx[l.Ref]].Pos
+			sx += p.X
+			sy += p.Y
+		}
+		sx /= float64(len(ls))
+		sy /= float64(len(ls))
+		// scale distance from center by level/depth
+		f := float64(level) / float64(depth)
+		pos[t] = Point{X: cx + (sx-cx)*f, Y: cy + (sy-cy)*f}
+	}
+	placeInternal(root, 0)
+
+	// parent pointers for LCA routing
+	parent := map[*Tree]*Tree{}
+	var walk func(t *Tree)
+	walk = func(t *Tree) {
+		for _, c := range t.Children {
+			parent[c] = t
+			walk(c)
+		}
+	}
+	walk(root)
+
+	for _, pair := range adjacency {
+		i, okI := leafIdx[pair[0]]
+		j, okJ := leafIdx[pair[1]]
+		if !okI || !okJ || i == j {
+			continue
+		}
+		path := hierarchyPath(leaves[i], leaves[j], parent)
+		ctrl := make([]Point, len(path))
+		for k, t := range path {
+			ctrl[k] = pos[t]
+		}
+		ctrl = straighten(ctrl, beta)
+		eb.Edges = append(eb.Edges, BundledEdge{
+			From: i, To: j,
+			Points: sampleBSpline(ctrl, samples),
+		})
+	}
+	return eb
+}
+
+// hierarchyPath returns the node path u → … → LCA → … → v.
+func hierarchyPath(u, v *Tree, parent map[*Tree]*Tree) []*Tree {
+	anc := map[*Tree]int{}
+	d := 0
+	for t := u; t != nil; t = parent[t] {
+		anc[t] = d
+		d++
+	}
+	var down []*Tree
+	var lca *Tree
+	for t := v; t != nil; t = parent[t] {
+		if _, ok := anc[t]; ok {
+			lca = t
+			break
+		}
+		down = append(down, t)
+	}
+	var up []*Tree
+	for t := u; t != lca; t = parent[t] {
+		up = append(up, t)
+	}
+	path := append(up, lca)
+	for i := len(down) - 1; i >= 0; i-- {
+		path = append(path, down[i])
+	}
+	return path
+}
+
+// straighten applies Holten's bundling-strength interpolation: each
+// control point is blended between the hierarchy route (beta = 1) and the
+// straight line between the endpoints (beta = 0).
+func straighten(ctrl []Point, beta float64) []Point {
+	k := len(ctrl)
+	if k < 3 {
+		return ctrl
+	}
+	out := make([]Point, k)
+	p0, pk := ctrl[0], ctrl[k-1]
+	for i, p := range ctrl {
+		t := float64(i) / float64(k-1)
+		lx := p0.X + t*(pk.X-p0.X)
+		ly := p0.Y + t*(pk.Y-p0.Y)
+		out[i] = Point{
+			X: beta*p.X + (1-beta)*lx,
+			Y: beta*p.Y + (1-beta)*ly,
+		}
+	}
+	return out
+}
+
+// sampleBSpline samples a uniform cubic B-spline through the control
+// points (endpoints clamped by triplication), returning `samples` points
+// from the first to the last control point.
+func sampleBSpline(ctrl []Point, samples int) []Point {
+	if len(ctrl) == 1 {
+		return []Point{ctrl[0], ctrl[0]}
+	}
+	if len(ctrl) == 2 {
+		// straight segment
+		out := make([]Point, samples)
+		for i := range out {
+			t := float64(i) / float64(samples-1)
+			out[i] = Point{
+				X: ctrl[0].X + t*(ctrl[1].X-ctrl[0].X),
+				Y: ctrl[0].Y + t*(ctrl[1].Y-ctrl[0].Y),
+			}
+		}
+		return out
+	}
+	// clamp ends
+	pts := make([]Point, 0, len(ctrl)+4)
+	pts = append(pts, ctrl[0], ctrl[0])
+	pts = append(pts, ctrl...)
+	pts = append(pts, ctrl[len(ctrl)-1], ctrl[len(ctrl)-1])
+
+	nSeg := len(pts) - 3
+	out := make([]Point, samples)
+	for i := 0; i < samples; i++ {
+		u := float64(i) / float64(samples-1) * float64(nSeg)
+		seg := int(u)
+		if seg >= nSeg {
+			seg = nSeg - 1
+		}
+		t := u - float64(seg)
+		out[i] = bsplinePoint(pts[seg], pts[seg+1], pts[seg+2], pts[seg+3], t)
+	}
+	return out
+}
+
+// bsplinePoint evaluates the uniform cubic B-spline basis on one segment.
+func bsplinePoint(p0, p1, p2, p3 Point, t float64) Point {
+	t2 := t * t
+	t3 := t2 * t
+	b0 := (1 - 3*t + 3*t2 - t3) / 6
+	b1 := (4 - 6*t2 + 3*t3) / 6
+	b2 := (1 + 3*t + 3*t2 - 3*t3) / 6
+	b3 := t3 / 6
+	return Point{
+		X: b0*p0.X + b1*p1.X + b2*p2.X + b3*p3.X,
+		Y: b0*p0.Y + b1*p1.Y + b2*p2.Y + b3*p3.Y,
+	}
+}

@@ -1,0 +1,145 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForceNode is a node of the force-directed layout.
+type ForceNode struct {
+	// Label names the node; Ref carries the caller's identifier.
+	Label string
+	Ref   string
+	// Size is a display weight (e.g. instance count) the renderer can map
+	// to node radius; it does not affect the simulation.
+	Size float64
+	// Pos is the computed position.
+	Pos Point
+}
+
+// ForceEdge links two nodes by index.
+type ForceEdge struct {
+	From, To int
+	// Weight scales the attraction (heavier edges pull nodes closer).
+	Weight float64
+}
+
+// ForceConfig tunes the Fruchterman–Reingold simulation.
+type ForceConfig struct {
+	// Width and Height bound the layout area.
+	Width, Height float64
+	// Iterations is the number of cooling steps (default 300).
+	Iterations int
+	// Seed drives the initial placement.
+	Seed int64
+}
+
+// ForceLayout computes a Fruchterman–Reingold force-directed layout
+// [Fruchterman & Reingold 1991], the node-link arrangement H-BOLD uses
+// for the Cluster Schema and Schema Summary graph views.
+func ForceLayout(nodes []ForceNode, edges []ForceEdge, cfg ForceConfig) []ForceNode {
+	n := len(nodes)
+	if n == 0 {
+		return nodes
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 1000
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 1000
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 300
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]ForceNode, n)
+	copy(out, nodes)
+
+	// initial placement: jittered circle (deterministic, avoids the
+	// degenerate all-at-origin start)
+	cx, cy := cfg.Width/2, cfg.Height/2
+	r0 := math.Min(cfg.Width, cfg.Height) / 3
+	for i := range out {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		out[i].Pos = Point{
+			X: cx + r0*math.Cos(ang) + rng.Float64()*10 - 5,
+			Y: cy + r0*math.Sin(ang) + rng.Float64()*10 - 5,
+		}
+	}
+	if n == 1 {
+		out[0].Pos = Point{X: cx, Y: cy}
+		return out
+	}
+
+	area := cfg.Width * cfg.Height
+	k := math.Sqrt(area / float64(n)) // ideal edge length
+	temp := math.Min(cfg.Width, cfg.Height) / 10
+	cool := temp / float64(iters+1)
+
+	disp := make([]Point, n)
+	maxW := 1.0
+	for _, e := range edges {
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		for i := range disp {
+			disp[i] = Point{}
+		}
+		// repulsion between all pairs
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := out[i].Pos.X - out[j].Pos.X
+				dy := out[i].Pos.Y - out[j].Pos.Y
+				d := math.Hypot(dx, dy)
+				if d < 1e-9 {
+					dx, dy = rng.Float64()-0.5, rng.Float64()-0.5
+					d = math.Hypot(dx, dy)
+				}
+				f := k * k / d
+				disp[i].X += dx / d * f
+				disp[i].Y += dy / d * f
+				disp[j].X -= dx / d * f
+				disp[j].Y -= dy / d * f
+			}
+		}
+		// attraction along edges (weight-scaled)
+		for _, e := range edges {
+			if e.From == e.To {
+				continue
+			}
+			w := e.Weight
+			if w <= 0 {
+				w = 1
+			}
+			dx := out[e.From].Pos.X - out[e.To].Pos.X
+			dy := out[e.From].Pos.Y - out[e.To].Pos.Y
+			d := math.Hypot(dx, dy)
+			if d < 1e-9 {
+				continue
+			}
+			f := d * d / k * (0.5 + 0.5*w/maxW)
+			disp[e.From].X -= dx / d * f
+			disp[e.From].Y -= dy / d * f
+			disp[e.To].X += dx / d * f
+			disp[e.To].Y += dy / d * f
+		}
+		// apply displacements, bounded by temperature and frame
+		for i := range out {
+			d := math.Hypot(disp[i].X, disp[i].Y)
+			if d < 1e-9 {
+				continue
+			}
+			lim := math.Min(d, temp)
+			out[i].Pos.X += disp[i].X / d * lim
+			out[i].Pos.Y += disp[i].Y / d * lim
+			out[i].Pos.X = math.Min(cfg.Width-10, math.Max(10, out[i].Pos.X))
+			out[i].Pos.Y = math.Min(cfg.Height-10, math.Max(10, out[i].Pos.Y))
+		}
+		temp -= cool
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package layout
+
+import "math"
+
+// SunburstArc is one ring slice of the sunburst chart.
+type SunburstArc struct {
+	// Node is the hierarchy node this arc renders.
+	Node *Tree
+	// Depth is 1 for the inner ring (clusters), 2 for the outer ring
+	// (classes); the root is not drawn.
+	Depth int
+	// Start and End are angles in radians, measured clockwise from 12
+	// o'clock, with End > Start.
+	Start, End float64
+	// Inner and Outer are the ring radii.
+	Inner, Outer float64
+}
+
+// Mid returns the angular midpoint of the arc.
+func (a SunburstArc) Mid() float64 { return (a.Start + a.End) / 2 }
+
+// Span returns the angular width of the arc.
+func (a SunburstArc) Span() float64 { return a.End - a.Start }
+
+// Sunburst computes the sunburst chart of Figure 5: the hierarchy is
+// shown through concentric rings sliced per node, the inner ring holding
+// the clusters and the outer ring the classes grouped by cluster. Radius
+// is the outermost ring's outer radius.
+func Sunburst(root *Tree, radius float64) []SunburstArc {
+	depth := root.Depth() - 1 // rings exclude the root
+	if depth < 1 {
+		return nil
+	}
+	ringW := radius / float64(depth+1) // ring 0 (hole) + depth rings
+	var out []SunburstArc
+	var recurse func(t *Tree, start, end float64, level int)
+	recurse = func(t *Tree, start, end float64, level int) {
+		if level > 0 {
+			out = append(out, SunburstArc{
+				Node: t, Depth: level,
+				Start: start, End: end,
+				Inner: ringW * float64(level),
+				Outer: ringW * float64(level+1),
+			})
+		}
+		if t.IsLeaf() {
+			return
+		}
+		vals := effectiveValues(t)
+		total := 0.0
+		for _, v := range vals {
+			total += v
+		}
+		if total <= 0 {
+			return
+		}
+		a := start
+		for i, c := range t.Children {
+			span := (end - start) * vals[i] / total
+			recurse(c, a, a+span, level+1)
+			a += span
+		}
+	}
+	recurse(root, 0, 2*math.Pi, 0)
+	return out
+}
+
+// ArcPoint converts an (angle, radius) pair to Cartesian coordinates
+// around the given center, with angle 0 at 12 o'clock increasing
+// clockwise (the SVG convention the renderer uses).
+func ArcPoint(cx, cy, angle, r float64) Point {
+	return Point{
+		X: cx + r*math.Sin(angle),
+		Y: cy - r*math.Cos(angle),
+	}
+}

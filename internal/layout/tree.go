@@ -1,0 +1,151 @@
+// Package layout implements, in pure Go, the visualization layouts
+// H-BOLD renders with D3.js: the force-directed node-link view of the
+// Cluster Schema and Schema Summary, and the four layouts added by the
+// paper's §3.5 — squarified treemap (Figure 4), sunburst (Figure 5),
+// circle packing (Figure 6) and Holten hierarchical edge bundling
+// (Figure 7). Every layout consumes the same lightweight hierarchy type
+// and produces plain geometry that the svg and viz packages render.
+package layout
+
+import "sort"
+
+// Tree is a hierarchy node. For H-BOLD's Cluster Schema the root is the
+// dataset, its children the clusters and the leaves the classes, with
+// Value holding instance counts.
+type Tree struct {
+	// Label names the node.
+	Label string
+	// Value is the leaf quantity (e.g. instance count). Internal node
+	// values are ignored: a parent's effective value is the sum of its
+	// children. Zero-valued leaves receive an equal share (§3.5.1).
+	Value float64
+	// Children are the sub-nodes; empty means leaf.
+	Children []*Tree
+	// Ref is an arbitrary caller reference (e.g. the class IRI).
+	Ref string
+}
+
+// IsLeaf reports whether the node has no children.
+func (t *Tree) IsLeaf() bool { return len(t.Children) == 0 }
+
+// effectiveValues returns the display value of each child of parent,
+// applying the paper's rule: a child without an assigned quantity gets an
+// equal share — the mean of its positive siblings, or 1 when no sibling
+// has a quantity.
+func effectiveValues(parent *Tree) []float64 {
+	vals := make([]float64, len(parent.Children))
+	var positive []float64
+	for i, c := range parent.Children {
+		vals[i] = subtreeValue(c)
+		if vals[i] > 0 {
+			positive = append(positive, vals[i])
+		}
+	}
+	if len(positive) == 0 {
+		for i := range vals {
+			vals[i] = 1
+		}
+		return vals
+	}
+	mean := 0.0
+	for _, v := range positive {
+		mean += v
+	}
+	mean /= float64(len(positive))
+	for i, v := range vals {
+		if v <= 0 {
+			vals[i] = mean
+		}
+	}
+	return vals
+}
+
+// subtreeValue is the node's own value for leaves and the children sum
+// for internal nodes.
+func subtreeValue(t *Tree) float64 {
+	if t.IsLeaf() {
+		return t.Value
+	}
+	s := 0.0
+	for _, c := range t.Children {
+		s += subtreeValue(c)
+	}
+	return s
+}
+
+// Depth returns the height of the tree (a lone root has depth 1).
+func (t *Tree) Depth() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	max := 0
+	for _, c := range t.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Leaves returns the leaf nodes in depth-first order.
+func (t *Tree) Leaves() []*Tree {
+	if t.IsLeaf() {
+		return []*Tree{t}
+	}
+	var out []*Tree
+	for _, c := range t.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// CountNodes returns the total number of nodes in the tree.
+func (t *Tree) CountNodes() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.CountNodes()
+	}
+	return n
+}
+
+// SortChildrenByValue orders every node's children by descending
+// effective value (the convention treemaps and sunbursts use).
+func (t *Tree) SortChildrenByValue() {
+	sort.SliceStable(t.Children, func(i, j int) bool {
+		return subtreeValue(t.Children[i]) > subtreeValue(t.Children[j])
+	})
+	for _, c := range t.Children {
+		c.SortChildrenByValue()
+	}
+}
+
+// Point is a 2-D point.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Contains reports whether p lies inside (or on the border of) r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X <= r.X+r.W && p.Y >= r.Y && p.Y <= r.Y+r.H
+}
+
+// ContainsRect reports whether inner lies fully within r (with epsilon
+// tolerance for floating point).
+func (r Rect) ContainsRect(inner Rect) bool {
+	const eps = 1e-6
+	return inner.X >= r.X-eps && inner.Y >= r.Y-eps &&
+		inner.X+inner.W <= r.X+r.W+eps && inner.Y+inner.H <= r.Y+r.H+eps
+}
+
+// Circle is a circle.
+type Circle struct {
+	X, Y, R float64
+}

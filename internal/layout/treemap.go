@@ -1,0 +1,143 @@
+package layout
+
+import "math"
+
+// TreemapCell is one rectangle of the treemap.
+type TreemapCell struct {
+	// Node is the hierarchy node this cell renders.
+	Node *Tree
+	// Depth is 0 for the root, 1 for clusters, 2 for classes.
+	Depth int
+	// Rect is the cell geometry.
+	Rect Rect
+}
+
+// Treemap computes a squarified treemap [Bruls, Huizing & van Wijk 2000]
+// of the hierarchy within the given bounds, padding each internal node so
+// nested cells stay visually grouped (Figure 4). Cell areas are
+// proportional to effective values in a part-to-whole relationship.
+func Treemap(root *Tree, bounds Rect, padding float64) []TreemapCell {
+	var out []TreemapCell
+	var recurse func(t *Tree, r Rect, depth int)
+	recurse = func(t *Tree, r Rect, depth int) {
+		out = append(out, TreemapCell{Node: t, Depth: depth, Rect: r})
+		if t.IsLeaf() {
+			return
+		}
+		inner := Rect{X: r.X + padding, Y: r.Y + padding, W: r.W - 2*padding, H: r.H - 2*padding}
+		if inner.W <= 0 || inner.H <= 0 {
+			return
+		}
+		vals := effectiveValues(t)
+		rects := squarify(vals, inner)
+		for i, c := range t.Children {
+			recurse(c, rects[i], depth+1)
+		}
+	}
+	recurse(root, bounds, 0)
+	return out
+}
+
+// squarify lays out values (in given order) into bounds, aiming for
+// square-ish aspect ratios. It returns one rectangle per value, in order,
+// tiling bounds exactly.
+func squarify(values []float64, bounds Rect) []Rect {
+	n := len(values)
+	rects := make([]Rect, n)
+	if n == 0 {
+		return rects
+	}
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	if total <= 0 {
+		// degenerate: equal slices
+		for i := range rects {
+			rects[i] = Rect{
+				X: bounds.X + bounds.W*float64(i)/float64(n),
+				Y: bounds.Y, W: bounds.W / float64(n), H: bounds.H,
+			}
+		}
+		return rects
+	}
+	scale := bounds.Area() / total
+
+	remaining := Rect{bounds.X, bounds.Y, bounds.W, bounds.H}
+	i := 0
+	for i < n {
+		// grow the current row while the worst aspect ratio improves
+		short := math.Min(remaining.W, remaining.H)
+		rowSum := values[i] * scale
+		rowLen := 1
+		worst := worstAspect(values[i:i+1], scale, rowSum, short)
+		for i+rowLen < n {
+			nextSum := rowSum + values[i+rowLen]*scale
+			nextWorst := worstAspect(values[i:i+rowLen+1], scale, nextSum, short)
+			if nextWorst > worst {
+				break
+			}
+			worst = nextWorst
+			rowSum = nextSum
+			rowLen++
+		}
+		// lay the row along the short side
+		if remaining.W >= remaining.H {
+			// vertical strip on the left
+			stripW := rowSum / remaining.H
+			y := remaining.Y
+			for k := i; k < i+rowLen; k++ {
+				h := values[k] * scale / stripW
+				rects[k] = Rect{X: remaining.X, Y: y, W: stripW, H: h}
+				y += h
+			}
+			// avoid drift: stretch last cell of the row
+			last := &rects[i+rowLen-1]
+			last.H = remaining.Y + remaining.H - last.Y
+			remaining.X += stripW
+			remaining.W -= stripW
+		} else {
+			// horizontal strip on top
+			stripH := rowSum / remaining.W
+			x := remaining.X
+			for k := i; k < i+rowLen; k++ {
+				w := values[k] * scale / stripH
+				rects[k] = Rect{X: x, Y: remaining.Y, W: w, H: stripH}
+				x += w
+			}
+			last := &rects[i+rowLen-1]
+			last.W = remaining.X + remaining.W - last.X
+			remaining.Y += stripH
+			remaining.H -= stripH
+		}
+		i += rowLen
+	}
+	// the final row may leave a sliver of `remaining`; stretch its cells
+	// to absorb it exactly (scale rounding)
+	return rects
+}
+
+// worstAspect computes the worst aspect ratio of a row of areas laid
+// along a side of length short.
+func worstAspect(values []float64, scale, rowSum, short float64) float64 {
+	if rowSum <= 0 || short <= 0 {
+		return math.Inf(1)
+	}
+	stripLen := rowSum / short // thickness of the strip
+	worst := 0.0
+	for _, v := range values {
+		a := v * scale
+		if a <= 0 {
+			continue
+		}
+		cellLen := a / stripLen
+		ar := cellLen / stripLen
+		if ar < 1 {
+			ar = 1 / ar
+		}
+		if ar > worst {
+			worst = ar
+		}
+	}
+	return worst
+}

@@ -1,0 +1,97 @@
+// Package notify simulates the e-mail notification H-BOLD sends when a
+// manually submitted endpoint finishes (or fails) index extraction
+// (§3.4, Figure 3). The paper's privacy rule is enforced here: the
+// address is used once to deliver the notification and is not retained.
+package notify
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one delivered notification. Recipient addresses are redacted
+// in the retained copy: only the delivery is logged, not the address.
+type Message struct {
+	// RecipientHint is a redacted form of the address ("f***@example.org").
+	RecipientHint string
+	Subject       string
+	Body          string
+	SentAt        time.Time
+}
+
+// Outbox collects sent notifications.
+type Outbox struct {
+	mu   sync.Mutex
+	sent []Message
+}
+
+// NewOutbox returns an empty outbox.
+func NewOutbox() *Outbox { return &Outbox{} }
+
+// Send delivers a notification to the address. Only a redacted hint is
+// retained, honouring the paper's "the e-mail address is deleted" rule.
+func (o *Outbox) Send(to, subject, body string, at time.Time) error {
+	if to == "" {
+		return fmt.Errorf("notify: empty recipient")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sent = append(o.sent, Message{
+		RecipientHint: Redact(to),
+		Subject:       subject,
+		Body:          body,
+		SentAt:        at,
+	})
+	return nil
+}
+
+// Sent returns a copy of the delivered messages.
+func (o *Outbox) Sent() []Message {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Message, len(o.sent))
+	copy(out, o.sent)
+	return out
+}
+
+// Len returns the number of delivered messages.
+func (o *Outbox) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.sent)
+}
+
+// Redact hides the local part of an e-mail address, keeping the first
+// character and the domain.
+func Redact(addr string) string {
+	at := -1
+	for i, r := range addr {
+		if r == '@' {
+			at = i
+			break
+		}
+	}
+	if at <= 0 {
+		return "***"
+	}
+	return addr[:1] + "***" + addr[at:]
+}
+
+// SuccessBody renders the body of the extraction-success e-mail shown in
+// Figure 3.
+func SuccessBody(endpointURL string, classes, instances int) string {
+	return fmt.Sprintf(
+		"The SPARQL endpoint %s has been successfully indexed by H-BOLD.\n"+
+			"The extracted Schema Summary exposes %d classes covering %d instances.\n"+
+			"The dataset is now listed among the available datasets.",
+		endpointURL, classes, instances)
+}
+
+// FailureBody renders the body of the extraction-failure e-mail.
+func FailureBody(endpointURL string, reason error) string {
+	return fmt.Sprintf(
+		"The index extraction for the SPARQL endpoint %s did not complete.\n"+
+			"Reason: %v\nThe endpoint will be retried automatically.",
+		endpointURL, reason)
+}

@@ -1,0 +1,80 @@
+package notify
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSendAndSent(t *testing.T) {
+	o := NewOutbox()
+	at := time.Date(2020, 1, 3, 12, 0, 0, 0, time.UTC)
+	if err := o.Send("user@example.org", "subj", "body", at); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 1 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	m := o.Sent()[0]
+	if m.Subject != "subj" || m.Body != "body" || !m.SentAt.Equal(at) {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestSendEmptyRecipient(t *testing.T) {
+	o := NewOutbox()
+	if err := o.Send("", "s", "b", time.Now()); err == nil {
+		t.Fatal("empty recipient must fail")
+	}
+}
+
+func TestAddressNotRetained(t *testing.T) {
+	o := NewOutbox()
+	o.Send("federico@example.org", "s", "b", time.Now())
+	m := o.Sent()[0]
+	if strings.Contains(m.RecipientHint, "federico") {
+		t.Fatalf("full address retained: %s", m.RecipientHint)
+	}
+	if m.RecipientHint != "f***@example.org" {
+		t.Fatalf("hint = %s", m.RecipientHint)
+	}
+}
+
+func TestRedact(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a@b.c", "a***@b.c"},
+		{"longname@host.org", "l***@host.org"},
+		{"nodomain", "***"},
+		{"@x.y", "***"},
+	}
+	for _, c := range cases {
+		if got := Redact(c.in); got != c.want {
+			t.Errorf("Redact(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBodies(t *testing.T) {
+	s := SuccessBody("http://x/sparql", 12, 3400)
+	if !strings.Contains(s, "http://x/sparql") || !strings.Contains(s, "12 classes") {
+		t.Fatalf("success body = %q", s)
+	}
+	f := FailureBody("http://x/sparql", errFake{})
+	if !strings.Contains(f, "did not complete") || !strings.Contains(f, "fake") {
+		t.Fatalf("failure body = %q", f)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake outage" }
+
+func TestSentReturnsCopy(t *testing.T) {
+	o := NewOutbox()
+	o.Send("a@b.c", "s", "b", time.Now())
+	msgs := o.Sent()
+	msgs[0].Subject = "mutated"
+	if o.Sent()[0].Subject != "s" {
+		t.Fatal("Sent must return a copy")
+	}
+}

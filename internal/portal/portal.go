@@ -1,0 +1,103 @@
+// Package portal simulates the three open data portals H-BOLD crawls for
+// SPARQL endpoints (§3.3): the European Data Portal, the EU Open Data
+// Portal and IO Data Science of Paris. Each portal is a DCAT catalog
+// served through the SPARQL protocol, so the crawler can run the paper's
+// Listing 1 query against it verbatim.
+package portal
+
+import (
+	"fmt"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// Portal is one simulated open data portal.
+type Portal struct {
+	// Name is the portal identifier (synth.PortalEDP, ...).
+	Name string
+	// Store holds the portal's DCAT catalog.
+	Store *store.Store
+	// SparqlDatasets is the number of catalog datasets that advertise a
+	// SPARQL distribution (the crawlable population).
+	SparqlDatasets int
+}
+
+// Client returns a SPARQL client over the portal's catalog.
+func (p *Portal) Client() endpoint.Client {
+	return endpoint.LocalClient{Store: p.Store}
+}
+
+// BuildAll creates the three portals over the corpus: each corpus
+// endpoint with a Portal assignment becomes a dcat:Dataset whose
+// distribution's accessURL is the endpoint URL. Portals also carry noise
+// datasets with non-SPARQL distributions (CSV downloads), which Listing 1
+// must filter out via its regex.
+func BuildAll(corpus []synth.EndpointDesc) []*Portal {
+	names := []string{synth.PortalEDP, synth.PortalEUODP, synth.PortalIODS}
+	byName := map[string]*Portal{}
+	var out []*Portal
+	for _, n := range names {
+		p := &Portal{Name: n, Store: store.New()}
+		byName[n] = p
+		out = append(out, p)
+	}
+	typeT := rdf.NewIRI(rdf.RDFType)
+	datasetT := rdf.NewIRI(rdf.DCATDataset)
+	titleT := rdf.NewIRI(rdf.DCTitle)
+	distT := rdf.NewIRI(rdf.DCATDistribution)
+	accessT := rdf.NewIRI(rdf.DCATAccessURL)
+
+	seq := map[string]int{}
+	for _, d := range corpus {
+		p, ok := byName[d.Portal]
+		if !ok {
+			continue
+		}
+		seq[d.Portal]++
+		i := seq[d.Portal]
+		ds := rdf.NewIRI(fmt.Sprintf("http://%s.example.org/catalog/dataset/%d", d.Portal, i))
+		dist := rdf.NewIRI(fmt.Sprintf("http://%s.example.org/catalog/dist/%d", d.Portal, i))
+		p.Store.AddSPO(ds, typeT, datasetT)
+		p.Store.AddSPO(ds, titleT, rdf.NewLiteral(d.Title))
+		p.Store.AddSPO(ds, distT, dist)
+		p.Store.AddSPO(dist, accessT, rdf.NewIRI(d.URL))
+		p.SparqlDatasets++
+	}
+
+	// noise: datasets whose distributions are plain file downloads; the
+	// Listing 1 regex must exclude them
+	for _, p := range out {
+		for i := 0; i < 40; i++ {
+			ds := rdf.NewIRI(fmt.Sprintf("http://%s.example.org/catalog/noise/%d", p.Name, i))
+			dist := rdf.NewIRI(fmt.Sprintf("http://%s.example.org/catalog/noise-dist/%d", p.Name, i))
+			p.Store.AddSPO(ds, typeT, datasetT)
+			p.Store.AddSPO(ds, titleT, rdf.NewLiteral(fmt.Sprintf("Open CSV dataset %d", i)))
+			p.Store.AddSPO(ds, distT, dist)
+			p.Store.AddSPO(dist, accessT, rdf.NewIRI(
+				fmt.Sprintf("http://files.%s.example.org/download/%d.csv", p.Name, i)))
+		}
+		// a few datasets with no distribution at all
+		for i := 0; i < 5; i++ {
+			ds := rdf.NewIRI(fmt.Sprintf("http://%s.example.org/catalog/bare/%d", p.Name, i))
+			p.Store.AddSPO(ds, typeT, datasetT)
+			p.Store.AddSPO(ds, titleT, rdf.NewLiteral(fmt.Sprintf("Metadata-only dataset %d", i)))
+		}
+	}
+	return out
+}
+
+// Listing1 is the exact DCAT query of the paper's Listing 1, used by the
+// crawler to extract SPARQL endpoint URLs from a portal.
+const Listing1 = `PREFIX dcat: <http://www.w3.org/ns/dcat#>
+PREFIX dc: <http://purl.org/dc/terms/>
+SELECT ?dataset ?title ?url
+WHERE {
+  ?dataset a dcat:Dataset .
+  ?dataset dc:title ?title .
+  ?dataset dcat:distribution ?distribution .
+  ?distribution dcat:accessURL ?url .
+  FILTER ( regex(?url, "sparql") ) .
+}`

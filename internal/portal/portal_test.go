@@ -1,0 +1,78 @@
+package portal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func TestBuildAllCatalogShape(t *testing.T) {
+	corpus := synth.Corpus(5)
+	portals := BuildAll(corpus)
+	if len(portals) != 3 {
+		t.Fatalf("portals = %d", len(portals))
+	}
+	totalSparql := 0
+	for _, p := range portals {
+		totalSparql += p.SparqlDatasets
+		// every dataset node is typed and titled
+		datasets := p.Store.MatchAll(store.Pattern{
+			P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(rdf.DCATDataset),
+		})
+		if len(datasets) <= p.SparqlDatasets {
+			t.Fatalf("portal %s should carry noise datasets beyond the %d sparql ones",
+				p.Name, p.SparqlDatasets)
+		}
+		for _, d := range datasets {
+			if p.Store.Count(store.Pattern{S: d.S, P: rdf.NewIRI(rdf.DCTitle)}) != 1 {
+				t.Fatalf("dataset %v missing dc:title", d.S)
+			}
+		}
+	}
+	if totalSparql != 89 { // 65 + 9 + 15
+		t.Fatalf("total sparql datasets = %d, want 89", totalSparql)
+	}
+}
+
+func TestListing1TextMatchesPaper(t *testing.T) {
+	// the crawl query must keep the paper's structure: the DCAT dataset /
+	// distribution / accessURL path and the regex filter on 'sparql'
+	for _, frag := range []string{
+		"PREFIX dcat: <http://www.w3.org/ns/dcat#>",
+		"PREFIX dc: <http://purl.org/dc/terms/>",
+		"SELECT ?dataset ?title ?url",
+		"?dataset a dcat:Dataset",
+		"?dataset dc:title ?title",
+		"?dataset dcat:distribution ?distribution",
+		"?distribution dcat:accessURL ?url",
+		`regex(?url, "sparql")`,
+	} {
+		if !strings.Contains(Listing1, frag) {
+			t.Errorf("Listing1 missing %q", frag)
+		}
+	}
+}
+
+func TestPortalClientAnswersListing1(t *testing.T) {
+	portals := BuildAll(synth.Corpus(6))
+	for _, p := range portals {
+		res, err := p.Client().Query(Listing1)
+		if err != nil {
+			t.Fatalf("portal %s: %v", p.Name, err)
+		}
+		if len(res.Rows) != p.SparqlDatasets {
+			t.Fatalf("portal %s: %d rows, want %d", p.Name, len(res.Rows), p.SparqlDatasets)
+		}
+		for _, row := range res.Rows {
+			if row["title"].Value == "" {
+				t.Fatal("row missing title")
+			}
+			if !strings.Contains(row["url"].Value, "sparql") {
+				t.Fatalf("url %q does not contain 'sparql'", row["url"].Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package querybuilder implements H-BOLD's visual querying: the user
+// composes a query by clicking a class, its attributes and its
+// connections in the Schema Summary view, and the tool automatically
+// generates the corresponding SPARQL query [Benedetti, Bergamaschi & Po,
+// K-CAP 2015]. The builder emits standard SPARQL text that runs on any
+// endpoint (and on this repository's own engine).
+package querybuilder
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/endpoint"
+	"repro/internal/sparql"
+)
+
+// Query is the visual query model.
+type Query struct {
+	// Class is the focus class IRI (the node the user clicked).
+	Class string
+	// Attributes are datatype property IRIs of the focus class the user
+	// ticked for projection.
+	Attributes []string
+	// Paths follow object properties to connected classes.
+	Paths []Path
+	// Filters constrain projected variables.
+	Filters []Filter
+	// Distinct requests DISTINCT results.
+	Distinct bool
+	// CountOnly asks only for the number of matching instances.
+	CountOnly bool
+	// Limit caps the result size (0 = no limit; the UI defaults to 100).
+	Limit int
+}
+
+// Path is one hop of the visual query: a connection from the focus class
+// (or a previous hop) to another class.
+type Path struct {
+	// Property is the object property IRI to traverse.
+	Property string
+	// TargetClass optionally constrains the type of the reached node.
+	TargetClass string
+	// Inverse follows the property backwards (the clicked arc pointed at
+	// the focus class).
+	Inverse bool
+	// Optional makes the hop OPTIONAL.
+	Optional bool
+	// Attributes are datatype properties of the target to project.
+	Attributes []string
+}
+
+// Filter is a comparison over a projected variable.
+type Filter struct {
+	// Var is the variable name as produced by the builder (see VarFor).
+	Var string
+	// Op is one of = != < > <= >= or "regex".
+	Op string
+	// Value is the literal to compare with; quoted as a string unless
+	// Numeric is set.
+	Value   string
+	Numeric bool
+}
+
+// VarFor returns the variable name the builder assigns to a property's
+// value: the IRI's local name, sanitized and deduplicated with a counter
+// when needed.
+func localVar(iri string, used map[string]int) string {
+	name := iri
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			name = iri[i+1:]
+			break
+		}
+	}
+	var sb strings.Builder
+	for _, r := range name {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			sb.WriteRune(r)
+		}
+	}
+	base := sb.String()
+	if base == "" {
+		base = "v"
+	}
+	used[base]++
+	if used[base] > 1 {
+		return fmt.Sprintf("%s%d", base, used[base])
+	}
+	return base
+}
+
+// Build generates the SPARQL query text. The produced query always
+// parses with the engine in internal/sparql; Build verifies that before
+// returning.
+func (q *Query) Build() (string, error) {
+	if q.Class == "" {
+		return "", fmt.Errorf("querybuilder: no focus class selected")
+	}
+	used := map[string]int{"x": 1} // reserve ?x
+	var proj []string
+	var where []string
+
+	where = append(where, fmt.Sprintf("?x a <%s> .", q.Class))
+	proj = append(proj, "?x")
+
+	varFor := map[string]string{}
+	for _, attr := range q.Attributes {
+		v := localVar(attr, used)
+		varFor[attr] = v
+		proj = append(proj, "?"+v)
+		where = append(where, fmt.Sprintf("?x <%s> ?%s .", attr, v))
+	}
+
+	for _, p := range q.Paths {
+		tv := localVar(p.Property, used)
+		varFor[p.Property] = tv
+		var hop []string
+		if p.Inverse {
+			hop = append(hop, fmt.Sprintf("?%s <%s> ?x .", tv, p.Property))
+		} else {
+			hop = append(hop, fmt.Sprintf("?x <%s> ?%s .", p.Property, tv))
+		}
+		if p.TargetClass != "" {
+			hop = append(hop, fmt.Sprintf("?%s a <%s> .", tv, p.TargetClass))
+		}
+		proj = append(proj, "?"+tv)
+		for _, attr := range p.Attributes {
+			av := localVar(attr, used)
+			varFor[p.Property+"|"+attr] = av
+			proj = append(proj, "?"+av)
+			hop = append(hop, fmt.Sprintf("?%s <%s> ?%s .", tv, attr, av))
+		}
+		if p.Optional {
+			where = append(where, "OPTIONAL { "+strings.Join(hop, " ")+" }")
+		} else {
+			where = append(where, hop...)
+		}
+	}
+
+	for _, f := range q.Filters {
+		val := f.Value
+		if !f.Numeric {
+			val = `"` + strings.ReplaceAll(val, `"`, `\"`) + `"`
+		}
+		switch f.Op {
+		case "regex":
+			where = append(where, fmt.Sprintf("FILTER regex(?%s, %s)", f.Var, val))
+		case "=", "!=", "<", ">", "<=", ">=":
+			where = append(where, fmt.Sprintf("FILTER(?%s %s %s)", f.Var, f.Op, val))
+		default:
+			return "", fmt.Errorf("querybuilder: unsupported filter operator %q", f.Op)
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if q.CountOnly {
+		sb.WriteString("(COUNT(*) AS ?count)")
+	} else {
+		sb.WriteString(strings.Join(proj, " "))
+	}
+	sb.WriteString("\nWHERE {\n  ")
+	sb.WriteString(strings.Join(where, "\n  "))
+	sb.WriteString("\n}")
+	if q.Limit > 0 && !q.CountOnly {
+		fmt.Fprintf(&sb, "\nLIMIT %d", q.Limit)
+	}
+
+	text := sb.String()
+	if _, err := sparql.Parse(text); err != nil {
+		return "", fmt.Errorf("querybuilder: generated invalid SPARQL: %w", err)
+	}
+	return text, nil
+}
+
+// Variables returns the builder's variable assignment: property IRI (or
+// "property|attribute" for hop attributes) → variable name.
+func (q *Query) Variables() (map[string]string, error) {
+	// rebuild deterministically; Build and Variables must agree
+	used := map[string]int{"x": 1}
+	out := map[string]string{}
+	for _, attr := range q.Attributes {
+		out[attr] = localVar(attr, used)
+	}
+	for _, p := range q.Paths {
+		out[p.Property] = localVar(p.Property, used)
+		for _, attr := range p.Attributes {
+			out[p.Property+"|"+attr] = localVar(attr, used)
+		}
+	}
+	return out, nil
+}
+
+// Run builds the query and executes it against the client.
+func (q *Query) Run(c endpoint.Client) (*sparql.Result, error) {
+	text, err := q.Build()
+	if err != nil {
+		return nil, err
+	}
+	return c.Query(text)
+}

@@ -1,0 +1,259 @@
+package querybuilder
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/turtle"
+)
+
+func bookStore(t testing.TB) *store.Store {
+	t.Helper()
+	g, err := turtle.Parse(`
+@prefix ex: <http://ex/> .
+ex:a1 a ex:Author ; ex:name "Rich" ; ex:age 50 ; ex:wrote ex:b1, ex:b2 .
+ex:a2 a ex:Author ; ex:name "Ann" ; ex:age 30 ; ex:wrote ex:b3 .
+ex:b1 a ex:Book ; ex:title "Go" .
+ex:b2 a ex:Book ; ex:title "RDF" .
+ex:b3 a ex:Book ; ex:title "SPARQL" .
+ex:p1 a ex:Publisher ; ex:published ex:b1 .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.FromGraph(g)
+}
+
+func TestBuildSimpleClassQuery(t *testing.T) {
+	q := &Query{Class: "http://ex/Author"}
+	text, err := q.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "?x a <http://ex/Author>") {
+		t.Fatalf("query = %s", text)
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestBuildWithAttributes(t *testing.T) {
+	q := &Query{
+		Class:      "http://ex/Author",
+		Attributes: []string{"http://ex/name", "http://ex/age"},
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vars) != 3 { // x, name, age
+		t.Fatalf("vars = %v", res.Vars)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestBuildWithPath(t *testing.T) {
+	q := &Query{
+		Class:      "http://ex/Author",
+		Attributes: []string{"http://ex/name"},
+		Paths: []Path{{
+			Property:    "http://ex/wrote",
+			TargetClass: "http://ex/Book",
+			Attributes:  []string{"http://ex/title"},
+		}},
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // 2 + 1 books
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestBuildInversePath(t *testing.T) {
+	// from Book, follow ex:wrote backwards to Author
+	q := &Query{
+		Class: "http://ex/Book",
+		Paths: []Path{{Property: "http://ex/wrote", Inverse: true}},
+	}
+	text, err := q.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "?wrote <http://ex/wrote> ?x") {
+		t.Fatalf("inverse triple missing: %s", text)
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestBuildOptionalPath(t *testing.T) {
+	q := &Query{
+		Class: "http://ex/Book",
+		Paths: []Path{{
+			Property: "http://ex/published", Inverse: true, Optional: true,
+		}},
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all 3 books, publisher bound only for b1
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	bound := 0
+	for _, r := range res.Rows {
+		if _, ok := r["published"]; ok {
+			bound++
+		}
+	}
+	if bound != 1 {
+		t.Fatalf("bound publishers = %d, want 1", bound)
+	}
+}
+
+func TestBuildFilters(t *testing.T) {
+	q := &Query{
+		Class:      "http://ex/Author",
+		Attributes: []string{"http://ex/age", "http://ex/name"},
+		Filters: []Filter{
+			{Var: "age", Op: ">", Value: "40", Numeric: true},
+		},
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["name"].Value != "Rich" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestBuildRegexFilter(t *testing.T) {
+	q := &Query{
+		Class:      "http://ex/Author",
+		Attributes: []string{"http://ex/name"},
+		Filters:    []Filter{{Var: "name", Op: "regex", Value: "^A"}},
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["name"].Value != "Ann" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestBuildCountOnly(t *testing.T) {
+	q := &Query{Class: "http://ex/Book", CountOnly: true}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := res.Rows[0]["count"].Int()
+	if n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestBuildDistinctAndLimit(t *testing.T) {
+	q := &Query{Class: "http://ex/Author", Distinct: true, Limit: 1}
+	text, err := q.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "SELECT DISTINCT") || !strings.Contains(text, "LIMIT 1") {
+		t.Fatalf("query = %s", text)
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestVariableDeduplication(t *testing.T) {
+	// two paths over properties with the same local name must not collide
+	q := &Query{
+		Class: "http://ex/Author",
+		Paths: []Path{
+			{Property: "http://ex/wrote"},
+			{Property: "http://other/wrote"},
+		},
+	}
+	vars, err := q.Variables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars["http://ex/wrote"] == vars["http://other/wrote"] {
+		t.Fatalf("variable collision: %v", vars)
+	}
+	if _, err := q.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := (&Query{}).Build(); err == nil {
+		t.Fatal("empty query should fail")
+	}
+	q := &Query{Class: "http://ex/Author", Filters: []Filter{{Var: "x", Op: "~"}}}
+	if _, err := q.Build(); err == nil {
+		t.Fatal("bad operator should fail")
+	}
+}
+
+func TestStringFilterEscaping(t *testing.T) {
+	q := &Query{
+		Class:      "http://ex/Author",
+		Attributes: []string{"http://ex/name"},
+		Filters:    []Filter{{Var: "name", Op: "=", Value: `Ri"ch`}},
+	}
+	text, err := q.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `\"`) {
+		t.Fatalf("quote not escaped: %s", text)
+	}
+}
+
+func TestRunOnScholarly(t *testing.T) {
+	// the visual query of the paper's demo: Events with their Situations
+	st := synth.Scholarly(1)
+	q := &Query{
+		Class:      synth.ScholarlyNS + "Event",
+		Attributes: []string{synth.ScholarlyNS + "label"},
+		Paths: []Path{{
+			Property:    synth.ScholarlyNS + "hasSituation",
+			TargetClass: synth.ScholarlyNS + "Situation",
+		}},
+		Limit: 50,
+	}
+	res, err := q.Run(endpoint.LocalClient{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d, want 50 (limited)", len(res.Rows))
+	}
+}

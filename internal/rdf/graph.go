@@ -1,0 +1,51 @@
+package rdf
+
+import "sort"
+
+// Graph is a simple set of triples with convenience constructors. It is the
+// lightweight exchange format between parsers, generators and the indexed
+// store; the store itself maintains the query indexes.
+type Graph struct {
+	triples []Triple
+	seen    map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{seen: make(map[Triple]struct{})}
+}
+
+// Add inserts a triple, ignoring duplicates. It reports whether the triple
+// was newly added.
+func (g *Graph) Add(t Triple) bool {
+	if _, dup := g.seen[t]; dup {
+		return false
+	}
+	g.seen[t] = struct{}{}
+	g.triples = append(g.triples, t)
+	return true
+}
+
+// AddSPO inserts a triple given its components.
+func (g *Graph) AddSPO(s, p, o Term) bool { return g.Add(Triple{s, p, o}) }
+
+// Has reports whether the graph contains the triple.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.seen[t]
+	return ok
+}
+
+// Len returns the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns the triples in insertion order. The caller must not
+// modify the returned slice.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Sorted returns a new slice of the triples in canonical order.
+func (g *Graph) Sorted() []Triple {
+	out := make([]Triple, len(g.triples))
+	copy(out, g.triples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

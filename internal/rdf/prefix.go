@@ -1,0 +1,120 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixMap maps prefix labels (without the trailing colon) to namespace
+// IRIs. It is used by the Turtle serializer, the SPARQL parser prologue and
+// the presentation layer to shorten IRIs for display.
+type PrefixMap struct {
+	byPrefix map[string]string
+	// longest-first namespace list for shrinking
+	namespaces []nsEntry
+}
+
+type nsEntry struct {
+	prefix, ns string
+}
+
+// NewPrefixMap returns an empty prefix map.
+func NewPrefixMap() *PrefixMap {
+	return &PrefixMap{byPrefix: make(map[string]string)}
+}
+
+// CommonPrefixes returns a prefix map preloaded with the well-known
+// namespaces used throughout the system.
+func CommonPrefixes() *PrefixMap {
+	pm := NewPrefixMap()
+	pm.Bind("rdf", RDFNS)
+	pm.Bind("rdfs", RDFSNS)
+	pm.Bind("owl", OWLNS)
+	pm.Bind("xsd", XSDNS)
+	pm.Bind("dcat", DCATNS)
+	pm.Bind("dc", DCNS)
+	pm.Bind("foaf", FOAFNS)
+	pm.Bind("void", VOIDNS)
+	return pm
+}
+
+// Bind associates prefix with the namespace IRI, replacing any previous
+// binding for the same prefix.
+func (pm *PrefixMap) Bind(prefix, ns string) {
+	if old, ok := pm.byPrefix[prefix]; ok {
+		for i := range pm.namespaces {
+			if pm.namespaces[i].prefix == prefix && pm.namespaces[i].ns == old {
+				pm.namespaces = append(pm.namespaces[:i], pm.namespaces[i+1:]...)
+				break
+			}
+		}
+	}
+	pm.byPrefix[prefix] = ns
+	pm.namespaces = append(pm.namespaces, nsEntry{prefix, ns})
+	sort.SliceStable(pm.namespaces, func(i, j int) bool {
+		return len(pm.namespaces[i].ns) > len(pm.namespaces[j].ns)
+	})
+}
+
+// Expand resolves a prefixed name such as "rdf:type" into a full IRI.
+func (pm *PrefixMap) Expand(pname string) (string, error) {
+	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is not a prefixed name", pname)
+	}
+	ns, ok := pm.byPrefix[pname[:i]]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown prefix %q", pname[:i])
+	}
+	return ns + pname[i+1:], nil
+}
+
+// Shrink renders an IRI as a prefixed name when a bound namespace is a
+// prefix of it; otherwise it returns the IRI unchanged and false.
+func (pm *PrefixMap) Shrink(iri string) (string, bool) {
+	for _, e := range pm.namespaces {
+		if strings.HasPrefix(iri, e.ns) {
+			local := iri[len(e.ns):]
+			if validLocal(local) {
+				return e.prefix + ":" + local, true
+			}
+		}
+	}
+	return iri, false
+}
+
+// Bindings returns the prefix→namespace pairs sorted by prefix, for
+// deterministic serialization.
+func (pm *PrefixMap) Bindings() map[string]string {
+	out := make(map[string]string, len(pm.byPrefix))
+	for k, v := range pm.byPrefix {
+		out[k] = v
+	}
+	return out
+}
+
+// SortedPrefixes returns the bound prefixes in sorted order.
+func (pm *PrefixMap) SortedPrefixes() []string {
+	ps := make([]string, 0, len(pm.byPrefix))
+	for p := range pm.byPrefix {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	return ps
+}
+
+// Namespace returns the namespace bound to prefix.
+func (pm *PrefixMap) Namespace(prefix string) (string, bool) {
+	ns, ok := pm.byPrefix[prefix]
+	return ns, ok
+}
+
+func validLocal(s string) bool {
+	for _, r := range s {
+		if r == '/' || r == '#' || r == ':' || r == ' ' {
+			return false
+		}
+	}
+	return true
+}

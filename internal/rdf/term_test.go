@@ -1,0 +1,261 @@
+package rdf
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	iri := NewIRI("http://example.org/a")
+	if !iri.IsIRI() || iri.IsLiteral() || iri.IsBlank() {
+		t.Fatalf("IRI kind flags wrong: %+v", iri)
+	}
+	b := NewBlank("b0")
+	if !b.IsBlank() {
+		t.Fatalf("blank kind wrong: %+v", b)
+	}
+	lit := NewLiteral("hello")
+	if !lit.IsLiteral() || lit.Datatype != "" || lit.Lang != "" {
+		t.Fatalf("plain literal wrong: %+v", lit)
+	}
+	lang := NewLangLiteral("ciao", "IT")
+	if lang.Lang != "it" {
+		t.Fatalf("language tag not normalized: %q", lang.Lang)
+	}
+}
+
+func TestTypedLiteralStringDatatypeNormalized(t *testing.T) {
+	l := NewTypedLiteral("x", XSDString)
+	if l.Datatype != "" {
+		t.Fatalf("xsd:string should normalize to empty datatype, got %q", l.Datatype)
+	}
+	if l != NewLiteral("x") {
+		t.Fatalf("typed xsd:string and plain literal should be equal")
+	}
+}
+
+func TestEffectiveDatatype(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewLiteral("a"), XSDString},
+		{NewLangLiteral("a", "en"), RDFLangString},
+		{NewInteger(3), XSDInteger},
+		{NewIRI("http://x"), ""},
+	}
+	for _, c := range cases {
+		if got := c.term.EffectiveDatatype(); got != c.want {
+			t.Errorf("EffectiveDatatype(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestNumericConversions(t *testing.T) {
+	if f, ok := NewInteger(42).Float(); !ok || f != 42 {
+		t.Fatalf("integer Float = %v %v", f, ok)
+	}
+	if n, ok := NewInteger(-7).Int(); !ok || n != -7 {
+		t.Fatalf("Int = %v %v", n, ok)
+	}
+	if _, ok := NewLiteral("42").Float(); ok {
+		t.Fatal("plain literal must not be numeric")
+	}
+	if v, ok := NewBoolean(true).Bool(); !ok || !v {
+		t.Fatalf("Bool = %v %v", v, ok)
+	}
+	if d, ok := NewDecimal(2.5).Float(); !ok || d != 2.5 {
+		t.Fatalf("decimal Float = %v %v", d, ok)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/a"), "<http://x/a>"},
+		{NewBlank("n1"), "_:n1"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewInteger(5), `"5"^^<` + XSDInteger + `>`},
+		{NewLiteral("a\"b\nc"), `"a\"b\nc"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct{ iri, want string }{
+		{"http://example.org/onto#Event", "Event"},
+		{"http://example.org/onto/Person", "Person"},
+		{"http://example.org/onto/Person/", "Person"},
+		{"Event", "Event"},
+	}
+	for _, c := range cases {
+		if got := NewIRI(c.iri).LocalName(); got != c.want {
+			t.Errorf("LocalName(%q) = %q, want %q", c.iri, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	terms := []Term{
+		NewLiteral("z"),
+		NewIRI("http://b"),
+		NewBlank("x"),
+		NewIRI("http://a"),
+		NewLiteral("a"),
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Compare(terms[j]) < 0 })
+	want := []Term{
+		NewBlank("x"),
+		NewIRI("http://a"),
+		NewIRI("http://b"),
+		NewLiteral("a"),
+		NewLiteral("z"),
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, terms[i], want[i])
+		}
+	}
+}
+
+func TestComparePropertyAntisymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		ta, tb := NewIRI(a), NewIRI(b)
+		return ta.Compare(tb) == -tb.Compare(ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReflexive(t *testing.T) {
+	f := func(v, dt, lang string) bool {
+		tm := Term{Kind: KindLiteral, Value: v, Datatype: dt, Lang: lang}
+		return tm.Compare(tm) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o"))
+	want := `<http://s> <http://p> "o" .`
+	if got := tr.String(); got != want {
+		t.Fatalf("Triple.String() = %q, want %q", got, want)
+	}
+}
+
+func TestTripleCompare(t *testing.T) {
+	a := NewTriple(NewIRI("http://a"), NewIRI("http://p"), NewLiteral("1"))
+	b := NewTriple(NewIRI("http://b"), NewIRI("http://p"), NewLiteral("1"))
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Fatal("triple ordering broken")
+	}
+}
+
+func TestEscapeLiteral(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`quote"`, `quote\"`},
+		{"tab\t", `tab\t`},
+		{`back\slash`, `back\\slash`},
+		{"line\r\n", `line\r\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLiteral(c.in); got != c.want {
+			t.Errorf("EscapeLiteral(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGraphAddDedup(t *testing.T) {
+	g := NewGraph()
+	tr := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o"))
+	if !g.Add(tr) {
+		t.Fatal("first Add should report true")
+	}
+	if g.Add(tr) {
+		t.Fatal("duplicate Add should report false")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.Has(tr) {
+		t.Fatal("Has should find the triple")
+	}
+}
+
+func TestGraphSortedIsCanonical(t *testing.T) {
+	g := NewGraph()
+	g.AddSPO(NewIRI("http://b"), NewIRI("http://p"), NewLiteral("1"))
+	g.AddSPO(NewIRI("http://a"), NewIRI("http://p"), NewLiteral("1"))
+	s := g.Sorted()
+	if s[0].S.Value != "http://a" || s[1].S.Value != "http://b" {
+		t.Fatalf("Sorted order wrong: %v", s)
+	}
+	// insertion order preserved in Triples
+	if g.Triples()[0].S.Value != "http://b" {
+		t.Fatal("Triples() must preserve insertion order")
+	}
+}
+
+func TestPrefixMapExpandShrink(t *testing.T) {
+	pm := CommonPrefixes()
+	iri, err := pm.Expand("rdf:type")
+	if err != nil || iri != RDFType {
+		t.Fatalf("Expand(rdf:type) = %q, %v", iri, err)
+	}
+	if _, err := pm.Expand("nope:x"); err == nil {
+		t.Fatal("unknown prefix must error")
+	}
+	if _, err := pm.Expand("noprefix"); err == nil {
+		t.Fatal("non-prefixed name must error")
+	}
+	short, ok := pm.Shrink(RDFSLabel)
+	if !ok || short != "rdfs:label" {
+		t.Fatalf("Shrink = %q, %v", short, ok)
+	}
+	if _, ok := pm.Shrink("http://unbound.example/x"); ok {
+		t.Fatal("Shrink of unbound namespace should report false")
+	}
+}
+
+func TestPrefixMapLongestNamespaceWins(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("a", "http://x/")
+	pm.Bind("b", "http://x/deep/")
+	short, ok := pm.Shrink("http://x/deep/thing")
+	if !ok || short != "b:thing" {
+		t.Fatalf("Shrink = %q, want b:thing", short)
+	}
+}
+
+func TestPrefixMapRebind(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("p", "http://one/")
+	pm.Bind("p", "http://two/")
+	iri, err := pm.Expand("p:x")
+	if err != nil || iri != "http://two/x" {
+		t.Fatalf("rebind: Expand = %q, %v", iri, err)
+	}
+	if got := pm.SortedPrefixes(); len(got) != 1 || got[0] != "p" {
+		t.Fatalf("SortedPrefixes = %v", got)
+	}
+}
+
+func TestShrinkRejectsSlashLocal(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("ex", "http://example.org/")
+	if got, ok := pm.Shrink("http://example.org/a/b"); ok {
+		t.Fatalf("Shrink should refuse local name with slash, got %q", got)
+	}
+}

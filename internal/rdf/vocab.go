@@ -1,0 +1,88 @@
+package rdf
+
+// Well-known namespace prefixes.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	DCATNS = "http://www.w3.org/ns/dcat#"
+	DCNS   = "http://purl.org/dc/terms/"
+	FOAFNS = "http://xmlns.com/foaf/0.1/"
+	VOIDNS = "http://rdfs.org/ns/void#"
+)
+
+// RDF vocabulary.
+const (
+	RDFType       = RDFNS + "type"
+	RDFProperty   = RDFNS + "Property"
+	RDFLangString = RDFNS + "langString"
+)
+
+// RDFS vocabulary.
+const (
+	RDFSClass      = RDFSNS + "Class"
+	RDFSLabel      = RDFSNS + "label"
+	RDFSComment    = RDFSNS + "comment"
+	RDFSDomain     = RDFSNS + "domain"
+	RDFSRange      = RDFSNS + "range"
+	RDFSSubClassOf = RDFSNS + "subClassOf"
+	RDFSSeeAlso    = RDFSNS + "seeAlso"
+)
+
+// OWL vocabulary.
+const (
+	OWLClass              = OWLNS + "Class"
+	OWLObjectProperty     = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty   = OWLNS + "DatatypeProperty"
+	OWLFunctionalProperty = OWLNS + "FunctionalProperty"
+	OWLThing              = OWLNS + "Thing"
+)
+
+// XSD datatypes.
+const (
+	XSDString             = XSDNS + "string"
+	XSDBoolean            = XSDNS + "boolean"
+	XSDInteger            = XSDNS + "integer"
+	XSDDecimal            = XSDNS + "decimal"
+	XSDDouble             = XSDNS + "double"
+	XSDFloat              = XSDNS + "float"
+	XSDInt                = XSDNS + "int"
+	XSDLong               = XSDNS + "long"
+	XSDShort              = XSDNS + "short"
+	XSDByte               = XSDNS + "byte"
+	XSDDate               = XSDNS + "date"
+	XSDDateTime           = XSDNS + "dateTime"
+	XSDTime               = XSDNS + "time"
+	XSDAnyURI             = XSDNS + "anyURI"
+	XSDNonNegativeInteger = XSDNS + "nonNegativeInteger"
+	XSDPositiveInteger    = XSDNS + "positiveInteger"
+	XSDNegativeInteger    = XSDNS + "negativeInteger"
+	XSDNonPositiveInteger = XSDNS + "nonPositiveInteger"
+	XSDUnsignedInt        = XSDNS + "unsignedInt"
+	XSDUnsignedLong       = XSDNS + "unsignedLong"
+)
+
+// DCAT vocabulary (used by the open-data-portal catalogs and the Listing 1
+// crawl query).
+const (
+	DCATDataset      = DCATNS + "Dataset"
+	DCATDistribution = DCATNS + "distribution"
+	DCATAccessURL    = DCATNS + "accessURL"
+	DCATCatalog      = DCATNS + "Catalog"
+	DCATKeyword      = DCATNS + "keyword"
+)
+
+// Dublin Core terms.
+const (
+	DCTitle       = DCNS + "title"
+	DCDescription = DCNS + "description"
+	DCPublisher   = DCNS + "publisher"
+	DCModified    = DCNS + "modified"
+)
+
+// VoID vocabulary (dataset statistics).
+const (
+	VoIDTriples  = VOIDNS + "triples"
+	VoIDEntities = VOIDNS + "entities"
+)

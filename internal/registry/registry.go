@@ -1,0 +1,280 @@
+// Package registry manages H-BOLD's collection of SPARQL endpoints: the
+// catalog entries, the §3.1 extraction scheduling policy (weekly refresh,
+// daily retry after a failure, because endpoints "might work again after
+// 1 or 2 days"), and the §3.4 manual insertion workflow with its e-mail
+// notification.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Source records how an endpoint entered the registry.
+type Source string
+
+// Entry sources.
+const (
+	SourceDataHub Source = "datahub" // the original pre-crawl list
+	SourcePortal  Source = "portal"  // discovered by the §3.3 crawler
+	SourceManual  Source = "manual"  // submitted through the §3.4 form
+)
+
+// Entry is one registered endpoint.
+type Entry struct {
+	// URL is the endpoint URL (the registry key).
+	URL string `json:"url"`
+	// Title is the display title.
+	Title string `json:"title"`
+	// Source records provenance.
+	Source Source `json:"source"`
+	// Portal is the advertising portal for SourcePortal entries.
+	Portal string `json:"portal,omitempty"`
+	// AddedAt is the registration time.
+	AddedAt time.Time `json:"addedAt"`
+
+	// LastAttempt is the time of the most recent extraction attempt
+	// (zero = never attempted).
+	LastAttempt time.Time `json:"lastAttempt"`
+	// LastSuccess is the time of the most recent successful extraction
+	// (zero = never succeeded).
+	LastSuccess time.Time `json:"lastSuccess"`
+	// ConsecutiveFailures counts extraction failures since the last
+	// success.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// Indexed reports whether the registry holds a current index for the
+	// endpoint.
+	Indexed bool `json:"indexed"`
+
+	// PendingEmail is the submitter's address for manual entries whose
+	// extraction has not completed yet. It is cleared — deleted, per the
+	// paper — as soon as the notification is sent.
+	PendingEmail string `json:"pendingEmail,omitempty"`
+}
+
+// Policy is the §3.1 update policy.
+type Policy struct {
+	// RefreshInterval is how often a successfully indexed endpoint is
+	// re-extracted (the paper settles on weekly).
+	RefreshInterval time.Duration
+	// RetryInterval is how often a failed endpoint is retried (daily,
+	// since endpoints often come back after 1–2 days).
+	RetryInterval time.Duration
+	// GiveUpAfter stops retrying after this many consecutive failures
+	// (0 = never give up).
+	GiveUpAfter int
+}
+
+// DefaultPolicy matches the paper: weekly refresh, daily retry.
+var DefaultPolicy = Policy{
+	RefreshInterval: 7 * 24 * time.Hour,
+	RetryInterval:   24 * time.Hour,
+}
+
+// Registry is the endpoint catalog. It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	policy  Policy
+}
+
+// New returns an empty registry under the given policy.
+func New(policy Policy) *Registry {
+	if policy.RefreshInterval == 0 {
+		policy.RefreshInterval = DefaultPolicy.RefreshInterval
+	}
+	if policy.RetryInterval == 0 {
+		policy.RetryInterval = DefaultPolicy.RetryInterval
+	}
+	return &Registry{entries: make(map[string]*Entry), policy: policy}
+}
+
+// Add registers an endpoint; it reports whether the URL was new.
+func (r *Registry) Add(e Entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.URL]; dup {
+		return false
+	}
+	cp := e
+	r.entries[e.URL] = &cp
+	return true
+}
+
+// Has reports whether the URL is registered.
+func (r *Registry) Has(url string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[url]
+	return ok
+}
+
+// Get returns a copy of the entry.
+func (r *Registry) Get(url string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[url]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Len returns the number of registered endpoints.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// IndexedCount returns the number of endpoints with a current index.
+func (r *Registry) IndexedCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.Indexed {
+			n++
+		}
+	}
+	return n
+}
+
+// URLs returns the registered URLs, sorted.
+func (r *Registry) URLs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for u := range r.entries {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns copies of all entries, sorted by URL.
+func (r *Registry) Entries() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Due returns the endpoints whose extraction should run now, per the
+// §3.1 policy:
+//
+//   - never-attempted endpoints are always due;
+//   - endpoints whose last attempt failed are retried after
+//     RetryInterval (daily) — unless GiveUpAfter is exceeded;
+//   - successfully indexed endpoints are refreshed after
+//     RefreshInterval (weekly);
+//   - everything else waits.
+func (r *Registry) Due(now time.Time) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var due []string
+	for _, e := range r.entries {
+		if r.isDue(e, now) {
+			due = append(due, e.URL)
+		}
+	}
+	sort.Strings(due)
+	return due
+}
+
+func (r *Registry) isDue(e *Entry, now time.Time) bool {
+	if e.LastAttempt.IsZero() {
+		return true
+	}
+	failing := e.ConsecutiveFailures > 0
+	if failing {
+		if r.policy.GiveUpAfter > 0 && e.ConsecutiveFailures >= r.policy.GiveUpAfter {
+			return false
+		}
+		return now.Sub(e.LastAttempt) >= r.policy.RetryInterval
+	}
+	return now.Sub(e.LastSuccess) >= r.policy.RefreshInterval
+}
+
+// RecordSuccess marks an extraction success.
+func (r *Registry) RecordSuccess(url string, at time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[url]
+	if !ok {
+		return fmt.Errorf("registry: unknown endpoint %s", url)
+	}
+	e.LastAttempt = at
+	e.LastSuccess = at
+	e.ConsecutiveFailures = 0
+	e.Indexed = true
+	return nil
+}
+
+// RecordFailure marks an extraction failure.
+func (r *Registry) RecordFailure(url string, at time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[url]
+	if !ok {
+		return fmt.Errorf("registry: unknown endpoint %s", url)
+	}
+	e.LastAttempt = at
+	e.ConsecutiveFailures++
+	return nil
+}
+
+// Submit registers a manual endpoint submission (§3.4): the URL plus the
+// submitter's e-mail, which is retained only until the completion
+// notification is sent.
+func (r *Registry) Submit(url, title, email string, at time.Time) error {
+	if url == "" {
+		return fmt.Errorf("registry: empty endpoint URL")
+	}
+	if email == "" {
+		return fmt.Errorf("registry: an e-mail address is required to notify extraction status")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[url]; dup {
+		return fmt.Errorf("registry: endpoint %s already listed", url)
+	}
+	r.entries[url] = &Entry{
+		URL: url, Title: title, Source: SourceManual,
+		AddedAt: at, PendingEmail: email,
+	}
+	return nil
+}
+
+// Restore replaces the registry contents with the given entries (used
+// when reloading persisted state at startup).
+func (r *Registry) Restore(entries []Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		cp := e
+		r.entries[e.URL] = &cp
+	}
+}
+
+// TakePendingEmail returns the submitter address and deletes it from the
+// entry — the caller must send the notification with it. The second
+// result reports whether an address was pending.
+func (r *Registry) TakePendingEmail(url string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[url]
+	if !ok || e.PendingEmail == "" {
+		return "", false
+	}
+	email := e.PendingEmail
+	e.PendingEmail = ""
+	return email, true
+}

@@ -1,0 +1,189 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func day(n int) time.Time { return clock.Epoch.Add(time.Duration(n) * 24 * time.Hour) }
+
+func TestAddAndDedup(t *testing.T) {
+	r := New(DefaultPolicy)
+	if !r.Add(Entry{URL: "http://a/sparql", Source: SourceDataHub}) {
+		t.Fatal("first Add must succeed")
+	}
+	if r.Add(Entry{URL: "http://a/sparql"}) {
+		t.Fatal("duplicate Add must fail")
+	}
+	if r.Len() != 1 || !r.Has("http://a/sparql") {
+		t.Fatal("registry state wrong")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Add(Entry{URL: "http://a", Title: "t"})
+	e, ok := r.Get("http://a")
+	if !ok || e.Title != "t" {
+		t.Fatalf("Get = %+v", e)
+	}
+	e.Title = "mutated"
+	e2, _ := r.Get("http://a")
+	if e2.Title != "t" {
+		t.Fatal("Get must return a copy")
+	}
+	if _, ok := r.Get("http://missing"); ok {
+		t.Fatal("missing URL should not be found")
+	}
+}
+
+func TestNeverAttemptedAlwaysDue(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Add(Entry{URL: "http://a"})
+	if due := r.Due(day(0)); len(due) != 1 {
+		t.Fatalf("due = %v", due)
+	}
+}
+
+func TestWeeklyRefreshPolicy(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Add(Entry{URL: "http://a"})
+	r.RecordSuccess("http://a", day(0))
+	// not due for 6 days
+	for d := 1; d < 7; d++ {
+		if due := r.Due(day(d)); len(due) != 0 {
+			t.Fatalf("day %d: due = %v, want none", d, due)
+		}
+	}
+	// due at day 7
+	if due := r.Due(day(7)); len(due) != 1 {
+		t.Fatalf("day 7: due = %v", due)
+	}
+}
+
+func TestDailyRetryAfterFailure(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Add(Entry{URL: "http://a"})
+	r.RecordSuccess("http://a", day(0))
+	// refresh attempt on day 7 fails — the endpoint was unavailable
+	r.RecordFailure("http://a", day(7))
+	// §3.1: retry daily, not weekly
+	if due := r.Due(day(7).Add(time.Hour)); len(due) != 0 {
+		t.Fatal("should not retry within the same day")
+	}
+	if due := r.Due(day(8)); len(due) != 1 {
+		t.Fatalf("day 8: due = %v, want retry", due)
+	}
+	// success resets to the weekly cadence
+	r.RecordSuccess("http://a", day(8))
+	if due := r.Due(day(9)); len(due) != 0 {
+		t.Fatal("should be back on weekly cadence")
+	}
+	if due := r.Due(day(15)); len(due) != 1 {
+		t.Fatal("weekly refresh due again")
+	}
+}
+
+func TestGiveUpAfter(t *testing.T) {
+	r := New(Policy{RefreshInterval: 7 * 24 * time.Hour, RetryInterval: 24 * time.Hour, GiveUpAfter: 3})
+	r.Add(Entry{URL: "http://dead"})
+	for d := 0; d < 3; d++ {
+		if due := r.Due(day(d)); len(due) != 1 {
+			t.Fatalf("day %d should retry", d)
+		}
+		r.RecordFailure("http://dead", day(d))
+	}
+	if due := r.Due(day(10)); len(due) != 0 {
+		t.Fatalf("gave-up endpoint still due: %v", due)
+	}
+}
+
+func TestRecordOnUnknownURL(t *testing.T) {
+	r := New(DefaultPolicy)
+	if err := r.RecordSuccess("http://x", day(0)); err == nil {
+		t.Fatal("unknown URL must error")
+	}
+	if err := r.RecordFailure("http://x", day(0)); err == nil {
+		t.Fatal("unknown URL must error")
+	}
+}
+
+func TestIndexedCount(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Add(Entry{URL: "http://a"})
+	r.Add(Entry{URL: "http://b"})
+	r.RecordSuccess("http://a", day(0))
+	if n := r.IndexedCount(); n != 1 {
+		t.Fatalf("IndexedCount = %d", n)
+	}
+}
+
+func TestURLsAndEntriesSorted(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Add(Entry{URL: "http://z"})
+	r.Add(Entry{URL: "http://a"})
+	urls := r.URLs()
+	if urls[0] != "http://a" || urls[1] != "http://z" {
+		t.Fatalf("URLs = %v", urls)
+	}
+	es := r.Entries()
+	if es[0].URL != "http://a" {
+		t.Fatalf("Entries = %v", es)
+	}
+}
+
+func TestSubmitWorkflow(t *testing.T) {
+	r := New(DefaultPolicy)
+	if err := r.Submit("", "t", "a@b.c", day(0)); err == nil {
+		t.Fatal("empty URL must fail")
+	}
+	if err := r.Submit("http://new/sparql", "t", "", day(0)); err == nil {
+		t.Fatal("missing e-mail must fail (§3.4 requires one)")
+	}
+	if err := r.Submit("http://new/sparql", "New LD", "user@example.org", day(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit("http://new/sparql", "dup", "x@y.z", day(0)); err == nil {
+		t.Fatal("duplicate submission must fail")
+	}
+	e, _ := r.Get("http://new/sparql")
+	if e.Source != SourceManual || e.PendingEmail != "user@example.org" {
+		t.Fatalf("entry = %+v", e)
+	}
+	// the submitted endpoint is immediately due for extraction
+	if due := r.Due(day(0)); len(due) != 1 {
+		t.Fatalf("due = %v", due)
+	}
+}
+
+func TestTakePendingEmailDeletesAddress(t *testing.T) {
+	r := New(DefaultPolicy)
+	r.Submit("http://new/sparql", "New LD", "user@example.org", day(0))
+	email, ok := r.TakePendingEmail("http://new/sparql")
+	if !ok || email != "user@example.org" {
+		t.Fatalf("TakePendingEmail = %q, %v", email, ok)
+	}
+	// the address is deleted: a second take finds nothing, and the entry
+	// no longer carries it
+	if _, ok := r.TakePendingEmail("http://new/sparql"); ok {
+		t.Fatal("address should have been deleted")
+	}
+	e, _ := r.Get("http://new/sparql")
+	if e.PendingEmail != "" {
+		t.Fatal("PendingEmail still stored")
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	r := New(Policy{})
+	r.Add(Entry{URL: "http://a"})
+	r.RecordSuccess("http://a", day(0))
+	if due := r.Due(day(3)); len(due) != 0 {
+		t.Fatal("default refresh should be weekly")
+	}
+	if due := r.Due(day(7)); len(due) != 1 {
+		t.Fatal("default refresh due at 7 days")
+	}
+}

@@ -1,0 +1,132 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff describes how a source's schema changed between two extractions.
+// Section 3.1 motivates the weekly re-extraction policy with exactly
+// this phenomenon: "the structure and also the content of a LD could
+// change very often"; the diff lets the tool (and its operators) see
+// what a refresh actually changed.
+type Diff struct {
+	// AddedClasses and RemovedClasses are class IRIs present in only one
+	// of the two summaries, sorted.
+	AddedClasses   []string `json:"addedClasses"`
+	RemovedClasses []string `json:"removedClasses"`
+	// InstanceDelta maps class IRIs to the change in instance count
+	// (new − old) for classes present in both summaries; zero deltas are
+	// omitted.
+	InstanceDelta map[string]int `json:"instanceDelta,omitempty"`
+	// AddedEdges and RemovedEdges are schema arcs present in only one
+	// summary, rendered as "from --property--> to".
+	AddedEdges   []string `json:"addedEdges"`
+	RemovedEdges []string `json:"removedEdges"`
+	// TriplesDelta is the change in total triple count.
+	TriplesDelta int `json:"triplesDelta"`
+}
+
+// Unchanged reports whether the two summaries have identical structure
+// and counts.
+func (d *Diff) Unchanged() bool {
+	return len(d.AddedClasses) == 0 && len(d.RemovedClasses) == 0 &&
+		len(d.InstanceDelta) == 0 && len(d.AddedEdges) == 0 &&
+		len(d.RemovedEdges) == 0 && d.TriplesDelta == 0
+}
+
+// Compare diffs the new summary against the old one.
+func Compare(old, new *Summary) *Diff {
+	d := &Diff{
+		InstanceDelta: map[string]int{},
+		TriplesDelta:  new.Triples - old.Triples,
+	}
+	oldNodes := map[string]Node{}
+	for _, n := range old.Nodes {
+		oldNodes[n.IRI] = n
+	}
+	newNodes := map[string]Node{}
+	for _, n := range new.Nodes {
+		newNodes[n.IRI] = n
+	}
+	for iri, n := range newNodes {
+		if o, ok := oldNodes[iri]; !ok {
+			d.AddedClasses = append(d.AddedClasses, iri)
+		} else if delta := n.Instances - o.Instances; delta != 0 {
+			d.InstanceDelta[iri] = delta
+		}
+	}
+	for iri := range oldNodes {
+		if _, ok := newNodes[iri]; !ok {
+			d.RemovedClasses = append(d.RemovedClasses, iri)
+		}
+	}
+	sort.Strings(d.AddedClasses)
+	sort.Strings(d.RemovedClasses)
+
+	edgeKey := func(e Edge) string {
+		return fmt.Sprintf("%s --%s--> %s", e.From, e.Property, e.To)
+	}
+	oldEdges := map[string]bool{}
+	for _, e := range old.Edges {
+		oldEdges[edgeKey(e)] = true
+	}
+	newEdges := map[string]bool{}
+	for _, e := range new.Edges {
+		newEdges[edgeKey(e)] = true
+	}
+	for k := range newEdges {
+		if !oldEdges[k] {
+			d.AddedEdges = append(d.AddedEdges, k)
+		}
+	}
+	for k := range oldEdges {
+		if !newEdges[k] {
+			d.RemovedEdges = append(d.RemovedEdges, k)
+		}
+	}
+	sort.Strings(d.AddedEdges)
+	sort.Strings(d.RemovedEdges)
+	if len(d.InstanceDelta) == 0 {
+		d.InstanceDelta = nil
+	}
+	return d
+}
+
+// String renders a compact human-readable change report.
+func (d *Diff) String() string {
+	if d.Unchanged() {
+		return "no changes"
+	}
+	var sb strings.Builder
+	write := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+	if len(d.AddedClasses) > 0 {
+		write("+%d classes", len(d.AddedClasses))
+	}
+	if len(d.RemovedClasses) > 0 {
+		if sb.Len() > 0 {
+			write(", ")
+		}
+		write("-%d classes", len(d.RemovedClasses))
+	}
+	if len(d.InstanceDelta) > 0 {
+		if sb.Len() > 0 {
+			write(", ")
+		}
+		write("%d classes changed size", len(d.InstanceDelta))
+	}
+	if len(d.AddedEdges) > 0 || len(d.RemovedEdges) > 0 {
+		if sb.Len() > 0 {
+			write(", ")
+		}
+		write("+%d/-%d edges", len(d.AddedEdges), len(d.RemovedEdges))
+	}
+	if d.TriplesDelta != 0 {
+		if sb.Len() > 0 {
+			write(", ")
+		}
+		write("%+d triples", d.TriplesDelta)
+	}
+	return sb.String()
+}

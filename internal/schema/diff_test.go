@@ -1,0 +1,87 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func mini(nodes []Node, edges []Edge, triples int) *Summary {
+	s := &Summary{Dataset: "x", Nodes: nodes, Edges: edges, Triples: triples}
+	for _, n := range nodes {
+		s.TotalInstances += n.Instances
+	}
+	s.reindex()
+	return s
+}
+
+func TestCompareUnchanged(t *testing.T) {
+	a := mini([]Node{{IRI: "http://c1", Instances: 5}}, []Edge{{From: "http://c1", To: "http://c1", Property: "http://p"}}, 10)
+	d := Compare(a, a)
+	if !d.Unchanged() {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d.String() != "no changes" {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestCompareAddedRemovedClasses(t *testing.T) {
+	old := mini([]Node{{IRI: "http://a", Instances: 5}, {IRI: "http://b", Instances: 2}}, nil, 7)
+	new := mini([]Node{{IRI: "http://a", Instances: 5}, {IRI: "http://c", Instances: 1}}, nil, 6)
+	d := Compare(old, new)
+	if len(d.AddedClasses) != 1 || d.AddedClasses[0] != "http://c" {
+		t.Fatalf("added = %v", d.AddedClasses)
+	}
+	if len(d.RemovedClasses) != 1 || d.RemovedClasses[0] != "http://b" {
+		t.Fatalf("removed = %v", d.RemovedClasses)
+	}
+	if d.TriplesDelta != -1 {
+		t.Fatalf("triples delta = %d", d.TriplesDelta)
+	}
+	if d.Unchanged() {
+		t.Fatal("should be changed")
+	}
+}
+
+func TestCompareInstanceDelta(t *testing.T) {
+	old := mini([]Node{{IRI: "http://a", Instances: 5}}, nil, 5)
+	new := mini([]Node{{IRI: "http://a", Instances: 9}}, nil, 9)
+	d := Compare(old, new)
+	if d.InstanceDelta["http://a"] != 4 {
+		t.Fatalf("delta = %v", d.InstanceDelta)
+	}
+	if !strings.Contains(d.String(), "1 classes changed size") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestCompareEdges(t *testing.T) {
+	n := []Node{{IRI: "http://a"}, {IRI: "http://b"}}
+	old := mini(n, []Edge{{From: "http://a", To: "http://b", Property: "http://p"}}, 0)
+	new := mini(n, []Edge{{From: "http://b", To: "http://a", Property: "http://q"}}, 0)
+	d := Compare(old, new)
+	if len(d.AddedEdges) != 1 || !strings.Contains(d.AddedEdges[0], "--http://q-->") {
+		t.Fatalf("added edges = %v", d.AddedEdges)
+	}
+	if len(d.RemovedEdges) != 1 {
+		t.Fatalf("removed edges = %v", d.RemovedEdges)
+	}
+	if !strings.Contains(d.String(), "+1/-1 edges") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestCompareParallelEdgesDistinct(t *testing.T) {
+	// the Schema Summary is a pseudograph: two properties between the
+	// same classes are distinct edges
+	n := []Node{{IRI: "http://a"}, {IRI: "http://b"}}
+	old := mini(n, []Edge{{From: "http://a", To: "http://b", Property: "http://p"}}, 0)
+	new := mini(n, []Edge{
+		{From: "http://a", To: "http://b", Property: "http://p"},
+		{From: "http://a", To: "http://b", Property: "http://p2"},
+	}, 0)
+	d := Compare(old, new)
+	if len(d.AddedEdges) != 1 || len(d.RemovedEdges) != 0 {
+		t.Fatalf("diff = %+v", d)
+	}
+}

@@ -1,0 +1,112 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Exploration is a presentation-layer session over a Schema Summary: the
+// user focuses on a class and iteratively expands connections until —
+// possibly — the whole Schema Summary is visible (Figure 2, steps 2–4).
+type Exploration struct {
+	summary *Summary
+	visible map[string]bool
+	// Focus is the class the exploration started from.
+	Focus string
+}
+
+// NewExploration starts an exploration focused on the given class.
+func NewExploration(s *Summary, focusIRI string) (*Exploration, error) {
+	if _, ok := s.NodeByIRI(focusIRI); !ok {
+		return nil, fmt.Errorf("schema: unknown class %s", focusIRI)
+	}
+	return &Exploration{
+		summary: s,
+		visible: map[string]bool{focusIRI: true},
+		Focus:   focusIRI,
+	}, nil
+}
+
+// Visible returns the currently visible classes, sorted.
+func (e *Exploration) Visible() []string {
+	out := make([]string, 0, len(e.visible))
+	for c := range e.visible {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VisibleSet returns a copy of the visible class set.
+func (e *Exploration) VisibleSet() map[string]bool {
+	out := make(map[string]bool, len(e.visible))
+	for c := range e.visible {
+		out[c] = true
+	}
+	return out
+}
+
+// NodeCount is the number of visible classes (shown to the user at each
+// step).
+func (e *Exploration) NodeCount() int { return len(e.visible) }
+
+// Coverage is the percentage of instances represented by the visible
+// classes (shown to the user at each step).
+func (e *Exploration) Coverage() float64 {
+	return e.summary.CoveragePercent(e.visible)
+}
+
+// VisibleEdges returns the Schema Summary edges with both ends visible.
+func (e *Exploration) VisibleEdges() []Edge {
+	return e.summary.EdgesBetween(e.visible)
+}
+
+// Expand makes the neighbors of the given visible class visible and
+// returns the newly added classes, sorted. Expanding an invisible class
+// is an error.
+func (e *Exploration) Expand(classIRI string) ([]string, error) {
+	if !e.visible[classIRI] {
+		return nil, fmt.Errorf("schema: class %s is not visible", classIRI)
+	}
+	var added []string
+	for _, n := range e.summary.Neighbors(classIRI) {
+		if !e.visible[n] {
+			e.visible[n] = true
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	return added, nil
+}
+
+// ExpandAll repeatedly expands every visible class until the reachable
+// component is fully visible; it returns the number of expansion rounds.
+func (e *Exploration) ExpandAll() int {
+	rounds := 0
+	for {
+		before := len(e.visible)
+		for _, c := range e.Visible() {
+			_, _ = e.Expand(c)
+		}
+		rounds++
+		if len(e.visible) == before {
+			return rounds
+		}
+	}
+}
+
+// Complete reports whether every class of the summary is visible — the
+// state equal to the full Schema Summary visualization (Figure 2 step 4).
+func (e *Exploration) Complete() bool {
+	return len(e.visible) == e.summary.NumClasses()
+}
+
+// Add makes an arbitrary class visible without requiring adjacency (the
+// UI lets users add disconnected classes too).
+func (e *Exploration) Add(classIRI string) error {
+	if _, ok := e.summary.NodeByIRI(classIRI); !ok {
+		return fmt.Errorf("schema: unknown class %s", classIRI)
+	}
+	e.visible[classIRI] = true
+	return nil
+}

@@ -1,0 +1,241 @@
+package schema
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/synth"
+)
+
+func scholarlySummary(t testing.TB) *Summary {
+	t.Helper()
+	st := synth.Scholarly(1)
+	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(ix)
+}
+
+func TestBuildScholarly(t *testing.T) {
+	s := scholarlySummary(t)
+	if s.NumClasses() != synth.ScholarlyClassCount() {
+		t.Fatalf("classes = %d", s.NumClasses())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Edges) == 0 {
+		t.Fatal("no edges")
+	}
+	if s.TotalInstances <= 0 {
+		t.Fatal("no instances")
+	}
+}
+
+func TestNodesSortedByInstances(t *testing.T) {
+	s := scholarlySummary(t)
+	for i := 1; i < len(s.Nodes); i++ {
+		if s.Nodes[i-1].Instances < s.Nodes[i].Instances {
+			t.Fatal("nodes not sorted by descending instances")
+		}
+	}
+	if s.Nodes[0].Label != "Person" {
+		t.Fatalf("top node = %s", s.Nodes[0].Label)
+	}
+}
+
+func TestNodeByIRI(t *testing.T) {
+	s := scholarlySummary(t)
+	n, ok := s.NodeByIRI(synth.ScholarlyNS + "Event")
+	if !ok || n.Label != "Event" || n.Instances != 150 {
+		t.Fatalf("NodeByIRI(Event) = %+v, %v", n, ok)
+	}
+	if _, ok := s.NodeByIRI("http://nope"); ok {
+		t.Fatal("unknown IRI should miss")
+	}
+}
+
+func TestNodeAttributes(t *testing.T) {
+	s := scholarlySummary(t)
+	n, _ := s.NodeByIRI(synth.ScholarlyNS + "Event")
+	if len(n.Attributes) != 3 { // label, startDate, endDate
+		t.Fatalf("Event attributes = %+v", n.Attributes)
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	s := scholarlySummary(t)
+	event := synth.ScholarlyNS + "Event"
+	if d := s.Degree(event); d < 6 {
+		t.Fatalf("Event degree = %d, want >= 6 (hub class)", d)
+	}
+	nbrs := s.Neighbors(event)
+	want := map[string]bool{
+		synth.ScholarlyNS + "Situation":         true,
+		synth.ScholarlyNS + "Vevent":            true,
+		synth.ScholarlyNS + "SessionEvent":      true,
+		synth.ScholarlyNS + "ConferenceSeries":  true,
+		synth.ScholarlyNS + "InformationObject": true,
+	}
+	found := 0
+	for _, n := range nbrs {
+		if want[n] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("Event neighbors missing Figure 7 classes: %v", nbrs)
+	}
+}
+
+func TestCoveragePercent(t *testing.T) {
+	s := scholarlySummary(t)
+	all := map[string]bool{}
+	for _, n := range s.Nodes {
+		all[n.IRI] = true
+	}
+	if got := s.CoveragePercent(all); got < 99.99 || got > 100.01 {
+		t.Fatalf("full coverage = %v", got)
+	}
+	if got := s.CoveragePercent(map[string]bool{}); got != 0 {
+		t.Fatalf("empty coverage = %v", got)
+	}
+	one := map[string]bool{synth.ScholarlyNS + "Person": true}
+	got := s.CoveragePercent(one)
+	want := 100 * 1200.0 / float64(s.TotalInstances)
+	if got < want-0.01 || got > want+0.01 {
+		t.Fatalf("Person coverage = %v, want %v", got, want)
+	}
+}
+
+func TestEdgesBetween(t *testing.T) {
+	s := scholarlySummary(t)
+	set := map[string]bool{
+		synth.ScholarlyNS + "Event":     true,
+		synth.ScholarlyNS + "Situation": true,
+	}
+	edges := s.EdgesBetween(set)
+	if len(edges) == 0 {
+		t.Fatal("Event–Situation edge missing")
+	}
+	for _, e := range edges {
+		if !set[e.From] || !set[e.To] {
+			t.Fatalf("edge %v leaves the set", e)
+		}
+	}
+}
+
+func TestValidateCatchesBadEdge(t *testing.T) {
+	s := &Summary{
+		Nodes: []Node{{IRI: "http://a"}},
+		Edges: []Edge{{From: "http://a", To: "http://missing"}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestValidateCatchesDuplicateNode(t *testing.T) {
+	s := &Summary{Nodes: []Node{{IRI: "http://a"}, {IRI: "http://a"}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+// --- exploration (Figure 2) ---
+
+func TestExplorationWalkthrough(t *testing.T) {
+	s := scholarlySummary(t)
+	event := synth.ScholarlyNS + "Event"
+	e, err := NewExploration(s, event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// step 2: focused on Event
+	if e.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d", e.NodeCount())
+	}
+	cov1 := e.Coverage()
+	if cov1 <= 0 || cov1 >= 100 {
+		t.Fatalf("initial coverage = %v", cov1)
+	}
+	// step 3: expand Event
+	added, err := e.Expand(event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) == 0 {
+		t.Fatal("expanding a hub should add classes")
+	}
+	cov2 := e.Coverage()
+	if cov2 <= cov1 {
+		t.Fatalf("coverage must grow: %v → %v", cov1, cov2)
+	}
+	if e.NodeCount() != 1+len(added) {
+		t.Fatalf("node count mismatch")
+	}
+	// step 4: expand everything
+	e.ExpandAll()
+	if !e.Complete() {
+		// the Scholarly graph is connected through Event, so a full
+		// expansion must reach every class
+		t.Fatalf("expansion incomplete: %d/%d", e.NodeCount(), s.NumClasses())
+	}
+	if got := e.Coverage(); got < 99.99 {
+		t.Fatalf("full coverage = %v", got)
+	}
+}
+
+func TestExplorationVisibleEdgesGrow(t *testing.T) {
+	s := scholarlySummary(t)
+	event := synth.ScholarlyNS + "Event"
+	e, _ := NewExploration(s, event)
+	if n := len(e.VisibleEdges()); n != 0 {
+		t.Fatalf("single focus node should have 0 visible inter-class edges, got %d", n)
+	}
+	e.Expand(event)
+	if n := len(e.VisibleEdges()); n == 0 {
+		t.Fatal("edges should appear after expansion")
+	}
+}
+
+func TestExplorationErrors(t *testing.T) {
+	s := scholarlySummary(t)
+	if _, err := NewExploration(s, "http://nope"); err == nil {
+		t.Fatal("unknown focus should fail")
+	}
+	e, _ := NewExploration(s, synth.ScholarlyNS+"Event")
+	if _, err := e.Expand(synth.ScholarlyNS + "Person"); err == nil {
+		t.Fatal("expanding invisible class should fail")
+	}
+	if err := e.Add("http://nope"); err == nil {
+		t.Fatal("adding unknown class should fail")
+	}
+	if err := e.Add(synth.ScholarlyNS + "Person"); err != nil {
+		t.Fatal(err)
+	}
+	if e.NodeCount() != 2 {
+		t.Fatalf("NodeCount = %d", e.NodeCount())
+	}
+}
+
+func TestExplorationVisibleSorted(t *testing.T) {
+	s := scholarlySummary(t)
+	e, _ := NewExploration(s, synth.ScholarlyNS+"Event")
+	e.ExpandAll()
+	v := e.Visible()
+	for i := 1; i < len(v); i++ {
+		if v[i-1] >= v[i] {
+			t.Fatal("Visible() not sorted")
+		}
+	}
+	// VisibleSet is a copy
+	set := e.VisibleSet()
+	delete(set, v[0])
+	if e.NodeCount() != len(v) {
+		t.Fatal("VisibleSet must be a copy")
+	}
+}

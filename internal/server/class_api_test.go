@@ -1,0 +1,51 @@
+package server
+
+import (
+	"encoding/json"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/viz"
+)
+
+func TestClassDetailAPI(t *testing.T) {
+	srv := testServer(t)
+	code, body, _ := get(t, srv.URL+"/api/class?dataset="+url.QueryEscape(dsURL)+
+		"&class="+url.QueryEscape(synth.ScholarlyNS+"Event"))
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var d viz.ClassDetail
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Label != "Event" || d.Instances != 150 || len(d.Outgoing) == 0 || len(d.Incoming) == 0 {
+		t.Fatalf("detail = %+v", d)
+	}
+	code, _, _ = get(t, srv.URL+"/api/class?dataset="+url.QueryEscape(dsURL)+"&class=http://nope")
+	if code != 404 {
+		t.Fatalf("unknown class status = %d", code)
+	}
+}
+
+func TestModelAPIs(t *testing.T) {
+	srv := testServer(t)
+	for _, kind := range []string{"treemap", "sunburst", "circlepack"} {
+		code, body, hdr := get(t, srv.URL+"/api/model/"+kind+"?dataset="+url.QueryEscape(dsURL))
+		if code != 200 {
+			t.Fatalf("model %s status = %d", kind, code)
+		}
+		if !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+			t.Fatalf("model %s content type = %s", kind, hdr.Get("Content-Type"))
+		}
+		var any map[string]any
+		if err := json.Unmarshal([]byte(body), &any); err != nil {
+			t.Fatalf("model %s: %v", kind, err)
+		}
+		if any["dataset"] != dsURL {
+			t.Fatalf("model %s dataset = %v", kind, any["dataset"])
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package server is H-BOLD's HTTP presentation layer: the dataset list,
+// the exploration API (class focus, iterative expansion with coverage
+// feedback), the visualization endpoints rendering the §3.5 layouts as
+// SVG, the visual query builder endpoint, and the §3.4 manual insertion
+// form. It is a thin adapter over internal/core.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/querybuilder"
+	"repro/internal/schema"
+	"repro/internal/viz"
+)
+
+// Server exposes one H-BOLD instance over HTTP.
+type Server struct {
+	Tool *core.HBOLD
+	mux  *http.ServeMux
+}
+
+// New builds the server and its routes.
+func New(tool *core.HBOLD) *Server {
+	s := &Server{Tool: tool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/api/summary", s.handleSummary)
+	s.mux.HandleFunc("/api/cluster", s.handleCluster)
+	s.mux.HandleFunc("/api/explore", s.handleExplore)
+	s.mux.HandleFunc("/api/class", s.handleClass)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/model/treemap", s.handleModel("treemap"))
+	s.mux.HandleFunc("/api/model/sunburst", s.handleModel("sunburst"))
+	s.mux.HandleFunc("/api/model/circlepack", s.handleModel("circlepack"))
+	s.mux.HandleFunc("/view/treemap", s.handleView("treemap"))
+	s.mux.HandleFunc("/view/sunburst", s.handleView("sunburst"))
+	s.mux.HandleFunc("/view/circlepack", s.handleView("circlepack"))
+	s.mux.HandleFunc("/view/bundle", s.handleView("bundle"))
+	s.mux.HandleFunc("/view/cluster-graph", s.handleView("cluster-graph"))
+	s.mux.HandleFunc("/view/summary-graph", s.handleView("summary-graph"))
+	s.mux.HandleFunc("/submit", s.handleSubmit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var homeTmpl = template.Must(template.New("home").Parse(`<!DOCTYPE html>
+<html><head><title>H-BOLD — High-level Visualization over Big Linked Open Data</title></head>
+<body>
+<h1>H-BOLD</h1>
+<p>{{len .}} indexed Linked Data sources. Pick one to explore its Cluster Schema or Schema Summary.</p>
+<table border="1" cellpadding="4">
+<tr><th>Dataset</th><th>Classes</th><th>Clusters</th><th>Instances</th><th>Triples</th><th>Last extraction</th><th>Views</th></tr>
+{{range .}}
+<tr>
+<td>{{.Title}}</td><td>{{.Classes}}</td><td>{{.Clusters}}</td><td>{{.Instances}}</td><td>{{.Triples}}</td><td>{{.LastExtraction}}</td>
+<td>
+<a href="/view/cluster-graph?dataset={{.URL}}">cluster</a>
+<a href="/view/treemap?dataset={{.URL}}">treemap</a>
+<a href="/view/sunburst?dataset={{.URL}}">sunburst</a>
+<a href="/view/circlepack?dataset={{.URL}}">pack</a>
+<a href="/view/bundle?dataset={{.URL}}">bundling</a>
+<a href="/view/summary-graph?dataset={{.URL}}">summary</a>
+</td>
+</tr>
+{{end}}
+</table>
+<h2>Insert a new SPARQL endpoint</h2>
+<form method="POST" action="/submit">
+URL: <input name="url" size="50">
+E-mail: <input name="email" size="30">
+Title: <input name="title" size="30">
+<input type="submit" value="Submit">
+</form>
+<p>Since the index extraction procedure can be time-consuming, you will be
+notified by e-mail about the status of the extraction. The address is
+deleted once the notification is sent.</p>
+</body></html>`))
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := homeTmpl.Execute(w, s.Tool.Datasets()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Tool.Datasets())
+}
+
+func (s *Server) dataset(r *http.Request) string {
+	return r.URL.Query().Get("dataset")
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.Tool.Summary(s.dataset(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, sum)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cs, err := s.Tool.ClusterSchema(s.dataset(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, cs)
+}
+
+// exploreResponse is the JSON shape of one exploration step: the visible
+// classes, the coverage feedback of Figure 2, and the visible edges.
+type exploreResponse struct {
+	Focus    string        `json:"focus"`
+	Visible  []string      `json:"visible"`
+	Nodes    int           `json:"nodes"`
+	Coverage float64       `json:"coveragePercent"`
+	Complete bool          `json:"complete"`
+	Edges    []schema.Edge `json:"edges"`
+}
+
+// handleExplore starts at ?focus= and applies ?expand= (comma-separated
+// class IRIs, expanded in order), returning the resulting partial view.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	focus := r.URL.Query().Get("focus")
+	ex, err := s.Tool.Explore(s.dataset(r), focus)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if expand := r.URL.Query().Get("expand"); expand != "" {
+		for _, c := range strings.Split(expand, ",") {
+			if _, err := ex.Expand(strings.TrimSpace(c)); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if r.URL.Query().Get("all") == "true" {
+		ex.ExpandAll()
+	}
+	writeJSON(w, exploreResponse{
+		Focus:    focus,
+		Visible:  ex.Visible(),
+		Nodes:    ex.NodeCount(),
+		Coverage: ex.Coverage(),
+		Complete: ex.Complete(),
+		Edges:    ex.VisibleEdges(),
+	})
+}
+
+// handleClass returns the class detail panel of Figure 2 step 2:
+// attributes plus incoming and outgoing properties.
+func (s *Server) handleClass(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.Tool.Summary(s.dataset(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	cs, err := s.Tool.ClusterSchema(s.dataset(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	detail, ok := viz.ClassDetailOf(cs, sum, r.URL.Query().Get("class"))
+	if !ok {
+		http.Error(w, "unknown class", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, detail)
+}
+
+// handleModel serves the layout geometry as JSON instead of SVG, for
+// clients that render themselves (as the deployed tool's D3 frontend
+// did).
+func (s *Server) handleModel(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sum, err := s.Tool.Summary(s.dataset(r))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		cs, err := s.Tool.ClusterSchema(s.dataset(r))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		switch kind {
+		case "treemap":
+			writeJSON(w, viz.TreemapModelOf(cs, sum, 1000, 700))
+		case "sunburst":
+			writeJSON(w, viz.SunburstModelOf(cs, sum, 400))
+		case "circlepack":
+			writeJSON(w, viz.CirclePackModelOf(cs, sum, 800))
+		}
+	}
+}
+
+// handleQuery accepts a visual query model as JSON, generates SPARQL and
+// runs it against the dataset's endpoint if connected; with ?build=only
+// it returns just the generated text.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a query model", http.StatusMethodNotAllowed)
+		return
+	}
+	var q querybuilder.Query
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	text, err := q.Build()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"sparql": text})
+}
+
+func (s *Server) handleView(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		url := s.dataset(r)
+		sum, err := s.Tool.Summary(url)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		cs, err := s.Tool.ClusterSchema(url)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		var out string
+		switch kind {
+		case "treemap":
+			out = viz.TreemapView(cs, sum, 1000, 700)
+		case "sunburst":
+			out = viz.SunburstView(cs, sum, 800)
+		case "circlepack":
+			out = viz.CirclePackView(cs, sum, 800)
+		case "bundle":
+			out = viz.BundleView(cs, sum, r.URL.Query().Get("focus"), 900)
+		case "cluster-graph":
+			out = viz.ClusterGraphView(cs, 900)
+		case "summary-graph":
+			var visible map[string]bool
+			if vis := r.URL.Query().Get("visible"); vis != "" {
+				visible = map[string]bool{}
+				for _, c := range strings.Split(vis, ",") {
+					visible[strings.TrimSpace(c)] = true
+				}
+			}
+			out = viz.SummaryGraphView(sum, visible, 900)
+		default:
+			http.Error(w, "unknown view", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, out)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the submission form", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "bad form", http.StatusBadRequest)
+		return
+	}
+	url := r.PostForm.Get("url")
+	email := r.PostForm.Get("email")
+	title := r.PostForm.Get("title")
+	if title == "" {
+		title = url
+	}
+	if err := s.Tool.SubmitEndpoint(url, title, email); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "Endpoint %s submitted. You will be notified at %s when the index extraction completes.\n", url, email)
+}

@@ -1,0 +1,108 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestConstructSimple(t *testing.T) {
+	st := fixtureStore(t)
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT { ?a ex:acquaintedWith ?b } WHERE { ?a ex:knows ?b }`)
+	if res.Graph == nil {
+		t.Fatal("no graph")
+	}
+	if res.Graph.Len() != 3 {
+		t.Fatalf("constructed %d triples, want 3", res.Graph.Len())
+	}
+	want := rdf.NewTriple(
+		rdf.NewIRI("http://ex/alice"),
+		rdf.NewIRI("http://ex/acquaintedWith"),
+		rdf.NewIRI("http://ex/bob"))
+	if !res.Graph.Has(want) {
+		t.Fatalf("missing %v", want)
+	}
+}
+
+func TestConstructMultiTemplate(t *testing.T) {
+	st := fixtureStore(t)
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT {
+			?p a ex:Agent .
+			?p ex:labelCopy ?l .
+		} WHERE { ?p a ex:Person ; <http://www.w3.org/2000/01/rdf-schema#label> ?l }`)
+	// 3 persons × 2 template triples
+	if res.Graph.Len() != 6 {
+		t.Fatalf("constructed %d, want 6", res.Graph.Len())
+	}
+}
+
+func TestConstructSkipsUnbound(t *testing.T) {
+	st := fixtureStore(t)
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT { ?p ex:knowsCopy ?k } WHERE { ?p a ex:Person OPTIONAL { ?p ex:knows ?k } }`)
+	// carol has no ?k → her template triple is skipped
+	if res.Graph.Len() != 3 {
+		t.Fatalf("constructed %d, want 3", res.Graph.Len())
+	}
+}
+
+func TestConstructSkipsLiteralSubject(t *testing.T) {
+	st := fixtureStore(t)
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT { ?l ex:of ?p } WHERE { ?p <http://www.w3.org/2000/01/rdf-schema#label> ?l }`)
+	if res.Graph.Len() != 0 {
+		t.Fatalf("literal subjects must be skipped, got %d triples", res.Graph.Len())
+	}
+}
+
+func TestConstructBlankNodeScoping(t *testing.T) {
+	st := fixtureStore(t)
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT { ?p ex:sighting _:s . _:s ex:seen ?k } WHERE { ?p ex:knows ?k }`)
+	// 3 solutions × 2 triples, each with a fresh blank node
+	if res.Graph.Len() != 6 {
+		t.Fatalf("constructed %d, want 6", res.Graph.Len())
+	}
+	blanks := map[rdf.Term]bool{}
+	for _, tr := range res.Graph.Triples() {
+		if tr.O.IsBlank() {
+			blanks[tr.O] = true
+		}
+	}
+	if len(blanks) != 3 {
+		t.Fatalf("blank nodes = %d, want 3 (one per solution)", len(blanks))
+	}
+}
+
+func TestConstructWithLimit(t *testing.T) {
+	st := fixtureStore(t)
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT { ?a ex:c ?b } WHERE { ?a ex:knows ?b } LIMIT 1`)
+	if res.Graph.Len() != 1 {
+		t.Fatalf("constructed %d, want 1", res.Graph.Len())
+	}
+}
+
+func TestConstructDeduplicates(t *testing.T) {
+	st := fixtureStore(t)
+	// every person produces the same constant triple → deduplicated
+	res := exec(t, st, `PREFIX ex: <http://ex/>
+		CONSTRUCT { ex:dataset ex:has ex:people } WHERE { ?p a ex:Person }`)
+	if res.Graph.Len() != 1 {
+		t.Fatalf("constructed %d, want 1", res.Graph.Len())
+	}
+}
+
+func TestConstructParseErrors(t *testing.T) {
+	for _, q := range []string{
+		`CONSTRUCT { } WHERE { ?s ?p ?o }`,
+		`CONSTRUCT { ?s ?p ?o WHERE { ?s ?p ?o }`,
+		`CONSTRUCT ?s WHERE { ?s ?p ?o }`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}

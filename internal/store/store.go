@@ -1,0 +1,342 @@
+// Package store implements an in-memory indexed RDF triple store.
+//
+// The store interns terms into dense integer IDs and maintains the three
+// classic permutation indexes (SPO, POS, OSP) so that any triple pattern
+// with at least one bound position is answered without a full scan. It
+// also keeps the class/property statistics that the SPARQL evaluator uses
+// for selectivity-based join ordering and that Index Extraction reads.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dense term identifier assigned by the store dictionary.
+type ID uint32
+
+// NoID is returned for terms unknown to the dictionary.
+const NoID = ID(0)
+
+// Store is an indexed triple store. It is safe for concurrent readers;
+// writes must not race with reads (the loaders in this repository build a
+// store fully before sharing it, matching how H-BOLD snapshots endpoints).
+type Store struct {
+	mu sync.RWMutex
+
+	dict   map[rdf.Term]ID
+	terms  []rdf.Term // terms[id-1] is the term for id
+	nTrips int
+
+	spo index
+	pos index
+	osp index
+
+	// statistics
+	predCount map[ID]int // triples per predicate
+}
+
+// index is a two-level permutation index: first key → second key → sorted
+// set of third keys.
+type index map[ID]map[ID][]ID
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:      make(map[rdf.Term]ID),
+		spo:       make(index),
+		pos:       make(index),
+		osp:       make(index),
+		predCount: make(map[ID]int),
+	}
+}
+
+// FromGraph builds a store containing all triples of g.
+func FromGraph(g *rdf.Graph) *Store {
+	s := New()
+	for _, t := range g.Triples() {
+		s.Add(t)
+	}
+	return s
+}
+
+// intern returns the ID for t, assigning a new one if needed.
+func (s *Store) intern(t rdf.Term) ID {
+	if id, ok := s.dict[t]; ok {
+		return id
+	}
+	s.terms = append(s.terms, t)
+	id := ID(len(s.terms))
+	s.dict[t] = id
+	return id
+}
+
+// Lookup returns the ID of t, or NoID if the store has never seen it.
+func (s *Store) Lookup(t rdf.Term) ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dict[t]
+}
+
+// Term returns the term with the given ID. It panics on NoID or an ID the
+// store never issued, which always indicates a programming error.
+func (s *Store) Term(id ID) rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.terms[id-1]
+}
+
+// Add inserts a triple. It reports whether the triple was new.
+func (s *Store) Add(t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si, pi, oi := s.intern(t.S), s.intern(t.P), s.intern(t.O)
+	if !insert(s.spo, si, pi, oi) {
+		return false
+	}
+	insert(s.pos, pi, oi, si)
+	insert(s.osp, oi, si, pi)
+	s.nTrips++
+	s.predCount[pi]++
+	return true
+}
+
+// AddSPO inserts a triple given its components.
+func (s *Store) AddSPO(sub, pred, obj rdf.Term) bool {
+	return s.Add(rdf.Triple{S: sub, P: pred, O: obj})
+}
+
+// insert adds c into the sorted set idx[a][b], reporting whether it was new.
+func insert(idx index, a, b, c ID) bool {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[ID][]ID)
+		idx[a] = m
+	}
+	list := m[b]
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= c })
+	if i < len(list) && list[i] == c {
+		return false
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = c
+	m[b] = list
+	return true
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nTrips
+}
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (s *Store) TermCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.terms)
+}
+
+// Has reports whether the store contains the triple.
+func (s *Store) Has(t rdf.Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si, pi, oi := s.dict[t.S], s.dict[t.P], s.dict[t.O]
+	if si == NoID || pi == NoID || oi == NoID {
+		return false
+	}
+	list := s.spo[si][pi]
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= oi })
+	return i < len(list) && list[i] == oi
+}
+
+// Pattern is a triple pattern: a zero Term in any position is a wildcard.
+type Pattern struct {
+	S, P, O rdf.Term
+}
+
+// Match streams every triple matching the pattern to fn; returning false
+// from fn stops the iteration early.
+func (s *Store) Match(pat Pattern, fn func(rdf.Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var si, pi, oi ID
+	if !pat.S.IsZero() {
+		if si = s.dict[pat.S]; si == NoID {
+			return
+		}
+	}
+	if !pat.P.IsZero() {
+		if pi = s.dict[pat.P]; pi == NoID {
+			return
+		}
+	}
+	if !pat.O.IsZero() {
+		if oi = s.dict[pat.O]; oi == NoID {
+			return
+		}
+	}
+
+	emit := func(a, b, c ID) bool { // a,b,c in s,p,o order
+		return fn(rdf.Triple{S: s.terms[a-1], P: s.terms[b-1], O: s.terms[c-1]})
+	}
+
+	switch {
+	case si != NoID && pi != NoID && oi != NoID:
+		list := s.spo[si][pi]
+		i := sort.Search(len(list), func(k int) bool { return list[k] >= oi })
+		if i < len(list) && list[i] == oi {
+			emit(si, pi, oi)
+		}
+	case si != NoID && pi != NoID:
+		for _, o := range s.spo[si][pi] {
+			if !emit(si, pi, o) {
+				return
+			}
+		}
+	case pi != NoID && oi != NoID:
+		for _, sub := range s.pos[pi][oi] {
+			if !emit(sub, pi, oi) {
+				return
+			}
+		}
+	case si != NoID && oi != NoID:
+		for _, p := range s.osp[oi][si] {
+			if !emit(si, p, oi) {
+				return
+			}
+		}
+	case si != NoID:
+		if !iterate2(s.spo[si], func(p, o ID) bool { return emit(si, p, o) }) {
+			return
+		}
+	case pi != NoID:
+		if !iterate2(s.pos[pi], func(o, sub ID) bool { return emit(sub, pi, o) }) {
+			return
+		}
+	case oi != NoID:
+		if !iterate2(s.osp[oi], func(sub, p ID) bool { return emit(sub, p, oi) }) {
+			return
+		}
+	default:
+		for sub, pm := range s.spo {
+			if !iterate2(pm, func(p, o ID) bool { return emit(sub, p, o) }) {
+				return
+			}
+		}
+	}
+}
+
+// iterate2 walks a second-level index deterministically (sorted first key).
+func iterate2(m map[ID][]ID, fn func(b, c ID) bool) bool {
+	keys := make([]ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, b := range keys {
+		for _, c := range m[b] {
+			if !fn(b, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MatchAll collects every triple matching the pattern.
+func (s *Store) MatchAll(pat Pattern) []rdf.Triple {
+	var out []rdf.Triple
+	s.Match(pat, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (s *Store) Count(pat Pattern) int {
+	n := 0
+	s.Match(pat, func(rdf.Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Cardinality estimates how many triples match the pattern; used by the
+// query planner for join ordering. It is exact for the common shapes.
+func (s *Store) Cardinality(pat Pattern) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var si, pi, oi ID
+	if !pat.S.IsZero() {
+		if si = s.dict[pat.S]; si == NoID {
+			return 0
+		}
+	}
+	if !pat.P.IsZero() {
+		if pi = s.dict[pat.P]; pi == NoID {
+			return 0
+		}
+	}
+	if !pat.O.IsZero() {
+		if oi = s.dict[pat.O]; oi == NoID {
+			return 0
+		}
+	}
+	switch {
+	case si != NoID && pi != NoID && oi != NoID:
+		return 1
+	case si != NoID && pi != NoID:
+		return len(s.spo[si][pi])
+	case pi != NoID && oi != NoID:
+		return len(s.pos[pi][oi])
+	case si != NoID && oi != NoID:
+		return len(s.osp[oi][si])
+	case si != NoID:
+		return size2(s.spo[si])
+	case pi != NoID:
+		return s.predCount[pi]
+	case oi != NoID:
+		return size2(s.osp[oi])
+	default:
+		return s.nTrips
+	}
+}
+
+func size2(m map[ID][]ID) int {
+	n := 0
+	for _, l := range m {
+		n += len(l)
+	}
+	return n
+}
+
+// Predicates returns the distinct predicates in the store, sorted.
+func (s *Store) Predicates() []rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rdf.Term, 0, len(s.predCount))
+	for id := range s.predCount {
+		out = append(out, s.terms[id-1])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Graph copies the full content into a Graph (mainly for serialization).
+func (s *Store) Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	s.Match(Pattern{}, func(t rdf.Triple) bool {
+		g.Add(t)
+		return true
+	})
+	return g
+}

@@ -1,0 +1,270 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex/" + s) }
+
+func buildSmall() *Store {
+	s := New()
+	s.AddSPO(iri("alice"), iri("knows"), iri("bob"))
+	s.AddSPO(iri("alice"), iri("knows"), iri("carol"))
+	s.AddSPO(iri("bob"), iri("knows"), iri("carol"))
+	s.AddSPO(iri("alice"), iri("name"), rdf.NewLiteral("Alice"))
+	s.AddSPO(iri("alice"), rdf.NewIRI(rdf.RDFType), iri("Person"))
+	s.AddSPO(iri("bob"), rdf.NewIRI(rdf.RDFType), iri("Person"))
+	s.AddSPO(iri("conf"), rdf.NewIRI(rdf.RDFType), iri("Event"))
+	return s
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	s := New()
+	tr := rdf.NewTriple(iri("a"), iri("p"), iri("b"))
+	if !s.Add(tr) {
+		t.Fatal("first Add must be true")
+	}
+	if s.Add(tr) {
+		t.Fatal("second Add must be false")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestHas(t *testing.T) {
+	s := buildSmall()
+	if !s.Has(rdf.NewTriple(iri("alice"), iri("knows"), iri("bob"))) {
+		t.Fatal("Has missing existing triple")
+	}
+	if s.Has(rdf.NewTriple(iri("bob"), iri("knows"), iri("alice"))) {
+		t.Fatal("Has found non-existing triple")
+	}
+}
+
+func TestMatchShapes(t *testing.T) {
+	s := buildSmall()
+	cases := []struct {
+		name string
+		pat  Pattern
+		want int
+	}{
+		{"SPO", Pattern{iri("alice"), iri("knows"), iri("bob")}, 1},
+		{"SP?", Pattern{S: iri("alice"), P: iri("knows")}, 2},
+		{"?PO", Pattern{P: iri("knows"), O: iri("carol")}, 2},
+		{"S?O", Pattern{S: iri("alice"), O: iri("bob")}, 1},
+		{"S??", Pattern{S: iri("alice")}, 4},
+		{"?P?", Pattern{P: iri("knows")}, 3},
+		{"??O", Pattern{O: iri("carol")}, 2},
+		{"???", Pattern{}, 7},
+		{"missing term", Pattern{S: iri("nobody")}, 0},
+	}
+	for _, c := range cases {
+		if got := s.Count(c.pat); got != c.want {
+			t.Errorf("%s: Count = %d, want %d", c.name, got, c.want)
+		}
+		if got := len(s.MatchAll(c.pat)); got != c.want {
+			t.Errorf("%s: MatchAll = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	s := buildSmall()
+	n := 0
+	s.Match(Pattern{}, func(rdf.Triple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestCardinalityMatchesCount(t *testing.T) {
+	s := buildSmall()
+	pats := []Pattern{
+		{},
+		{S: iri("alice")},
+		{P: iri("knows")},
+		{O: iri("carol")},
+		{S: iri("alice"), P: iri("knows")},
+		{P: iri("knows"), O: iri("carol")},
+		{S: iri("alice"), O: iri("bob")},
+		{S: iri("ghost")},
+	}
+	for _, p := range pats {
+		if c, n := s.Cardinality(p), s.Count(p); c != n {
+			t.Errorf("Cardinality(%v) = %d, Count = %d", p, c, n)
+		}
+	}
+}
+
+func TestLookupTermRoundTrip(t *testing.T) {
+	s := buildSmall()
+	id := s.Lookup(iri("alice"))
+	if id == NoID {
+		t.Fatal("alice should be interned")
+	}
+	if got := s.Term(id); got != iri("alice") {
+		t.Fatalf("Term(Lookup(alice)) = %v", got)
+	}
+	if s.Lookup(iri("ghost")) != NoID {
+		t.Fatal("unknown term should be NoID")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	s := buildSmall()
+	cs := s.Classes()
+	if len(cs) != 2 {
+		t.Fatalf("Classes = %d, want 2", len(cs))
+	}
+	if cs[0].Class != iri("Person") || cs[0].Instances != 2 {
+		t.Fatalf("top class = %+v", cs[0])
+	}
+	if cs[1].Class != iri("Event") || cs[1].Instances != 1 {
+		t.Fatalf("second class = %+v", cs[1])
+	}
+}
+
+func TestCountInstancesAndInstancesOf(t *testing.T) {
+	s := buildSmall()
+	if n := s.CountInstances(iri("Person")); n != 2 {
+		t.Fatalf("CountInstances = %d", n)
+	}
+	var got []rdf.Term
+	s.InstancesOf(iri("Person"), func(x rdf.Term) bool {
+		got = append(got, x)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("InstancesOf visited %d", len(got))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	s := buildSmall()
+	ps := s.Predicates()
+	if len(ps) != 3 {
+		t.Fatalf("Predicates = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Compare(ps[i]) >= 0 {
+			t.Fatal("Predicates not sorted")
+		}
+	}
+}
+
+func TestDistinctSubjects(t *testing.T) {
+	s := buildSmall()
+	if n := s.DistinctSubjects(); n != 3 {
+		t.Fatalf("DistinctSubjects = %d, want 3", n)
+	}
+}
+
+func TestGraphExport(t *testing.T) {
+	s := buildSmall()
+	g := s.Graph()
+	if g.Len() != s.Len() {
+		t.Fatalf("Graph export lost triples: %d vs %d", g.Len(), s.Len())
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddSPO(iri("a"), iri("p"), iri("b"))
+	g.AddSPO(iri("b"), iri("p"), iri("c"))
+	s := FromGraph(g)
+	if s.Len() != 2 {
+		t.Fatalf("FromGraph Len = %d", s.Len())
+	}
+}
+
+func TestMatchDeterministic(t *testing.T) {
+	s := buildSmall()
+	a := fmt.Sprint(s.MatchAll(Pattern{P: iri("knows")}))
+	for i := 0; i < 5; i++ {
+		if b := fmt.Sprint(s.MatchAll(Pattern{P: iri("knows")})); a != b {
+			t.Fatal("Match order not deterministic")
+		}
+	}
+}
+
+// Property: every added triple is findable via every index shape, and
+// Count over a wildcard equals the number of insertions.
+func TestQuickIndexConsistency(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		s := New()
+		unique := make(map[[3]uint8]struct{})
+		for _, r := range raw {
+			tr := rdf.NewTriple(
+				iri(fmt.Sprintf("s%d", r[0]%8)),
+				iri(fmt.Sprintf("p%d", r[1]%4)),
+				iri(fmt.Sprintf("o%d", r[2]%8)),
+			)
+			key := [3]uint8{r[0] % 8, r[1] % 4, r[2] % 8}
+			_, dup := unique[key]
+			unique[key] = struct{}{}
+			if s.Add(tr) == dup {
+				return false // Add's newness report must match dedup
+			}
+		}
+		if s.Len() != len(unique) {
+			return false
+		}
+		// every triple reachable through all bound shapes
+		ok := true
+		s.Match(Pattern{}, func(tr rdf.Triple) bool {
+			if !s.Has(tr) {
+				ok = false
+				return false
+			}
+			if s.Count(Pattern{S: tr.S, P: tr.P, O: tr.O}) != 1 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cardinality is exact for all pattern shapes on random data.
+func TestQuickCardinalityExact(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		s := New()
+		for _, r := range raw {
+			s.AddSPO(
+				iri(fmt.Sprintf("s%d", r[0]%6)),
+				iri(fmt.Sprintf("p%d", r[1]%3)),
+				iri(fmt.Sprintf("o%d", r[2]%6)),
+			)
+		}
+		pats := []Pattern{
+			{},
+			{S: iri("s1")},
+			{P: iri("p1")},
+			{O: iri("o2")},
+			{S: iri("s0"), P: iri("p0")},
+			{P: iri("p2"), O: iri("o1")},
+			{S: iri("s3"), O: iri("o3")},
+		}
+		for _, p := range pats {
+			if s.Cardinality(p) != s.Count(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

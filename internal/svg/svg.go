@@ -1,0 +1,163 @@
+// Package svg is a minimal SVG document builder used by the viz package
+// to render the H-BOLD visualizations to files — the stand-in for the
+// D3/browser rendering of the deployed tool.
+package svg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Doc accumulates SVG elements.
+type Doc struct {
+	w, h float64
+	b    strings.Builder
+}
+
+// New returns a document with the given pixel size.
+func New(w, h float64) *Doc {
+	d := &Doc{w: w, h: h}
+	return d
+}
+
+// esc escapes text content and attribute values.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Rect draws a rectangle.
+func (d *Doc) Rect(x, y, w, h float64, fill, stroke string, opts ...string) {
+	fmt.Fprintf(&d.b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" stroke="%s"%s/>`+"\n",
+		f(x), f(y), f(w), f(h), esc(fill), esc(stroke), attrs(opts))
+}
+
+// Circle draws a circle.
+func (d *Doc) Circle(cx, cy, r float64, fill, stroke string, opts ...string) {
+	fmt.Fprintf(&d.b, `<circle cx="%s" cy="%s" r="%s" fill="%s" stroke="%s"%s/>`+"\n",
+		f(cx), f(cy), f(r), esc(fill), esc(stroke), attrs(opts))
+}
+
+// Line draws a line segment.
+func (d *Doc) Line(x1, y1, x2, y2 float64, stroke string, width float64, opts ...string) {
+	fmt.Fprintf(&d.b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="%s"%s/>`+"\n",
+		f(x1), f(y1), f(x2), f(y2), esc(stroke), f(width), attrs(opts))
+}
+
+// Text draws text anchored at (x, y).
+func (d *Doc) Text(x, y float64, size float64, anchor, fill, content string, opts ...string) {
+	fmt.Fprintf(&d.b, `<text x="%s" y="%s" font-size="%s" text-anchor="%s" fill="%s" font-family="sans-serif"%s>%s</text>`+"\n",
+		f(x), f(y), f(size), esc(anchor), esc(fill), attrs(opts), esc(content))
+}
+
+// Path draws a raw path.
+func (d *Doc) Path(dAttr, fill, stroke string, width float64, opts ...string) {
+	fmt.Fprintf(&d.b, `<path d="%s" fill="%s" stroke="%s" stroke-width="%s"%s/>`+"\n",
+		esc(dAttr), esc(fill), esc(stroke), f(width), attrs(opts))
+}
+
+// Polyline draws a polyline through the points (flat x,y pairs).
+func (d *Doc) Polyline(pts []float64, stroke string, width float64, opts ...string) {
+	var sb strings.Builder
+	for i := 0; i+1 < len(pts); i += 2 {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(f(pts[i]))
+		sb.WriteByte(',')
+		sb.WriteString(f(pts[i+1]))
+	}
+	fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%s"%s/>`+"\n",
+		sb.String(), esc(stroke), f(width), attrs(opts))
+}
+
+// Arc draws an annular sector (sunburst slice) centered at (cx, cy),
+// from angle a0 to a1 (radians, 12 o'clock, clockwise), radii r0 < r1.
+func (d *Doc) Arc(cx, cy, a0, a1, r0, r1 float64, fill, stroke string, opts ...string) {
+	sin, cos := sincos(a0)
+	x0o, y0o := cx+r1*sin, cy-r1*cos
+	sin, cos = sincos(a1)
+	x1o, y1o := cx+r1*sin, cy-r1*cos
+	x1i, y1i := cx+r0*sin, cy-r0*cos
+	sin, cos = sincos(a0)
+	x0i, y0i := cx+r0*sin, cy-r0*cos
+	large := 0
+	if a1-a0 > 3.14159265 {
+		large = 1
+	}
+	path := fmt.Sprintf("M %s %s A %s %s 0 %d 1 %s %s L %s %s A %s %s 0 %d 0 %s %s Z",
+		f(x0o), f(y0o), f(r1), f(r1), large, f(x1o), f(y1o),
+		f(x1i), f(y1i), f(r0), f(r0), large, f(x0i), f(y0i))
+	d.Path(path, fill, stroke, 1, opts...)
+}
+
+func sincos(a float64) (float64, float64) {
+	return math.Sin(a), math.Cos(a)
+}
+
+// Comment inserts an XML comment (useful for debugging output).
+func (d *Doc) Comment(text string) {
+	fmt.Fprintf(&d.b, "<!-- %s -->\n", strings.ReplaceAll(text, "--", "- -"))
+}
+
+// String renders the complete SVG document.
+func (d *Doc) String() string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s">`+"\n",
+		f(d.w), f(d.h), f(d.w), f(d.h)) + d.b.String() + "</svg>\n"
+}
+
+func attrs(opts []string) string {
+	if len(opts) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i+1 < len(opts); i += 2 {
+		fmt.Fprintf(&sb, ` %s="%s"`, opts[i], esc(opts[i+1]))
+	}
+	return sb.String()
+}
+
+// Palette is the categorical color scale used across the visualizations
+// (a d3.schemeCategory10-like palette).
+var Palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Color returns a palette color for an index (cycling).
+func Color(i int) string { return Palette[((i%len(Palette))+len(Palette))%len(Palette)] }
+
+// Lighten approximates a lighter shade of a #rrggbb color by mixing with
+// white.
+func Lighten(hex string, amount float64) string {
+	if len(hex) != 7 || hex[0] != '#' || amount < 0 {
+		return hex
+	}
+	parse := func(s string) int {
+		v := 0
+		for _, c := range s {
+			v <<= 4
+			switch {
+			case c >= '0' && c <= '9':
+				v |= int(c - '0')
+			case c >= 'a' && c <= 'f':
+				v |= int(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				v |= int(c-'A') + 10
+			}
+		}
+		return v
+	}
+	r, g, b := parse(hex[1:3]), parse(hex[3:5]), parse(hex[5:7])
+	mix := func(v int) int {
+		nv := v + int(float64(255-v)*amount)
+		if nv > 255 {
+			nv = 255
+		}
+		return nv
+	}
+	return fmt.Sprintf("#%02x%02x%02x", mix(r), mix(g), mix(b))
+}

@@ -1,0 +1,97 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDocStructure(t *testing.T) {
+	d := New(200, 100)
+	d.Rect(0, 0, 10, 10, "red", "none")
+	d.Circle(50, 50, 5, "blue", "black")
+	d.Line(0, 0, 10, 10, "#333", 2)
+	d.Text(5, 5, 12, "middle", "#000", "hello")
+	d.Path("M 0 0 L 10 10", "none", "green", 1)
+	d.Polyline([]float64{0, 0, 5, 5, 10, 0}, "purple", 1)
+	d.Comment("note")
+	out := d.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="200.00" height="100.00"`,
+		"<rect", "<circle", "<line", "<text", "<path", "<polyline",
+		"<!-- note -->", "</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	d := New(10, 10)
+	d.Text(0, 0, 10, "start", "#000", `<b>&"x"`)
+	out := d.String()
+	if strings.Contains(out, `<b>`) {
+		t.Fatal("text content not escaped")
+	}
+	if !strings.Contains(out, "&lt;b&gt;&amp;&quot;x&quot;") {
+		t.Fatalf("escaping wrong: %s", out)
+	}
+}
+
+func TestAttrPairs(t *testing.T) {
+	d := New(10, 10)
+	d.Rect(0, 0, 1, 1, "red", "none", "data-x", "1", "data-y", "two")
+	out := d.String()
+	if !strings.Contains(out, `data-x="1"`) || !strings.Contains(out, `data-y="two"`) {
+		t.Fatalf("attrs missing: %s", out)
+	}
+}
+
+func TestCommentSanitized(t *testing.T) {
+	d := New(10, 10)
+	d.Comment("a--b")
+	if strings.Contains(d.String(), "a--b") {
+		t.Fatal("double dash must be sanitized inside comments")
+	}
+}
+
+func TestArcLargeFlag(t *testing.T) {
+	d := New(100, 100)
+	d.Arc(50, 50, 0, 6.0, 10, 20, "red", "none") // > π → large-arc flag 1
+	small := New(100, 100)
+	small.Arc(50, 50, 0, 1.0, 10, 20, "red", "none")
+	if !strings.Contains(d.String(), " 1 1 ") {
+		t.Fatal("large arc flag not set")
+	}
+	if strings.Contains(small.String(), " 0 1 1 ") && !strings.Contains(small.String(), " 0 0 1 ") {
+		t.Fatal("small arc should not set large flag")
+	}
+}
+
+func TestColorCycles(t *testing.T) {
+	if Color(0) != Palette[0] {
+		t.Fatal("Color(0) wrong")
+	}
+	if Color(len(Palette)) != Palette[0] {
+		t.Fatal("Color must cycle")
+	}
+	if Color(-1) != Palette[len(Palette)-1] {
+		t.Fatal("negative index must wrap")
+	}
+}
+
+func TestLighten(t *testing.T) {
+	if got := Lighten("#000000", 1); got != "#ffffff" {
+		t.Fatalf("Lighten black fully = %s", got)
+	}
+	if got := Lighten("#ff0000", 0); got != "#ff0000" {
+		t.Fatalf("Lighten by 0 = %s", got)
+	}
+	if got := Lighten("bad", 0.5); got != "bad" {
+		t.Fatalf("malformed input should pass through, got %s", got)
+	}
+	mid := Lighten("#104080", 0.5)
+	if mid[0] != '#' || len(mid) != 7 {
+		t.Fatalf("Lighten result malformed: %s", mid)
+	}
+}

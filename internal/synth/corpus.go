@@ -1,0 +1,202 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/clock"
+	"repro/internal/endpoint"
+	"repro/internal/store"
+)
+
+// Paper cardinalities (§3.3): the pre-crawl registry lists 610 endpoints
+// of which 110 are indexed; the portal crawl discovers 65 + 9 + 15
+// endpoints of which 19 were already listed, adding 70 and raising the
+// totals to 680 listed / 130 indexed.
+const (
+	PreExistingEndpoints = 610
+	PreExistingIndexable = 110
+	PortalEDPDatasets    = 65
+	PortalEUODPDatasets  = 9
+	PortalIODSDatasets   = 15
+	PortalOverlap        = 19
+	NewEndpoints         = PortalEDPDatasets + PortalEUODPDatasets + PortalIODSDatasets - PortalOverlap
+	NewIndexable         = 20
+	TotalEndpoints       = PreExistingEndpoints + NewEndpoints
+	TotalIndexable       = PreExistingIndexable + NewIndexable
+)
+
+// Portal names used across the corpus and the crawler.
+const (
+	PortalEDP   = "european-data-portal"
+	PortalEUODP = "eu-open-data-portal"
+	PortalIODS  = "io-datascience-paris"
+)
+
+// EndpointDesc describes one simulated endpoint of the corpus.
+type EndpointDesc struct {
+	// Name is a unique short identifier.
+	Name string
+	// URL is the endpoint's (synthetic) SPARQL URL; portal catalogs
+	// advertise exactly this string, and H-BOLD dedups on it.
+	URL string
+	// Title is the dataset title shown in catalogs.
+	Title string
+	// Spec parameterizes the dataset contents (meaningful only when
+	// Indexable).
+	Spec Spec
+	// Profile selects the endpoint.Quirks profile: "full", "no-agg",
+	// "no-group-by", "capped", "legacy" or "broken".
+	Profile string
+	// OutageProb is the §3.1 availability model parameter.
+	OutageProb float64
+	// Indexable reports whether Index Extraction can succeed at all;
+	// non-indexable endpoints are dead or hostile, matching the paper's
+	// "not working or not compatible" population.
+	Indexable bool
+	// Dead endpoints never answer.
+	Dead bool
+	// PreExisting endpoints are in H-BOLD's list before the portal crawl.
+	PreExisting bool
+	// Portal is the open data portal advertising this endpoint ("" when
+	// only the old DataHub list knows it).
+	Portal string
+}
+
+// Corpus builds the full deterministic endpoint population. The layout
+// reproduces every §3.3 count exactly; the seed controls dataset shapes
+// and availability schedules, not the cardinalities.
+func Corpus(seed int64) []EndpointDesc {
+	rng := rand.New(rand.NewSource(seed))
+	var out []EndpointDesc
+
+	mk := func(i int, preExisting, indexable bool, portal string) EndpointDesc {
+		name := fmt.Sprintf("lod%04d", i)
+		d := EndpointDesc{
+			Name:        name,
+			URL:         fmt.Sprintf("http://%s.example.org/sparql", name),
+			Title:       fmt.Sprintf("Linked Dataset %04d", i),
+			PreExisting: preExisting,
+			Indexable:   indexable,
+			Portal:      portal,
+		}
+		if !indexable {
+			// §3.3: endpoints "not working" (dead) or "not compatible with
+			// the index extraction phase" (broken SPARQL services)
+			if rng.Float64() < 0.5 {
+				d.Dead = true
+			} else {
+				d.Profile = "broken"
+			}
+			return d
+		}
+		d.Spec = Spec{
+			Name:           name,
+			Classes:        8 + rng.Intn(52),
+			Instances:      1000 + rng.Intn(5000),
+			ObjectProps:    20 + rng.Intn(80),
+			DataProps:      15 + rng.Intn(45),
+			LinkFactor:     1 + rng.Intn(2),
+			CommunitySeeds: 3 + rng.Intn(5),
+			Seed:           seed ^ int64(i)*7919,
+		}
+		switch rng.Intn(5) {
+		case 0, 4:
+			d.Profile = "full"
+		case 1:
+			d.Profile = "no-agg"
+		case 2:
+			d.Profile = "capped"
+		default:
+			d.Profile = "no-group-by"
+		}
+		d.OutageProb = [4]float64{0, 0.05, 0.1, 0.2}[rng.Intn(4)]
+		return d
+	}
+
+	i := 0
+	// pre-existing: 110 indexable then 500 not
+	for k := 0; k < PreExistingIndexable; k++ {
+		out = append(out, mk(i, true, true, ""))
+		i++
+	}
+	for k := 0; k < PreExistingEndpoints-PreExistingIndexable; k++ {
+		out = append(out, mk(i, true, false, ""))
+		i++
+	}
+	// new endpoints discovered via portals: 20 indexable + 50 not
+	for k := 0; k < NewIndexable; k++ {
+		out = append(out, mk(i, false, true, ""))
+		i++
+	}
+	for k := 0; k < NewEndpoints-NewIndexable; k++ {
+		out = append(out, mk(i, false, false, ""))
+		i++
+	}
+
+	// assign portals: all 70 new endpoints are advertised by a portal,
+	// plus 19 pre-existing ones (the overlap), totalling 89 catalog
+	// entries split 65 / 9 / 15.
+	assign := make([]string, 0, PortalEDPDatasets+PortalEUODPDatasets+PortalIODSDatasets)
+	for k := 0; k < PortalEDPDatasets; k++ {
+		assign = append(assign, PortalEDP)
+	}
+	for k := 0; k < PortalEUODPDatasets; k++ {
+		assign = append(assign, PortalEUODP)
+	}
+	for k := 0; k < PortalIODSDatasets; k++ {
+		assign = append(assign, PortalIODS)
+	}
+	rng.Shuffle(len(assign), func(a, b int) { assign[a], assign[b] = assign[b], assign[a] })
+	ai := 0
+	// the 70 new ones
+	for j := PreExistingEndpoints; j < len(out); j++ {
+		out[j].Portal = assign[ai]
+		ai++
+	}
+	// 19 overlapping pre-existing ones (spread across the list)
+	overlapIdx := rng.Perm(PreExistingEndpoints)[:PortalOverlap]
+	for _, j := range overlapIdx {
+		out[j].Portal = assign[ai]
+		ai++
+	}
+	return out
+}
+
+// QuirksFor maps a profile name to an endpoint.Quirks value.
+func QuirksFor(profile string) *endpoint.Quirks {
+	switch profile {
+	case "no-agg":
+		return endpoint.ProfileNoAgg
+	case "no-group-by":
+		return endpoint.ProfileNoGroupBy
+	case "capped":
+		return endpoint.ProfileCapped
+	case "legacy":
+		return endpoint.ProfileLegacy
+	case "broken":
+		return endpoint.ProfileBroken
+	default:
+		return endpoint.ProfileFull
+	}
+}
+
+// BuildStore materializes the dataset behind an indexable endpoint.
+func BuildStore(d EndpointDesc) *store.Store {
+	if !d.Indexable {
+		return store.New()
+	}
+	return Generate(d.Spec)
+}
+
+// BuildRemote materializes a simulated endpoint. Dead endpoints get an
+// always-down availability schedule.
+func BuildRemote(d EndpointDesc, ck clock.Clock, seed int64) *endpoint.Remote {
+	var avail *endpoint.Availability
+	if d.Dead {
+		avail = endpoint.AlwaysDown()
+	} else if d.OutageProb > 0 {
+		avail = endpoint.NewAvailability(seed, d.OutageProb)
+	}
+	return endpoint.NewRemote(d.Name, d.URL, BuildStore(d), QuirksFor(d.Profile), avail, ck)
+}

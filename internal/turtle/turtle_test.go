@@ -1,0 +1,343 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestParseNTriples(t *testing.T) {
+	src := `<http://ex/s> <http://ex/p> <http://ex/o> .
+<http://ex/s> <http://ex/p> "lit" .
+<http://ex/s> <http://ex/p> "tagged"@en .
+<http://ex/s> <http://ex/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://ex/p> _:b2 .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", g.Len())
+	}
+	if !g.Has(rdf.NewTriple(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/p"), rdf.NewInteger(5))) {
+		t.Fatal("typed literal triple missing")
+	}
+	if !g.Has(rdf.NewTriple(rdf.NewBlank("b1"), rdf.NewIRI("http://ex/p"), rdf.NewBlank("b2"))) {
+		t.Fatal("blank node triple missing")
+	}
+}
+
+func TestParsePrefixesAndA(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:alice a ex:Person ;
+    rdfs:label "Alice" ;
+    ex:knows ex:bob, ex:carol .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	if !g.Has(rdf.NewTriple(rdf.NewIRI("http://ex/alice"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://ex/Person"))) {
+		t.Fatal("'a' keyword triple missing")
+	}
+	if !g.Has(rdf.NewTriple(rdf.NewIRI("http://ex/alice"), rdf.NewIRI("http://ex/knows"), rdf.NewIRI("http://ex/carol"))) {
+		t.Fatal("object list triple missing")
+	}
+}
+
+func TestParseSPARQLStylePrefix(t *testing.T) {
+	src := `PREFIX ex: <http://ex/>
+ex:a ex:p ex:b .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestParseNumericAndBooleanShorthand(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+ex:x ex:int 42 ;
+     ex:neg -7 ;
+     ex:dec 3.14 ;
+     ex:dbl 1.0e3 ;
+     ex:t true ;
+     ex:f false .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rdf.Term{
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		rdf.NewTypedLiteral("-7", rdf.XSDInteger),
+		rdf.NewTypedLiteral("3.14", rdf.XSDDecimal),
+		rdf.NewTypedLiteral("1.0e3", rdf.XSDDouble),
+		rdf.NewBoolean(true),
+		rdf.NewBoolean(false),
+	}
+	for _, w := range want {
+		found := false
+		for _, tr := range g.Triples() {
+			if tr.O == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("object %v not found", w)
+		}
+	}
+}
+
+func TestParseAnonymousBlankNode(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+ex:a ex:p [ ex:q "inner" ; ex:r 1 ] .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	// the blank node must be shared between the outer and inner triples
+	var anon rdf.Term
+	for _, tr := range g.Triples() {
+		if tr.P.Value == "http://ex/p" {
+			anon = tr.O
+		}
+	}
+	if !anon.IsBlank() {
+		t.Fatalf("object of ex:p should be blank, got %v", anon)
+	}
+	found := 0
+	for _, tr := range g.Triples() {
+		if tr.S == anon {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("inner triples on anon subject = %d, want 2", found)
+	}
+}
+
+func TestParseBlankSubjectPropertyList(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+[ ex:p "v" ] .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestParseCollection(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+ex:s ex:list (ex:a ex:b) .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// head: s list b1. b1 first a. b1 rest b2. b2 first b. b2 rest nil. = 5
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", g.Len())
+	}
+	nilTerm := rdf.NewIRI(rdf.RDFNS + "nil")
+	foundNil := false
+	for _, tr := range g.Triples() {
+		if tr.O == nilTerm {
+			foundNil = true
+		}
+	}
+	if !foundNil {
+		t.Fatal("collection must terminate in rdf:nil")
+	}
+}
+
+func TestParseEmptyCollection(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+ex:s ex:list () .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if g.Triples()[0].O != rdf.NewIRI(rdf.RDFNS+"nil") {
+		t.Fatalf("empty collection should be rdf:nil, got %v", g.Triples()[0].O)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	src := `<http://ex/s> <http://ex/p> "a\"b\ncé" .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Triples()[0].O.Value
+	if got != "a\"b\ncé" {
+		t.Fatalf("escaped literal = %q", got)
+	}
+}
+
+func TestParseLongString(t *testing.T) {
+	src := `@prefix ex: <http://ex/> .
+ex:s ex:p """line one
+line "two" with quotes""" .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Triples()[0].O.Value
+	if !strings.Contains(got, "line one\nline \"two\"") {
+		t.Fatalf("long string = %q", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# leading comment
+@prefix ex: <http://ex/> . # trailing
+ex:a ex:p ex:b . # done`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestParseBase(t *testing.T) {
+	src := `@base <http://base.org/> .
+<rel> <http://ex/p> <http://abs/o> .`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Triples()[0].S.Value != "http://base.org/rel" {
+		t.Fatalf("base not applied: %v", g.Triples()[0].S)
+	}
+	if g.Triples()[0].O.Value != "http://abs/o" {
+		t.Fatalf("absolute IRI wrongly rebased: %v", g.Triples()[0].O)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://ex/s> <http://ex/p>`,               // missing object + dot
+		`<http://ex/s> <http://ex/p> "unterminated`, // bad string
+		`ex:a ex:p ex:b .`,                          // unknown prefix
+		`<http://ex/s> <http://ex/p> "x"^^ .`,       // bad datatype
+		`@prefix ex <http://ex/> .`,                 // missing colon... actually "ex <http..." label malformed
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRoundTripNTriples(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddSPO(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/p"), rdf.NewLangLiteral("v\"al", "en"))
+	g.AddSPO(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/q"), rdf.NewInteger(9))
+	g.AddSPO(rdf.NewBlank("x"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/o"))
+	out := WriteNTriples(g)
+	g2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip lost triples: %d vs %d", g2.Len(), g.Len())
+	}
+	for _, tr := range g.Triples() {
+		if !g2.Has(tr) {
+			t.Errorf("missing after round trip: %v", tr)
+		}
+	}
+}
+
+func TestRoundTripTurtle(t *testing.T) {
+	pm := rdf.CommonPrefixes()
+	g := rdf.NewGraph()
+	g.AddSPO(rdf.NewIRI("http://ex/a"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.RDFSClass))
+	g.AddSPO(rdf.NewIRI("http://ex/a"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLiteral("A"))
+	g.AddSPO(rdf.NewIRI("http://ex/a"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/b"))
+	out := WriteTurtle(g, pm)
+	g2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip lost triples: %d vs %d\n%s", g2.Len(), g.Len(), out)
+	}
+	for _, tr := range g.Triples() {
+		if !g2.Has(tr) {
+			t.Errorf("missing after round trip: %v", tr)
+		}
+	}
+}
+
+// Property: any graph of IRI/plain-literal triples survives an
+// N-Triples round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(subjects, values []string) bool {
+		g := rdf.NewGraph()
+		p := rdf.NewIRI("http://ex/p")
+		for i, s := range subjects {
+			if s == "" {
+				continue
+			}
+			v := "v"
+			if i < len(values) {
+				v = values[i]
+			}
+			g.AddSPO(rdf.NewIRI("http://ex/s/"+sanitizeIRI(s)), p, rdf.NewLiteral(v))
+		}
+		out := WriteNTriples(g)
+		g2, err := Parse(out)
+		if err != nil {
+			return false
+		}
+		if g2.Len() != g.Len() {
+			return false
+		}
+		for _, tr := range g.Triples() {
+			if !g2.Has(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeIRI(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not turtle at all <<<")
+}

@@ -1,0 +1,96 @@
+package turtle
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// WriteNTriples serializes the graph in canonical (sorted) N-Triples form.
+func WriteNTriples(g *rdf.Graph) string {
+	var b strings.Builder
+	for _, t := range g.Sorted() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteTurtle serializes the graph as Turtle using the given prefix map
+// (nil means no prefixes). Triples are grouped by subject and predicates
+// by object lists, sorted for deterministic output.
+func WriteTurtle(g *rdf.Graph, prefixes *rdf.PrefixMap) string {
+	var b strings.Builder
+	if prefixes != nil {
+		for _, p := range prefixes.SortedPrefixes() {
+			ns, _ := prefixes.Namespace(p)
+			b.WriteString("@prefix ")
+			b.WriteString(p)
+			b.WriteString(": <")
+			b.WriteString(ns)
+			b.WriteString("> .\n")
+		}
+		if len(prefixes.SortedPrefixes()) > 0 {
+			b.WriteByte('\n')
+		}
+	}
+
+	term := func(t rdf.Term) string {
+		if prefixes != nil && t.IsIRI() {
+			if short, ok := prefixes.Shrink(t.Value); ok {
+				return short
+			}
+		}
+		return t.String()
+	}
+
+	// group triples by subject, then predicate
+	type poList struct {
+		pred rdf.Term
+		objs []rdf.Term
+	}
+	bySubject := make(map[rdf.Term][]poList)
+	var subjects []rdf.Term
+	sorted := g.Sorted()
+	for _, t := range sorted {
+		pos := bySubject[t.S]
+		if pos == nil {
+			subjects = append(subjects, t.S)
+		}
+		if n := len(pos); n > 0 && pos[n-1].pred == t.P {
+			pos[n-1].objs = append(pos[n-1].objs, t.O)
+		} else {
+			pos = append(pos, poList{pred: t.P, objs: []rdf.Term{t.O}})
+		}
+		bySubject[t.S] = pos
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i].Compare(subjects[j]) < 0 })
+
+	for _, s := range subjects {
+		b.WriteString(term(s))
+		pos := bySubject[s]
+		for i, po := range pos {
+			if i == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteString(" ;\n    ")
+			}
+			// render rdf:type as "a"
+			if po.pred.IsIRI() && po.pred.Value == rdf.RDFType {
+				b.WriteString("a")
+			} else {
+				b.WriteString(term(po.pred))
+			}
+			b.WriteByte(' ')
+			for j, o := range po.objs {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(term(o))
+			}
+		}
+		b.WriteString(" .\n")
+	}
+	return b.String()
+}

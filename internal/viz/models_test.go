@@ -1,0 +1,131 @@
+package viz
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestTreemapModel(t *testing.T) {
+	cs, s := artifacts(t)
+	m := TreemapModelOf(cs, s, 1000, 700)
+	if m.Dataset != cs.Dataset {
+		t.Fatal("dataset missing")
+	}
+	// one cell per hierarchy node
+	want := 1 + cs.NumClusters() + s.NumClasses()
+	if len(m.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(m.Cells), want)
+	}
+	classArea := 0.0
+	for _, c := range m.Cells {
+		if c.Depth == 2 {
+			classArea += c.W * c.H
+			if c.IRI == "" {
+				t.Fatal("class cell without IRI")
+			}
+			if c.Cluster < 0 {
+				t.Fatalf("class cell %s without cluster", c.Label)
+			}
+		}
+		if c.Depth == 1 && c.IRI != "" {
+			t.Fatal("cluster cell must not carry a class IRI")
+		}
+	}
+	// class cells tile most of the root (minus padding)
+	if classArea < 0.8*1000*700 {
+		t.Fatalf("class area = %v", classArea)
+	}
+	// and the model serializes
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSunburstModel(t *testing.T) {
+	cs, s := artifacts(t)
+	m := SunburstModelOf(cs, s, 400)
+	clusters, classes := 0, 0
+	spanByDepth := map[int]float64{}
+	for _, a := range m.Arcs {
+		spanByDepth[a.Depth] += a.End - a.Start
+		switch a.Depth {
+		case 1:
+			clusters++
+		case 2:
+			classes++
+		}
+	}
+	if clusters != cs.NumClusters() || classes != s.NumClasses() {
+		t.Fatalf("arcs = %d clusters, %d classes", clusters, classes)
+	}
+	if math.Abs(spanByDepth[1]-2*math.Pi) > 1e-6 {
+		t.Fatalf("cluster ring incomplete: %v", spanByDepth[1])
+	}
+}
+
+func TestCirclePackModel(t *testing.T) {
+	cs, s := artifacts(t)
+	m := CirclePackModelOf(cs, s, 800)
+	if len(m.Circles) != 1+cs.NumClusters()+s.NumClasses() {
+		t.Fatalf("circles = %d", len(m.Circles))
+	}
+	if m.Circles[0].Depth != 0 || m.Circles[0].R < 300 {
+		t.Fatalf("root circle = %+v", m.Circles[0])
+	}
+}
+
+func TestClassDetail(t *testing.T) {
+	cs, s := artifacts(t)
+	event := synth.ScholarlyNS + "Event"
+	d, ok := ClassDetailOf(cs, s, event)
+	if !ok {
+		t.Fatal("Event not found")
+	}
+	if d.Label != "Event" || d.Instances != 150 {
+		t.Fatalf("detail = %+v", d)
+	}
+	if len(d.Attribs) != 3 {
+		t.Fatalf("attributes = %v", d.Attribs)
+	}
+	// Figure 7 relations: outgoing hasSituation, incoming from Vevent etc.
+	foundOut, foundIn := false, false
+	for _, l := range d.Outgoing {
+		if l.Label == "hasSituation" && l.Other == synth.ScholarlyNS+"Situation" {
+			foundOut = true
+			if l.Count <= 0 {
+				t.Fatal("outgoing count missing")
+			}
+		}
+	}
+	for _, l := range d.Incoming {
+		if l.Other == synth.ScholarlyNS+"Vevent" {
+			foundIn = true
+		}
+	}
+	if !foundOut || !foundIn {
+		t.Fatalf("links missing: out=%v in=%v (%+v)", foundOut, foundIn, d)
+	}
+	if d.Degree < len(d.Outgoing)+len(d.Incoming) {
+		t.Fatalf("degree %d < %d links", d.Degree, len(d.Outgoing)+len(d.Incoming))
+	}
+	if _, ok := ClassDetailOf(cs, s, "http://nope"); ok {
+		t.Fatal("unknown class should miss")
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	cs, s := artifacts(t)
+	a, _ := json.Marshal(TreemapModelOf(cs, s, 500, 400))
+	b, _ := json.Marshal(TreemapModelOf(cs, s, 500, 400))
+	if string(a) != string(b) {
+		t.Fatal("treemap model not deterministic")
+	}
+	c, _ := json.Marshal(SunburstModelOf(cs, s, 300))
+	d, _ := json.Marshal(SunburstModelOf(cs, s, 300))
+	if string(c) != string(d) {
+		t.Fatal("sunburst model not deterministic")
+	}
+}
