@@ -6,9 +6,11 @@ package repro
 // benchmarks cover the design choices DESIGN.md calls out.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/cluster"
@@ -20,7 +22,9 @@ import (
 	"repro/internal/portal"
 	"repro/internal/rdf"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/schema"
+	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/viz"
@@ -269,8 +273,72 @@ func BenchmarkE10_ManualInsertion(b *testing.B) {
 		if tool.Outbox.Len() != 1 {
 			b.Fatal("notification not sent")
 		}
+		tool.Close()
 	}
 }
+
+// --- E12: sequential vs concurrent RunDue over the sched worker pool ---
+
+// latencyClient adds a real (slept) per-query delay on top of a local
+// client, standing in for the network round-trip to a public endpoint.
+// The Remote cost model is accounted rather than slept, so without this
+// the benchmark would only measure the CPU-bound regime; extraction
+// against live endpoints is latency-bound, which is exactly where the
+// worker pool pays off.
+type latencyClient struct {
+	c     endpoint.Client
+	delay time.Duration
+}
+
+func (l latencyClient) Query(q string) (*sparql.Result, error) {
+	time.Sleep(l.delay)
+	return l.c.Query(q)
+}
+
+const e12Endpoints = 12
+
+var (
+	e12Once   sync.Once
+	e12Stores []*store.Store
+)
+
+func e12Tool(b *testing.B, workers int) (*core.HBOLD, *clock.Sim) {
+	e12Once.Do(func() {
+		for i := 0; i < e12Endpoints; i++ {
+			e12Stores = append(e12Stores, synth.Generate(synth.Spec{
+				Name: fmt.Sprintf("e12-%d", i), Classes: 6, Instances: 150,
+				ObjectProps: 8, DataProps: 4, LinkFactor: 1, Seed: int64(100 + i),
+			}))
+		}
+	})
+	ck := clock.NewSim(clock.Epoch)
+	tool := core.New(docstore.MustOpenMem(), ck)
+	tool.SchedulerConfig = sched.Config{Workers: workers}
+	for i, st := range e12Stores {
+		url := fmt.Sprintf("http://e12-%d.example.org/sparql", i)
+		tool.Registry.Add(registry.Entry{URL: url, AddedAt: clock.Epoch})
+		tool.Connect(url, latencyClient{c: endpoint.LocalClient{Store: st}, delay: 2 * time.Millisecond})
+	}
+	return tool, ck
+}
+
+func benchRunDue(b *testing.B, workers int) {
+	tool, ck := e12Tool(b, workers)
+	defer tool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, failed := tool.RunDueConcurrent(context.Background())
+		if ok != e12Endpoints || failed != 0 {
+			b.Fatalf("run = %d ok, %d failed", ok, failed)
+		}
+		// the weekly §3.1 refresh makes every endpoint due again
+		ck.AdvanceDays(8)
+	}
+}
+
+func BenchmarkE12_RunDueSequential(b *testing.B) { benchRunDue(b, 1) }
+
+func BenchmarkE12_RunDueConcurrent(b *testing.B) { benchRunDue(b, 8) }
 
 // --- E11: Listing 1 verbatim ---
 

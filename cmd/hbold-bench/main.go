@@ -24,6 +24,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/portal"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/synth"
 	"repro/internal/viz"
 )
@@ -223,6 +224,10 @@ func e8() {
 	descs := synth.Corpus(1)
 	ck := clock.NewSim(clock.Epoch)
 	tool := core.New(docstore.MustOpenMem(), ck)
+	defer tool.Close()
+	// this row records the sequential pipeline baseline; the worker
+	// pool's speedup is E12's claim, not E8's
+	tool.SchedulerConfig = sched.Config{Workers: 1}
 	for i, d := range descs {
 		tool.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title, AddedAt: clock.Epoch})
 		tool.Connect(d.URL, synth.BuildRemote(d, ck, int64(i)))
@@ -295,6 +300,7 @@ func e9() {
 func e10() {
 	header("E10", "Figure 3 / §3.4 — manual insertion with e-mail notification, address deleted after send")
 	tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+	defer tool.Close()
 	url := "http://user-submitted.example.org/sparql"
 	if err := tool.SubmitEndpoint(url, "User LD", "submitter@example.org"); err != nil {
 		log.Fatal(err)

@@ -1,24 +1,41 @@
 // Command hbold is the H-BOLD command line: it can serve the
-// presentation layer over a demo corpus, run index extraction on a
-// Turtle file, render the §3.5 visualizations to SVG files, simulate the
-// §3.3 portal crawl, and list indexed datasets.
+// presentation layer over a demo corpus, run the full server layer as a
+// daemon with the concurrent extraction scheduler, run index extraction
+// on a Turtle file, render the §3.5 visualizations to SVG files,
+// simulate the §3.3 portal crawl, and list indexed datasets.
 //
 // Usage:
 //
 //	hbold serve [-addr :8080] [-datasets N]
+//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0]
 //	hbold extract <file.ttl>
 //	hbold render <file.ttl> <outdir>
 //	hbold crawl
 //	hbold query <file.ttl> <sparql-query>
+//
+// Daemon mode is the deployed shape of the paper's server layer: the
+// HTTP presentation layer runs while a clock-driven refresh cycle polls
+// the §3.1 policy every -poll interval and enqueues due endpoints on
+// the internal/sched worker pool (-workers wide, with -retries
+// exponential-backoff attempts per job and an optional -rate
+// per-endpoint dispatch limit). Live queue state is served on
+// /api/jobs and /api/metrics, a refresh can be forced with
+// POST /api/refresh, and SIGINT/SIGTERM drains the pool before exit.
+// Unlike serve, daemon does not index anything up front — watching
+// /api/jobs right after startup shows the first cycle being worked off.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/cluster"
@@ -28,6 +45,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/portal"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/schema"
 	"repro/internal/server"
 	"repro/internal/sparql"
@@ -45,6 +63,8 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "daemon":
+		cmdDaemon(os.Args[2:])
 	case "extract":
 		cmdExtract(os.Args[2:])
 	case "render":
@@ -61,6 +81,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   hbold serve [-addr :8080] [-datasets N]   start the presentation layer over a demo corpus
+  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0]
+                                            serve plus the concurrent extraction scheduler on
+                                            the clock-driven §3.1 refresh cycle
   hbold extract <file.ttl>                  run index extraction on a Turtle file
   hbold render <file.ttl> <outdir>          render all visualizations of a Turtle file to SVG
   hbold crawl                               simulate the §3.3 open-data-portal crawl
@@ -124,6 +147,94 @@ func cmdServe(args []string) {
 	}
 	log.Printf("hbold: serving %d datasets on %s", len(tool.Datasets()), *addr)
 	log.Fatal(http.ListenAndServe(*addr, server.New(tool)))
+}
+
+// cmdDaemon runs the server layer the way the deployed tool does:
+// endpoints are registered but not indexed up front; the scheduler
+// works them off concurrently while the HTTP layer serves whatever is
+// indexed so far, plus the live job queue.
+func cmdDaemon(args []string) {
+	fs := flag.NewFlagSet("daemon", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	n := fs.Int("datasets", 12, "number of demo endpoints to register (flaky ones included)")
+	workers := fs.Int("workers", 4, "extraction worker pool size")
+	poll := fs.Duration("poll", 30*time.Second, "how often to check the §3.1 policy for due endpoints")
+	retries := fs.Int("retries", 3, "extraction attempts per job before waiting for the next retry day")
+	rate := fs.Float64("rate", 0, "per-endpoint job dispatch limit in jobs/sec (0 = unlimited)")
+	fs.Parse(args)
+
+	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+	tool.SchedulerConfig = sched.Config{
+		Workers: *workers,
+		Retry:   sched.RetryPolicy{MaxAttempts: *retries, BaseBackoff: 2 * time.Second, MaxBackoff: time.Minute},
+		Rate:    sched.RateLimit{PerSecond: *rate},
+	}
+	now := tool.Clock.Now()
+	count := 0
+	for i, d := range synth.Corpus(1) {
+		if count >= *n {
+			break
+		}
+		if !d.Indexable || d.Dead {
+			continue
+		}
+		tool.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title, Source: registry.SourceDataHub, AddedAt: now})
+		if d.OutageProb > 0 {
+			// keep the outage model so the daemon's retry/backoff paths
+			// actually fire against the wall clock
+			tool.Connect(d.URL, endpoint.NewRemote(d.Name, d.URL, synth.BuildStore(d), nil,
+				endpoint.NewAvailability(int64(i), d.OutageProb), tool.Clock))
+		} else {
+			tool.Connect(d.URL, endpoint.LocalClient{Store: synth.BuildStore(d)})
+		}
+		count++
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(tool)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("hbold: %v", err)
+		}
+	}()
+	policy := tool.Registry.Policy()
+	log.Printf("hbold: daemon on %s — %d endpoints, %d workers, polling every %s (refresh %s, retry %s)",
+		*addr, count, *workers, *poll, policy.RefreshInterval, policy.RetryInterval)
+	log.Printf("hbold: watch the queue on /api/jobs and /api/metrics")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*poll)
+	defer ticker.Stop()
+	if enq := tool.SubmitDue(); enq > 0 {
+		log.Printf("hbold: enqueued %d due endpoints", enq)
+	}
+	for {
+		select {
+		case <-ticker.C:
+			if enq := tool.SubmitDue(); enq > 0 {
+				log.Printf("hbold: enqueued %d due endpoints", enq)
+			}
+		case sig := <-stop:
+			log.Printf("hbold: %s — shutting down", sig)
+			// stop HTTP ingress first so /api/refresh cannot keep
+			// re-enqueuing jobs while the pool drains; each phase gets
+			// its own budget
+			httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := srv.Shutdown(httpCtx); err != nil {
+				log.Printf("hbold: http shutdown: %v", err)
+			}
+			cancelHTTP()
+			drainCtx, cancelDrain := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := tool.Scheduler().Drain(drainCtx); err != nil {
+				log.Printf("hbold: drain incomplete: %v", err)
+			}
+			cancelDrain()
+			tool.Close()
+			m := tool.Scheduler().Metrics()
+			log.Printf("hbold: done — %d succeeded, %d failed, %d retries", m.Succeeded, m.Failed, m.Retries)
+			return
+		}
+	}
 }
 
 func cmdExtract(args []string) {

@@ -3,8 +3,8 @@
 // Workshops): the H-BOLD system for hierarchical, interactive visual
 // exploration of big Linked Data, together with every substrate it needs
 // (SPARQL engine and protocol, endpoint simulation, document store,
-// community detection, and the D3-style layouts re-implemented as pure-Go
-// geometry).
+// community detection, a concurrent extraction scheduler, and the
+// D3-style layouts re-implemented as pure-Go geometry).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record. The benchmarks in bench_test.go regenerate

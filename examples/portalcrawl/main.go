@@ -23,6 +23,7 @@ func main() {
 	corpus := synth.Corpus(1)
 	ck := clock.NewSim(clock.Epoch)
 	tool := core.New(docstore.MustOpenMem(), ck)
+	defer tool.Close()
 
 	// the pre-crawl registry: H-BOLD's old endpoint list
 	for _, d := range corpus {

@@ -34,6 +34,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 	corpus := synth.Corpus(7)
 	ck := clock.NewSim(clock.Epoch)
 	tool := core.New(docstore.MustOpenMem(), ck)
+	defer tool.Close()
 
 	// 1. the pre-crawl registry (610 endpoints)
 	for _, d := range corpus {

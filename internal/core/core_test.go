@@ -1,15 +1,19 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/docstore"
 	"repro/internal/endpoint"
 	"repro/internal/portal"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/synth"
 )
 
@@ -17,6 +21,8 @@ func newTool(t testing.TB) (*HBOLD, *clock.Sim) {
 	t.Helper()
 	ck := clock.NewSim(clock.Epoch)
 	h := New(docstore.MustOpenMem(), ck)
+	// any test that touches RunDue starts the shared scheduler; stop it
+	t.Cleanup(h.Close)
 	return h, ck
 }
 
@@ -170,6 +176,124 @@ func TestRunDueCountsUnconnectableAsFailure(t *testing.T) {
 	ok, failed := h.RunDue()
 	if ok != 0 || failed != 1 {
 		t.Fatalf("run = %d ok, %d failed", ok, failed)
+	}
+}
+
+// TestProcessNoClientRecordsFailure covers the single failure path:
+// an unconnectable registered endpoint records a registry failure from
+// inside Process, not from a separate code path in the caller.
+func TestProcessNoClientRecordsFailure(t *testing.T) {
+	h, _ := newTool(t)
+	url := "http://unconnected.example.org/sparql"
+	h.Registry.Add(registry.Entry{URL: url, AddedAt: clock.Epoch})
+	if err := h.Process(url); err == nil {
+		t.Fatal("processing without a client must fail")
+	}
+	e, _ := h.Registry.Get(url)
+	if e.ConsecutiveFailures != 1 || e.LastAttempt.IsZero() {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestRunDueConcurrentProcessesAllDue(t *testing.T) {
+	h, _ := newTool(t)
+	h.SchedulerConfig = sched.Config{Workers: 4}
+	const n = 9
+	for i := 0; i < n; i++ {
+		url := fmt.Sprintf("http://multi%d.example.org/sparql", i)
+		h.Registry.Add(registry.Entry{URL: url, AddedAt: clock.Epoch})
+		h.Connect(url, endpoint.LocalClient{Store: synth.Generate(synth.Spec{
+			Name: fmt.Sprintf("multi%d", i), Classes: 4, Instances: 60, Seed: int64(i + 1),
+		})})
+	}
+	ok, failed := h.RunDueConcurrent(context.Background())
+	if ok != n || failed != 0 {
+		t.Fatalf("run = %d ok, %d failed", ok, failed)
+	}
+	if got := h.Registry.IndexedCount(); got != n {
+		t.Fatalf("indexed = %d", got)
+	}
+	// the shared scheduler exposes the run for observability
+	m := h.Scheduler().Metrics()
+	if m.Succeeded != n || m.Running != 0 || m.Queued != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	jobs := h.Scheduler().Jobs()
+	if len(jobs) != n {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.State != sched.StateSucceeded || j.Priority != "routine" {
+			t.Fatalf("job = %+v", j)
+		}
+	}
+	// nothing due right after: an immediate second run is a no-op
+	if ok, failed = h.RunDueConcurrent(context.Background()); ok != 0 || failed != 0 {
+		t.Fatalf("second run = %d ok, %d failed", ok, failed)
+	}
+}
+
+// TestInRunRetriesRecordOneRegistryFailure: a job that burns three
+// in-run attempts must consume exactly one day of the §3.1 give-up
+// budget, not three — the registry policy thinks in days, the
+// scheduler in seconds.
+func TestInRunRetriesRecordOneRegistryFailure(t *testing.T) {
+	h, ck := newTool(t)
+	h.SchedulerConfig = sched.Config{
+		Workers: 2,
+		Retry:   sched.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Second},
+	}
+	url := "http://dead.example.org/sparql"
+	h.Registry.Add(registry.Entry{URL: url, AddedAt: clock.Epoch})
+	h.Connect(url, endpoint.NewRemote("dead", url, synth.Scholarly(2), nil, endpoint.AlwaysDown(), h.Clock))
+	// backoffs elapse in simulated time: advance the clock while the
+	// run blocks (staying within the same availability day)
+	stopAdvance := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopAdvance:
+				return
+			default:
+				ck.Advance(2 * time.Second)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	ok, failed := h.RunDueConcurrent(context.Background())
+	close(stopAdvance)
+	if ok != 0 || failed != 1 {
+		t.Fatalf("run = %d ok, %d failed", ok, failed)
+	}
+	jobs := h.Scheduler().Jobs()
+	if len(jobs) != 1 || jobs[0].Attempts != 3 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	e, _ := h.Registry.Get(url)
+	if e.ConsecutiveFailures != 1 {
+		t.Fatalf("ConsecutiveFailures = %d, want 1 (one per job, not per attempt)", e.ConsecutiveFailures)
+	}
+	if e.LastAttempt.IsZero() {
+		t.Fatal("failure not recorded at all")
+	}
+}
+
+// TestManualSubmissionGetsPriority checks the §3.4 wiring into the
+// scheduler: a pending-notification endpoint is enqueued with manual
+// priority.
+func TestManualSubmissionGetsPriority(t *testing.T) {
+	h, _ := newTool(t)
+	url := "http://prio.example.org/sparql"
+	if err := h.SubmitEndpoint(url, "Prio LD", "sub@example.org"); err != nil {
+		t.Fatal(err)
+	}
+	h.Connect(url, endpoint.LocalClient{Store: synth.Generate(synth.Spec{Name: "prio", Classes: 4, Instances: 60, Seed: 2})})
+	if ok, failed := h.RunDueConcurrent(context.Background()); ok != 1 || failed != 0 {
+		t.Fatalf("run = %d ok, %d failed", ok, failed)
+	}
+	jobs := h.Scheduler().Jobs()
+	if len(jobs) != 1 || jobs[0].Priority != "manual" {
+		t.Fatalf("jobs = %+v", jobs)
 	}
 }
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/notify"
 	"repro/internal/portal"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/schema"
 )
 
@@ -45,9 +47,18 @@ type HBOLD struct {
 	Seed int64
 	// Algorithm selects the community detection method (default Louvain).
 	Algorithm cluster.Algorithm
+	// SchedulerConfig parameterizes the shared extraction scheduler; it
+	// is consulted once, on the first Scheduler() call, so set it before
+	// any scheduling method runs. The zero value gets sched defaults
+	// plus this instance's Clock and a retry hook honoring the
+	// registry's give-up policy.
+	SchedulerConfig sched.Config
 
 	mu      sync.RWMutex
 	clients map[string]endpoint.Client
+
+	schedMu sync.Mutex
+	sched   *sched.Scheduler
 }
 
 // New builds an H-BOLD instance over the given document store. A nil db
@@ -93,20 +104,48 @@ func (h *HBOLD) client(url string) (endpoint.Client, error) {
 // (server-side, per §3.2) and persistence. It records the outcome in the
 // registry and sends the §3.4 notification when a submitter is waiting.
 func (h *HBOLD) Process(url string) error {
+	return h.process(context.Background(), url, true)
+}
+
+// process is the pipeline body. recordFail controls whether a failure
+// is recorded in the registry here: direct Process calls record every
+// failure, while the scheduler suppresses per-attempt recording and
+// records once per job through its OnJobFailed hook — otherwise a few
+// seconds of in-run retries would eat a give-up budget the §3.1 policy
+// means to spend one day at a time. Cancellation is checked at stage
+// boundaries (the individual SPARQL queries are not interruptible);
+// a canceled pipeline is not an endpoint failure and records nothing.
+func (h *HBOLD) process(ctx context.Context, url string, recordFail bool) error {
 	now := h.Clock.Now()
 	c, err := h.client(url)
 	if err != nil {
+		// unconnectable endpoints go through the same failure path as
+		// extraction errors: the registry attempt is recorded and a
+		// waiting §3.4 submitter is notified
+		if recordFail {
+			h.recordFailure(url, now, err)
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	ix, err := h.Extractor.Extract(c, url, now)
 	if err != nil {
-		h.recordFailure(url, now, err)
+		if recordFail {
+			h.recordFailure(url, now, err)
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	s := schema.Build(ix)
 	cs, err := cluster.Build(s, cluster.Options{Algorithm: h.Algorithm, Seed: h.Seed})
 	if err != nil {
-		h.recordFailure(url, now, err)
+		if recordFail {
+			h.recordFailure(url, now, err)
+		}
 		return err
 	}
 	// record what this refresh changed (§3.1: sources evolve, which is
@@ -156,24 +195,122 @@ func (h *HBOLD) recordFailure(url string, now time.Time, cause error) {
 	}
 }
 
-// RunDue processes every endpoint the §3.1 policy marks as due; it is
-// the body of the daily server-layer job. It returns the number of
-// endpoints processed successfully and the number that failed.
-func (h *HBOLD) RunDue() (ok, failed int) {
-	for _, url := range h.Registry.Due(h.Clock.Now()) {
-		if _, err := h.client(url); err != nil {
-			// endpoints with no connectable client count as failures
-			h.Registry.RecordFailure(url, h.Clock.Now())
-			failed++
-			continue
+// Scheduler returns the shared extraction scheduler, creating and
+// starting it on first use. Its runner is the Process pipeline; its
+// configuration comes from SchedulerConfig, with the instance clock
+// filled in. The registry's §3.1 give-up policy is enforced by
+// Registry.Due (which stops listing endpoints past the threshold)
+// together with once-per-job failure recording, so no Retryable hook
+// is needed for it.
+func (h *HBOLD) Scheduler() *sched.Scheduler {
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	if h.sched == nil {
+		cfg := h.SchedulerConfig
+		if cfg.Clock == nil {
+			cfg.Clock = h.Clock
 		}
-		if err := h.Process(url); err != nil {
-			failed++
-		} else {
+		if cfg.OnJobFailed == nil {
+			cfg.OnJobFailed = func(url string, err error) {
+				if errors.Is(err, context.Canceled) {
+					// a shutdown abort says nothing about the endpoint
+					return
+				}
+				h.recordFailure(url, h.Clock.Now(), err)
+			}
+		}
+		// the runner suppresses per-attempt failure recording; the
+		// OnJobFailed hook above records once per job instead
+		h.sched = sched.New(cfg, func(ctx context.Context, url string) error {
+			return h.process(ctx, url, false)
+		})
+		h.sched.Start(context.Background())
+	}
+	return h.sched
+}
+
+// Close stops the extraction scheduler, if one was started: running
+// jobs finish, queued jobs are discarded. The rest of the instance
+// (registry, store, presentation reads) remains usable.
+func (h *HBOLD) Close() {
+	if s := h.peekScheduler(); s != nil {
+		s.Stop()
+	}
+}
+
+// peekScheduler returns the scheduler only if one has been started.
+func (h *HBOLD) peekScheduler() *sched.Scheduler {
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	return h.sched
+}
+
+// SchedulerJobs returns the scheduler's job snapshot without starting
+// a scheduler as a side effect: before any scheduling has happened the
+// list is empty. The read-only observability API uses it.
+func (h *HBOLD) SchedulerJobs() []sched.Job {
+	if s := h.peekScheduler(); s != nil {
+		return s.Jobs()
+	}
+	return []sched.Job{}
+}
+
+// SchedulerMetrics is the side-effect-free counterpart of
+// Scheduler().Metrics() for the observability API.
+func (h *HBOLD) SchedulerMetrics() sched.Metrics {
+	if s := h.peekScheduler(); s != nil {
+		return s.Metrics()
+	}
+	return sched.ZeroMetrics()
+}
+
+// submitDue enqueues every endpoint the §3.1 policy marks as due.
+// Manual §3.4 submissions still awaiting their notification are
+// enqueued ahead of routine refreshes.
+func (h *HBOLD) submitDue() []*sched.Ticket {
+	s := h.Scheduler()
+	var tickets []*sched.Ticket
+	for _, url := range h.Registry.Due(h.Clock.Now()) {
+		pri := sched.Routine
+		if e, known := h.Registry.Get(url); known && e.PendingEmail != "" {
+			pri = sched.Manual
+		}
+		if t, err := s.Submit(url, pri); err == nil {
+			tickets = append(tickets, t)
+		}
+	}
+	return tickets
+}
+
+// SubmitDue enqueues every due endpoint on the shared scheduler without
+// waiting for completion and returns the number of jobs enqueued. The
+// daemon's refresh tick and the /api/refresh endpoint use it; watch
+// progress via the scheduler's job and metrics snapshots.
+func (h *HBOLD) SubmitDue() int {
+	return len(h.submitDue())
+}
+
+// RunDueConcurrent processes every due endpoint on the shared worker
+// pool and blocks until all of them finish (or ctx is done, at which
+// point unfinished jobs count as failures). It returns the number of
+// endpoints processed successfully and the number that failed.
+func (h *HBOLD) RunDueConcurrent(ctx context.Context) (ok, failed int) {
+	for _, t := range h.submitDue() {
+		if st, err := t.Wait(ctx); st == sched.StateSucceeded && err == nil {
 			ok++
+		} else {
+			failed++
 		}
 	}
 	return ok, failed
+}
+
+// RunDue processes every endpoint the §3.1 policy marks as due; it is
+// the body of the daily server-layer job, now a thin synchronous
+// wrapper over the concurrent scheduler. It returns the number of
+// endpoints processed successfully and the number that failed.
+func (h *HBOLD) RunDue() (ok, failed int) {
+	return h.RunDueConcurrent(context.Background())
 }
 
 // CrawlPortals runs the §3.3 crawler over the portals and merges the

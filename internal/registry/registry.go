@@ -91,6 +91,13 @@ func New(policy Policy) *Registry {
 	return &Registry{entries: make(map[string]*Entry), policy: policy}
 }
 
+// Policy returns the registry's §3.1 update policy.
+func (r *Registry) Policy() Policy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.policy
+}
+
 // Add registers an endpoint; it reports whether the URL was new.
 func (r *Registry) Add(e Entry) bool {
 	r.mu.Lock()

@@ -22,6 +22,17 @@ func TestAddAndDedup(t *testing.T) {
 	}
 }
 
+func TestPolicyAccessorAppliesDefaults(t *testing.T) {
+	r := New(Policy{GiveUpAfter: 5})
+	p := r.Policy()
+	if p.RefreshInterval != DefaultPolicy.RefreshInterval || p.RetryInterval != DefaultPolicy.RetryInterval {
+		t.Fatalf("zero intervals not defaulted: %+v", p)
+	}
+	if p.GiveUpAfter != 5 {
+		t.Fatalf("GiveUpAfter = %d", p.GiveUpAfter)
+	}
+}
+
 func TestGetReturnsCopy(t *testing.T) {
 	r := New(DefaultPolicy)
 	r.Add(Entry{URL: "http://a", Title: "t"})

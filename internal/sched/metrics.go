@@ -1,0 +1,127 @@
+package sched
+
+import "time"
+
+// latBounds are the upper bounds of the attempt-latency histogram
+// buckets; a final overflow bucket catches everything slower.
+var latBounds = []time.Duration{
+	time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+	25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+	250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 5 * time.Second, 30 * time.Second,
+}
+
+// metrics is the scheduler's internal counter set, guarded by the
+// scheduler mutex.
+type metrics struct {
+	submitted    int64
+	succeeded    int64
+	failed       int64
+	canceled     int64
+	retries      int64
+	rateDeferred int64
+	deduped      int64
+
+	latCount   int64
+	latSum     time.Duration
+	latMax     time.Duration
+	latBuckets []int64
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	if m.latBuckets == nil {
+		m.latBuckets = make([]int64, len(latBounds)+1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	m.latCount++
+	m.latSum += d
+	if d > m.latMax {
+		m.latMax = d
+	}
+	for i, bound := range latBounds {
+		if d <= bound {
+			m.latBuckets[i]++
+			return
+		}
+	}
+	m.latBuckets[len(latBounds)]++
+}
+
+// Bucket is one latency histogram bucket: the count of attempts that
+// completed within Le (a duration string; "+Inf" for the overflow).
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Metrics is a point-in-time snapshot of the scheduler, shaped for the
+// /api/metrics observability endpoint.
+type Metrics struct {
+	Workers int `json:"workers"`
+
+	Queued  int `json:"queued"`
+	Waiting int `json:"waiting"`
+	Running int `json:"running"`
+
+	Submitted    int64 `json:"submitted"`
+	Succeeded    int64 `json:"succeeded"`
+	Failed       int64 `json:"failed"`
+	Canceled     int64 `json:"canceled"`
+	Retries      int64 `json:"retries"`
+	RateDeferred int64 `json:"rateDeferred"`
+	Deduped      int64 `json:"deduped"`
+
+	LatencyCount  int64    `json:"latencyCount"`
+	LatencyMeanMs float64  `json:"latencyMeanMs"`
+	LatencyMaxMs  float64  `json:"latencyMaxMs"`
+	Latency       []Bucket `json:"latency"`
+}
+
+// ZeroMetrics returns the snapshot an idle, never-started scheduler
+// would report — all counters zero, the histogram shaped but empty.
+// The observability API serves it before any scheduling has happened.
+func ZeroMetrics() Metrics {
+	out := Metrics{Latency: make([]Bucket, 0, len(latBounds)+1)}
+	for _, bound := range latBounds {
+		out.Latency = append(out.Latency, Bucket{Le: bound.String()})
+	}
+	out.Latency = append(out.Latency, Bucket{Le: "+Inf"})
+	return out
+}
+
+// Metrics returns a snapshot of counters, queue gauges and the attempt
+// latency histogram.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Metrics{
+		Workers:      s.cfg.Workers,
+		Queued:       s.ready.Len(),
+		Waiting:      s.waiting.Len(),
+		Running:      s.running,
+		Submitted:    s.m.submitted,
+		Succeeded:    s.m.succeeded,
+		Failed:       s.m.failed,
+		Canceled:     s.m.canceled,
+		Retries:      s.m.retries,
+		RateDeferred: s.m.rateDeferred,
+		Deduped:      s.m.deduped,
+		LatencyCount: s.m.latCount,
+		LatencyMaxMs: float64(s.m.latMax) / float64(time.Millisecond),
+		Latency:      make([]Bucket, 0, len(latBounds)+1),
+	}
+	if out.LatencyCount > 0 {
+		out.LatencyMeanMs = float64(s.m.latSum) / float64(out.LatencyCount) / float64(time.Millisecond)
+	}
+	counts := s.m.latBuckets
+	if counts == nil {
+		counts = make([]int64, len(latBounds)+1)
+	}
+	for i, bound := range latBounds {
+		out.Latency = append(out.Latency, Bucket{Le: bound.String(), Count: counts[i]})
+	}
+	out.Latency = append(out.Latency, Bucket{Le: "+Inf", Count: counts[len(latBounds)]})
+	return out
+}

@@ -1,0 +1,55 @@
+package sched
+
+import "time"
+
+// bucket is a token bucket for one endpoint URL. Buckets are created
+// full, refill continuously at Rate.PerSecond, and cap at Rate.Burst.
+// All accesses happen under the scheduler mutex from the dispatcher.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func (s *Scheduler) bucketFor(url string, now time.Time) *bucket {
+	b := s.buckets[url]
+	if b == nil {
+		b = &bucket{tokens: float64(s.cfg.Rate.Burst), last: now}
+		s.buckets[url] = b
+	}
+	return b
+}
+
+// refill advances the bucket to now.
+func (b *bucket) refill(now time.Time, rate RateLimit) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * rate.PerSecond
+		if max := float64(rate.Burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+}
+
+// tokenWait returns how long until a dispatch token is available for
+// url (0 = available now). It does not consume the token.
+func (s *Scheduler) tokenWait(url string, now time.Time) time.Duration {
+	if s.cfg.Rate.PerSecond <= 0 {
+		return 0
+	}
+	b := s.bucketFor(url, now)
+	b.refill(now, s.cfg.Rate)
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / s.cfg.Rate.PerSecond * float64(time.Second))
+}
+
+// takeToken consumes one dispatch token for url.
+func (s *Scheduler) takeToken(url string, now time.Time) {
+	if s.cfg.Rate.PerSecond <= 0 {
+		return
+	}
+	b := s.bucketFor(url, now)
+	b.refill(now, s.cfg.Rate)
+	b.tokens--
+}

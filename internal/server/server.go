@@ -29,6 +29,9 @@ func New(tool *core.HBOLD) *Server {
 	s := &Server{Tool: tool, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/api/jobs", s.handleJobs)
+	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/refresh", s.handleRefresh)
 	s.mux.HandleFunc("/api/summary", s.handleSummary)
 	s.mux.HandleFunc("/api/cluster", s.handleCluster)
 	s.mux.HandleFunc("/api/explore", s.handleExplore)
@@ -103,6 +106,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Tool.Datasets())
+}
+
+// handleJobs reports every pending and running extraction job plus the
+// most recent completed ones — the live view of the scheduler queue.
+// Reads are side-effect free: they never start a scheduler.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Tool.SchedulerJobs())
+}
+
+// handleMetrics reports scheduler counters, queue gauges and the
+// extraction latency histogram.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Tool.SchedulerMetrics())
+}
+
+// handleRefresh enqueues every due endpoint on the scheduler without
+// waiting; clients watch /api/jobs for progress.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST to trigger a refresh cycle", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, map[string]int{"submitted": s.Tool.SubmitDue()})
 }
 
 func (s *Server) dataset(r *http.Request) string {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/docstore"
 	"repro/internal/endpoint"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/synth"
 )
 
@@ -246,5 +248,77 @@ func TestUnknownPath(t *testing.T) {
 	code, _, _ := get(t, srv.URL+"/nonexistent")
 	if code != 404 {
 		t.Fatalf("status = %d", code)
+	}
+}
+
+// TestJobObservabilityAPI drives a refresh cycle through the HTTP
+// layer and reads it back from /api/jobs and /api/metrics.
+func TestJobObservabilityAPI(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	tool := core.New(docstore.MustOpenMem(), ck)
+	t.Cleanup(tool.Close)
+	tool.Registry.Add(registry.Entry{URL: dsURL, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+	tool.Connect(dsURL, endpoint.LocalClient{Store: synth.Scholarly(1)})
+	srv := httptest.NewServer(New(tool))
+	t.Cleanup(srv.Close)
+
+	// before any scheduling: empty job list, zeroed counters
+	code, body, _ := get(t, srv.URL+"/api/jobs")
+	if code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("initial jobs = %d: %s", code, body)
+	}
+
+	// GET on the trigger endpoint is rejected
+	if code, _, _ := get(t, srv.URL+"/api/refresh"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET refresh status = %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/api/refresh", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var submitted map[string]int
+	if err := json.Unmarshal(raw, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if submitted["submitted"] != 1 {
+		t.Fatalf("submitted = %v", submitted)
+	}
+	// the refresh runs asynchronously; wait for it through core
+	if ok, failed := tool.RunDueConcurrent(context.Background()); ok+failed != 0 {
+		// the due endpoint was already enqueued by /api/refresh, so the
+		// second pass finds nothing new — deduping keeps this race-free
+		t.Logf("second pass picked up %d ok, %d failed", ok, failed)
+	}
+	if err := tool.Scheduler().Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, hdr := get(t, srv.URL+"/api/jobs")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("jobs status = %d", code)
+	}
+	var jobs []sched.Job
+	if err := json.Unmarshal([]byte(body), &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].URL != dsURL || jobs[0].State != sched.StateSucceeded {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+
+	code, body, _ = get(t, srv.URL+"/api/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status = %d", code)
+	}
+	var m sched.Metrics
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Succeeded != 1 || m.Submitted != 1 || m.Running != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if len(m.Latency) == 0 || m.LatencyCount != 1 {
+		t.Fatalf("latency histogram = %+v", m)
 	}
 }
