@@ -1,13 +1,17 @@
 package repro
 
 // One benchmark per paper artifact (figures and quantitative claims; the
-// short paper has no numbered tables). The experiment ids E1–E11 are
+// short paper has no numbered tables). The experiment ids E1–E13 are
 // defined in DESIGN.md §3 and reported in EXPERIMENTS.md. Ablation
 // benchmarks cover the design choices DESIGN.md calls out.
 
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +28,8 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/snapcache"
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -339,6 +345,120 @@ func benchRunDue(b *testing.B, workers int) {
 func BenchmarkE12_RunDueSequential(b *testing.B) { benchRunDue(b, 1) }
 
 func BenchmarkE12_RunDueConcurrent(b *testing.B) { benchRunDue(b, 8) }
+
+// --- E13: versioned snapshot cache on the presentation read path ---
+
+// e13Readers is the concurrency the acceptance criterion names: the
+// cached read path must be ≥10× faster than the uncached one at 32
+// concurrent readers.
+const e13Readers = 32
+
+// e13Server builds a one-dataset presentation server whose snapshot
+// cache has the given byte budget (0 = caching disabled, the pre-cache
+// read path that deserialized the docstore JSON and recomputed layout
+// geometry on every request).
+func e13Server(b *testing.B, budget int64) (*server.Server, *core.HBOLD) {
+	tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
+	tool.Cache = snapcache.New(budget)
+	tool.Registry.Add(registry.Entry{URL: scholarlyURL, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+	tool.Connect(scholarlyURL, endpoint.LocalClient{Store: synth.Scholarly(1)})
+	if err := tool.Process(scholarlyURL); err != nil {
+		b.Fatal(err)
+	}
+	return server.New(tool), tool
+}
+
+// e13Paths is the read mix: JSON summaries and cluster schemas, one
+// layout model, and three rendered SVG views.
+func e13Paths() []string {
+	ds := url.QueryEscape(scholarlyURL)
+	return []string{
+		"/api/summary?dataset=" + ds,
+		"/api/cluster?dataset=" + ds,
+		"/api/model/treemap?dataset=" + ds,
+		"/view/treemap?dataset=" + ds,
+		"/view/sunburst?dataset=" + ds,
+		"/view/circlepack?dataset=" + ds,
+	}
+}
+
+func benchE13Reads(b *testing.B, budget int64) {
+	h, _ := e13Server(b, budget)
+	paths := e13Paths()
+	// warm: populates the cache when one is enabled
+	for _, p := range paths {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%s -> %d", p, rec.Code)
+		}
+	}
+	procs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((e13Readers + procs - 1) / procs)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := paths[i%len(paths)]
+			i++
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+			if rec.Code != http.StatusOK {
+				b.Errorf("%s -> %d", p, rec.Code)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkE13_Uncached32(b *testing.B)  { benchE13Reads(b, 0) }
+func BenchmarkE13_CachedHot32(b *testing.B) { benchE13Reads(b, core.DefaultCacheBudget) }
+
+// BenchmarkE13_CachedPostRefresh times the first read after a refresh:
+// every iteration re-extracts the dataset (untimed), bumping the
+// generation and invalidating the cache, so the timed read always pays
+// the full miss (decode, layout, render, cache fill).
+func BenchmarkE13_CachedPostRefresh(b *testing.B) {
+	h, tool := e13Server(b, core.DefaultCacheBudget)
+	path := "/view/treemap?dataset=" + url.QueryEscape(scholarlyURL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := tool.Process(scholarlyURL); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkE13_Revalidate304 times an If-None-Match revalidation of an
+// unchanged dataset: the server answers 304 from the generation counter
+// alone, recomputing nothing.
+func BenchmarkE13_Revalidate304(b *testing.B) {
+	h, _ := e13Server(b, core.DefaultCacheBudget)
+	path := "/view/treemap?dataset=" + url.QueryEscape(scholarlyURL)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	etag := rec.Header().Get("ETag")
+	if rec.Code != http.StatusOK || etag == "" {
+		b.Fatalf("warm status=%d etag=%q", rec.Code, etag)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", path, nil)
+		req.Header.Set("If-None-Match", etag)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
 
 // --- E11: Listing 1 verbatim ---
 

@@ -6,12 +6,19 @@
 //
 // Usage:
 //
-//	hbold serve [-addr :8080] [-datasets N]
-//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0]
+//	hbold serve [-addr :8080] [-datasets N] [-cache 64]
+//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64]
 //	hbold extract <file.ttl>
 //	hbold render <file.ttl> <outdir>
 //	hbold crawl
 //	hbold query <file.ttl> <sparql-query>
+//
+// Both server modes keep a versioned snapshot cache in front of the
+// presentation read path (-cache sets its budget in MiB; 0 disables
+// it): summaries, cluster schemas, layout models and rendered SVG are
+// memoized per dataset generation, responses carry "<url>@<generation>"
+// ETags, and If-None-Match revalidations answer 304 without
+// recomputing. Cache effectiveness is served on /api/cache.
 //
 // Daemon mode is the deployed shape of the paper's server layer: the
 // HTTP presentation layer runs while a clock-driven refresh cycle polls
@@ -48,6 +55,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/schema"
 	"repro/internal/server"
+	"repro/internal/snapcache"
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -80,8 +88,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  hbold serve [-addr :8080] [-datasets N]   start the presentation layer over a demo corpus
-  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0]
+  hbold serve [-addr :8080] [-datasets N] [-cache 64]
+                                            start the presentation layer over a demo corpus
+                                            (-cache: snapshot cache budget in MiB, 0 disables)
+  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64]
                                             serve plus the concurrent extraction scheduler on
                                             the clock-driven §3.1 refresh cycle
   hbold extract <file.ttl>                  run index extraction on a Turtle file
@@ -120,9 +130,11 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	n := fs.Int("datasets", 5, "number of demo datasets to index (plus the Scholarly LD)")
+	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
 	fs.Parse(args)
 
 	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+	tool.Cache = snapcache.New(*cacheMB << 20)
 	surl := "http://scholarly.example.org/sparql"
 	tool.Registry.Add(registry.Entry{URL: surl, Title: "Scholarly LD"})
 	tool.Connect(surl, endpoint.LocalClient{Store: synth.Scholarly(1)})
@@ -161,9 +173,11 @@ func cmdDaemon(args []string) {
 	poll := fs.Duration("poll", 30*time.Second, "how often to check the §3.1 policy for due endpoints")
 	retries := fs.Int("retries", 3, "extraction attempts per job before waiting for the next retry day")
 	rate := fs.Float64("rate", 0, "per-endpoint job dispatch limit in jobs/sec (0 = unlimited)")
+	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
 	fs.Parse(args)
 
 	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+	tool.Cache = snapcache.New(*cacheMB << 20)
 	tool.SchedulerConfig = sched.Config{
 		Workers: *workers,
 		Retry:   sched.RetryPolicy{MaxAttempts: *retries, BaseBackoff: 2 * time.Second, MaxBackoff: time.Minute},

@@ -3,11 +3,21 @@
 // Workshops): the H-BOLD system for hierarchical, interactive visual
 // exploration of big Linked Data, together with every substrate it needs
 // (SPARQL engine and protocol, endpoint simulation, document store,
-// community detection, a concurrent extraction scheduler, and the
+// community detection, a concurrent extraction scheduler, a versioned
+// snapshot cache in front of the presentation read path, and the
 // D3-style layouts re-implemented as pure-Go geometry).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record. The benchmarks in bench_test.go regenerate
-// every figure and quantitative claim of the paper; cmd/hbold is the CLI
-// and cmd/hbold-bench the experiment harness.
+// The cache layer (internal/snapcache) generalizes the paper's §3.2
+// lesson — precompute the Cluster Schema instead of recomputing it per
+// view — to every presentation read: summaries, cluster schemas, layout
+// models and rendered SVG are memoized per dataset generation, a counter
+// internal/core bumps whenever an extraction job succeeds, and
+// internal/server serves matching "<url>@<generation>" ETags so
+// unchanged datasets revalidate with 304 instead of recomputing.
+//
+// See README.md for the quickstart and HTTP API, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+// The benchmarks in bench_test.go regenerate every figure and
+// quantitative claim of the paper; cmd/hbold is the CLI and
+// cmd/hbold-bench the experiment harness.
 package repro

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestGenerationCounter: generation is 0 until the first successful
+// extraction, then increments once per successful Process — and cached
+// presentation reads at distinct generations are distinct snapshots.
+func TestGenerationCounter(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+
+	if g := h.Generation(url); g != 0 {
+		t.Fatalf("generation before extraction = %d, want 0", g)
+	}
+	if g := h.Generation("http://nobody/sparql"); g != 0 {
+		t.Fatalf("generation of unknown dataset = %d, want 0", g)
+	}
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	if g := h.Generation(url); g != 1 {
+		t.Fatalf("generation after first extraction = %d, want 1", g)
+	}
+
+	// a cached read at generation 1…
+	if _, err := h.Summary(url); err != nil {
+		t.Fatal(err)
+	}
+	misses := h.Cache.Stats().Misses
+	if _, err := h.Summary(url); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Cache.Stats().Misses; got != misses {
+		t.Fatalf("repeated Summary recomputed: misses %d -> %d", misses, got)
+	}
+
+	// …stops being addressed after the refresh bumps to generation 2
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	if g := h.Generation(url); g != 2 {
+		t.Fatalf("generation after refresh = %d, want 2", g)
+	}
+	if _, err := h.Summary(url); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Cache.Stats().Misses; got <= misses {
+		t.Fatalf("post-refresh Summary served stale snapshot: misses %d -> %d", misses, got)
+	}
+}
+
+// TestSharedSummaryConcurrentLookups: the snapshot cache hands the same
+// decoded *schema.Summary to every reader, so concurrent IRI lookups on
+// a freshly cached summary must be race-free (run with -race; before
+// the eager Reindex in Summary's decode path this raced on the lazy
+// index build).
+func TestSharedSummaryConcurrentLookups(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	focus := synth.ScholarlyNS + "Event"
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex, err := h.Explore(url, focus)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := ex.Expand(focus); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessFailureKeepsGeneration: a failed extraction must not bump
+// the generation — clients keep revalidating against the last good
+// snapshot.
+func TestProcessFailureKeepsGeneration(t *testing.T) {
+	h, _ := newTool(t)
+	url := connectScholarly(t, h)
+	if err := h.Process(url); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Process("http://unconnected/sparql"); err == nil {
+		t.Fatal("expected failure for unconnected endpoint")
+	}
+	if g := h.Generation("http://unconnected/sparql"); g != 0 {
+		t.Fatalf("failed extraction bumped generation to %d", g)
+	}
+	if g := h.Generation(url); g != 1 {
+		t.Fatalf("unrelated dataset generation = %d, want 1", g)
+	}
+}

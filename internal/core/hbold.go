@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/schema"
+	"repro/internal/snapcache"
 )
 
 // Collection names in the document store (the MongoDB stand-in).
@@ -34,6 +36,10 @@ const (
 	CollRegistry  = "registry"
 	CollDiffs     = "diffs"
 )
+
+// DefaultCacheBudget is the byte budget of the snapshot cache a fresh
+// instance gets; cmd/hbold's -cache flag overrides it.
+const DefaultCacheBudget int64 = 64 << 20
 
 // HBOLD is the tool: one instance owns the endpoint registry, the
 // document store and the processing pipeline.
@@ -53,9 +59,20 @@ type HBOLD struct {
 	// plus this instance's Clock and a retry hook honoring the
 	// registry's give-up policy.
 	SchedulerConfig sched.Config
+	// Cache is the versioned snapshot cache for the presentation read
+	// path: Summary and ClusterSchema memoize decoded documents in it,
+	// and internal/server additionally memoizes layout models and
+	// rendered SVG. Entries are keyed by dataset generation, so a
+	// successful re-extraction never serves stale data. New installs a
+	// DefaultCacheBudget cache; replace it (before serving traffic) to
+	// resize, or set snapcache.New(0) to disable caching.
+	Cache *snapcache.Cache
 
 	mu      sync.RWMutex
 	clients map[string]endpoint.Client
+
+	genMu       sync.RWMutex
+	generations map[string]uint64
 
 	schedMu sync.Mutex
 	sched   *sched.Scheduler
@@ -71,13 +88,39 @@ func New(db *docstore.DB, ck clock.Clock) *HBOLD {
 		ck = clock.Real{}
 	}
 	return &HBOLD{
-		Registry:  registry.New(registry.DefaultPolicy),
-		DB:        db,
-		Extractor: extraction.New(),
-		Outbox:    notify.NewOutbox(),
-		Clock:     ck,
-		clients:   make(map[string]endpoint.Client),
+		Registry:    registry.New(registry.DefaultPolicy),
+		DB:          db,
+		Extractor:   extraction.New(),
+		Outbox:      notify.NewOutbox(),
+		Clock:       ck,
+		Cache:       snapcache.New(DefaultCacheBudget),
+		clients:     make(map[string]endpoint.Client),
+		generations: make(map[string]uint64),
 	}
+}
+
+// Generation returns the dataset's extraction generation: 0 until the
+// first successful extraction of this instance's lifetime, incremented
+// by every subsequent success. The presentation layer keys snapshot
+// cache entries and HTTP ETags on it, so a bump is what invalidates
+// every materialized view of the dataset at once.
+func (h *HBOLD) Generation(url string) uint64 {
+	h.genMu.RLock()
+	defer h.genMu.RUnlock()
+	return h.generations[url]
+}
+
+// bumpGeneration records that a new extraction of url was persisted.
+func (h *HBOLD) bumpGeneration(url string) {
+	h.genMu.Lock()
+	h.generations[url]++
+	h.genMu.Unlock()
+}
+
+// snapKey addresses a materialized snapshot of url at its current
+// generation.
+func (h *HBOLD) snapKey(url, view, params string) snapcache.Key {
+	return snapcache.Key{URL: url, Generation: h.Generation(url), View: view, Params: params}
 }
 
 // Connect associates a SPARQL client with an endpoint URL. In the
@@ -166,6 +209,9 @@ func (h *HBOLD) process(ctx context.Context, url string, recordFail bool) error 
 	if err := h.DB.Collection(CollClusters).Put(url, cs); err != nil {
 		return err
 	}
+	// the persisted state changed: bump the generation so every cached
+	// snapshot and ETag of this dataset stops validating
+	h.bumpGeneration(url)
 	if h.Registry.Has(url) {
 		if err := h.Registry.RecordSuccess(url, now); err != nil {
 			return err
@@ -217,6 +263,14 @@ func (h *HBOLD) Scheduler() *sched.Scheduler {
 					return
 				}
 				h.recordFailure(url, h.Clock.Now(), err)
+			}
+		}
+		if cfg.OnJobSucceeded == nil {
+			cfg.OnJobSucceeded = func(url string) {
+				// the runner already bumped the generation; eagerly free
+				// the previous generation's snapshots instead of letting
+				// them age out of the LRU
+				h.Cache.InvalidateBefore(url, h.Generation(url))
 			}
 		}
 		// the runner suppresses per-attempt failure recording; the
@@ -346,13 +400,12 @@ func (h *HBOLD) Datasets() []DatasetInfo {
 		if !e.Indexed {
 			continue
 		}
-		var s schema.Summary
-		if err := h.DB.Collection(CollSummaries).Get(e.URL, &s); err != nil {
+		s, err := h.Summary(e.URL)
+		if err != nil {
 			continue
 		}
-		var cs cluster.Schema
 		clusters := 0
-		if err := h.DB.Collection(CollClusters).Get(e.URL, &cs); err == nil {
+		if cs, err := h.ClusterSchema(e.URL); err == nil {
 			clusters = cs.NumClusters()
 		}
 		out = append(out, DatasetInfo{
@@ -366,22 +419,50 @@ func (h *HBOLD) Datasets() []DatasetInfo {
 	return out
 }
 
-// Summary loads the stored Schema Summary of a dataset.
+// Summary loads the stored Schema Summary of a dataset, memoized in
+// the snapshot cache for the current generation (the stored JSON size
+// stands in for the decoded footprint). The returned value is shared
+// across callers and must be treated as immutable.
 func (h *HBOLD) Summary(url string) (*schema.Summary, error) {
-	var s schema.Summary
-	if err := h.DB.Collection(CollSummaries).Get(url, &s); err != nil {
+	v, err := h.Cache.GetOrCompute(h.snapKey(url, "core:summary", ""), func() (any, int64, error) {
+		raw, err := h.DB.Collection(CollSummaries).GetRaw(url)
+		if err != nil {
+			return nil, 0, err
+		}
+		var s schema.Summary
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, 0, err
+		}
+		// the cached value is shared across goroutines: build the lazy
+		// lookup index now, while we are the only holder
+		s.Reindex()
+		return &s, int64(len(raw)), nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &s, nil
+	return v.(*schema.Summary), nil
 }
 
-// ClusterSchema loads the stored (precomputed, §3.2) Cluster Schema.
+// ClusterSchema loads the stored (precomputed, §3.2) Cluster Schema,
+// memoized like Summary. The returned value is shared across callers
+// and must be treated as immutable.
 func (h *HBOLD) ClusterSchema(url string) (*cluster.Schema, error) {
-	var cs cluster.Schema
-	if err := h.DB.Collection(CollClusters).Get(url, &cs); err != nil {
+	v, err := h.Cache.GetOrCompute(h.snapKey(url, "core:cluster", ""), func() (any, int64, error) {
+		raw, err := h.DB.Collection(CollClusters).GetRaw(url)
+		if err != nil {
+			return nil, 0, err
+		}
+		var cs cluster.Schema
+		if err := json.Unmarshal(raw, &cs); err != nil {
+			return nil, 0, err
+		}
+		return &cs, int64(len(raw)), nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &cs, nil
+	return v.(*cluster.Schema), nil
 }
 
 // ClusterSchemaOnTheFly recomputes the Cluster Schema from the stored

@@ -106,6 +106,14 @@ func (s *Summary) reindex() {
 	}
 }
 
+// Reindex (re)builds the class-IRI lookup index. Build-constructed
+// summaries are indexed already, and a summary decoded from JSON
+// indexes itself lazily on first lookup — but that lazy write is not
+// goroutine-safe, so anything that decodes a summary once and then
+// shares it across goroutines (the snapshot cache) must call Reindex
+// before publishing it.
+func (s *Summary) Reindex() { s.reindex() }
+
 // NodeByIRI returns the node for a class IRI.
 func (s *Summary) NodeByIRI(iri string) (Node, bool) {
 	if s.nodeByIRI == nil {

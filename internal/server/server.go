@@ -3,6 +3,14 @@
 // feedback), the visualization endpoints rendering the §3.5 layouts as
 // SVG, the visual query builder endpoint, and the §3.4 manual insertion
 // form. It is a thin adapter over internal/core.
+//
+// Dataset-derived responses (summary, cluster, class detail, layout
+// models, SVG views) are versioned by the dataset's extraction
+// generation: each carries an ETag of the form "<url>@<generation>"
+// plus Cache-Control, answers If-None-Match revalidations with 304
+// without recomputing anything, and is memoized in the instance's
+// snapshot cache (internal/snapcache) keyed by that same generation,
+// so a completed refresh atomically invalidates every view.
 package server
 
 import (
@@ -10,11 +18,13 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/querybuilder"
 	"repro/internal/schema"
+	"repro/internal/snapcache"
 	"repro/internal/viz"
 )
 
@@ -31,6 +41,7 @@ func New(tool *core.HBOLD) *Server {
 	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/api/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/cache", s.handleCache)
 	s.mux.HandleFunc("/api/refresh", s.handleRefresh)
 	s.mux.HandleFunc("/api/summary", s.handleSummary)
 	s.mux.HandleFunc("/api/cluster", s.handleCluster)
@@ -135,22 +146,151 @@ func (s *Server) dataset(r *http.Request) string {
 	return r.URL.Query().Get("dataset")
 }
 
-func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	sum, err := s.Tool.Summary(s.dataset(r))
+// handleCache reports snapshot-cache effectiveness counters (hits,
+// misses, singleflight collapses, evictions, resident bytes).
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Tool.Cache.Stats())
+}
+
+// etagMatches reports whether an If-None-Match header value matches
+// etag: "*" matches anything, lists are comma-separated, and weak
+// validators ("W/...") compare by opaque tag as RFC 9110 prescribes
+// for If-None-Match. Tags are parsed as quoted strings rather than
+// split on commas, because our ETags embed the dataset URL and a URL
+// (like any RFC 9110 opaque tag) may legally contain commas.
+func etagMatches(header, etag string) bool {
+	for header != "" {
+		header = strings.TrimLeft(header, " \t,")
+		if header == "" {
+			return false
+		}
+		if header[0] == '*' {
+			return true
+		}
+		rest := strings.TrimPrefix(header, "W/")
+		if rest == "" || rest[0] != '"' {
+			// malformed member: skip to the next list separator
+			i := strings.IndexByte(header, ',')
+			if i < 0 {
+				return false
+			}
+			header = header[i+1:]
+			continue
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return false
+		}
+		if rest[:end+2] == etag {
+			return true
+		}
+		header = rest[end+2:]
+	}
+	return false
+}
+
+// preflight stamps the dataset's versioned validator headers
+// (ETag "<url>@<generation>" and Cache-Control) and answers a matching
+// If-None-Match revalidation with 304 Not Modified, reporting whether
+// the request is already fully handled. It returns the generation it
+// validated against so the handler's cache key and the served ETag
+// cannot drift apart under a concurrent refresh. Datasets that never
+// completed an extraction in this instance's lifetime (generation 0)
+// get no validator and no 304 — the handler then 404s or serves as
+// usual.
+func (s *Server) preflight(w http.ResponseWriter, r *http.Request, url string) (gen uint64, done bool) {
+	gen = s.Tool.Generation(url)
+	if gen == 0 {
+		return 0, false
+	}
+	etag := fmt.Sprintf("%q", fmt.Sprintf("%s@%d", url, gen))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=0, must-revalidate")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return gen, true
+	}
+	return gen, false
+}
+
+// snapshotJSON serves a JSON response memoized in the snapshot cache as
+// encoded bytes, keyed by (url, gen, view, params); build runs only on
+// a cache miss.
+func (s *Server) snapshotJSON(w http.ResponseWriter, url string, gen uint64, view, params string, build func() (any, error)) {
+	key := snapcache.Key{URL: url, Generation: gen, View: view, Params: params}
+	v, err := s.Tool.Cache.GetOrCompute(key, func() (any, int64, error) {
+		model, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		body, err := json.Marshal(model)
+		if err != nil {
+			return nil, 0, err
+		}
+		return body, int64(len(body)), nil
+	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	writeJSON(w, sum)
+	s.dropIfRefreshRaced(url, gen)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(v.([]byte))
+	w.Write([]byte("\n"))
+}
+
+// dropIfRefreshRaced handles a refresh completing between preflight and
+// the snapshot build: the body just computed (and cached) under gen may
+// actually reflect newer persisted state, so the entry keyed at the old
+// generation is dead weight — free it now rather than waiting for LRU
+// pressure. The response itself is still served (it is never *older*
+// than its validator), and the client's next revalidation misses and
+// picks up the new generation's ETag.
+func (s *Server) dropIfRefreshRaced(url string, gen uint64) {
+	if cur := s.Tool.Generation(url); cur != gen {
+		s.Tool.Cache.InvalidateBefore(url, cur)
+	}
+}
+
+// snapshotSVG is snapshotJSON's counterpart for rendered SVG views.
+func (s *Server) snapshotSVG(w http.ResponseWriter, url string, gen uint64, view, params string, render func() (string, error)) {
+	key := snapcache.Key{URL: url, Generation: gen, View: view, Params: params}
+	v, err := s.Tool.Cache.GetOrCompute(key, func() (any, int64, error) {
+		out, err := render()
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, int64(len(out)), nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.dropIfRefreshRaced(url, gen)
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, v.(string))
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	url := s.dataset(r)
+	gen, done := s.preflight(w, r, url)
+	if done {
+		return
+	}
+	s.snapshotJSON(w, url, gen, "api:summary", "", func() (any, error) {
+		return s.Tool.Summary(url)
+	})
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	cs, err := s.Tool.ClusterSchema(s.dataset(r))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+	url := s.dataset(r)
+	gen, done := s.preflight(w, r, url)
+	if done {
 		return
 	}
-	writeJSON(w, cs)
+	s.snapshotJSON(w, url, gen, "api:cluster", "", func() (any, error) {
+		return s.Tool.ClusterSchema(url)
+	})
 }
 
 // exploreResponse is the JSON shape of one exploration step: the visible
@@ -167,6 +307,9 @@ type exploreResponse struct {
 // handleExplore starts at ?focus= and applies ?expand= (comma-separated
 // class IRIs, expanded in order), returning the resulting partial view.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if _, done := s.preflight(w, r, s.dataset(r)); done {
+		return
+	}
 	focus := r.URL.Query().Get("focus")
 	ex, err := s.Tool.Explore(s.dataset(r), focus)
 	if err != nil {
@@ -197,22 +340,27 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 // handleClass returns the class detail panel of Figure 2 step 2:
 // attributes plus incoming and outgoing properties.
 func (s *Server) handleClass(w http.ResponseWriter, r *http.Request) {
-	sum, err := s.Tool.Summary(s.dataset(r))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+	url := s.dataset(r)
+	gen, done := s.preflight(w, r, url)
+	if done {
 		return
 	}
-	cs, err := s.Tool.ClusterSchema(s.dataset(r))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	}
-	detail, ok := viz.ClassDetailOf(cs, sum, r.URL.Query().Get("class"))
-	if !ok {
-		http.Error(w, "unknown class", http.StatusNotFound)
-		return
-	}
-	writeJSON(w, detail)
+	class := r.URL.Query().Get("class")
+	s.snapshotJSON(w, url, gen, "api:class", class, func() (any, error) {
+		sum, err := s.Tool.Summary(url)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := s.Tool.ClusterSchema(url)
+		if err != nil {
+			return nil, err
+		}
+		detail, ok := viz.ClassDetailOf(cs, sum, class)
+		if !ok {
+			return nil, fmt.Errorf("unknown class")
+		}
+		return detail, nil
+	})
 }
 
 // handleModel serves the layout geometry as JSON instead of SVG, for
@@ -220,24 +368,30 @@ func (s *Server) handleClass(w http.ResponseWriter, r *http.Request) {
 // did).
 func (s *Server) handleModel(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sum, err := s.Tool.Summary(s.dataset(r))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+		url := s.dataset(r)
+		gen, done := s.preflight(w, r, url)
+		if done {
 			return
 		}
-		cs, err := s.Tool.ClusterSchema(s.dataset(r))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		switch kind {
-		case "treemap":
-			writeJSON(w, viz.TreemapModelOf(cs, sum, 1000, 700))
-		case "sunburst":
-			writeJSON(w, viz.SunburstModelOf(cs, sum, 400))
-		case "circlepack":
-			writeJSON(w, viz.CirclePackModelOf(cs, sum, 800))
-		}
+		s.snapshotJSON(w, url, gen, "model:"+kind, "", func() (any, error) {
+			sum, err := s.Tool.Summary(url)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := s.Tool.ClusterSchema(url)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case "treemap":
+				return viz.TreemapModelOf(cs, sum, 1000, 700), nil
+			case "sunburst":
+				return viz.SunburstModelOf(cs, sum, 400), nil
+			case "circlepack":
+				return viz.CirclePackModelOf(cs, sum, 800), nil
+			}
+			return nil, fmt.Errorf("unknown model %q", kind)
+		})
 	}
 }
 
@@ -262,46 +416,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"sparql": text})
 }
 
+// handleView serves one §3.5 visualization as rendered SVG. The render
+// is memoized per (dataset, generation, kind, view parameters): the
+// bundle's focus class and the summary graph's visible set are part of
+// the cache key, canonicalized so equivalent requests share one entry.
 func (s *Server) handleView(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		url := s.dataset(r)
-		sum, err := s.Tool.Summary(url)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+		gen, done := s.preflight(w, r, url)
+		if done {
 			return
 		}
-		cs, err := s.Tool.ClusterSchema(url)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		var out string
+		params := ""
 		switch kind {
-		case "treemap":
-			out = viz.TreemapView(cs, sum, 1000, 700)
-		case "sunburst":
-			out = viz.SunburstView(cs, sum, 800)
-		case "circlepack":
-			out = viz.CirclePackView(cs, sum, 800)
 		case "bundle":
-			out = viz.BundleView(cs, sum, r.URL.Query().Get("focus"), 900)
-		case "cluster-graph":
-			out = viz.ClusterGraphView(cs, 900)
+			params = "focus=" + r.URL.Query().Get("focus")
 		case "summary-graph":
-			var visible map[string]bool
 			if vis := r.URL.Query().Get("visible"); vis != "" {
-				visible = map[string]bool{}
-				for _, c := range strings.Split(vis, ",") {
-					visible[strings.TrimSpace(c)] = true
+				classes := strings.Split(vis, ",")
+				for i, c := range classes {
+					classes[i] = strings.TrimSpace(c)
 				}
+				sort.Strings(classes)
+				params = "visible=" + strings.Join(classes, ",")
 			}
-			out = viz.SummaryGraphView(sum, visible, 900)
-		default:
-			http.Error(w, "unknown view", http.StatusNotFound)
-			return
 		}
-		w.Header().Set("Content-Type", "image/svg+xml")
-		fmt.Fprint(w, out)
+		s.snapshotSVG(w, url, gen, "view:"+kind, params, func() (string, error) {
+			sum, err := s.Tool.Summary(url)
+			if err != nil {
+				return "", err
+			}
+			cs, err := s.Tool.ClusterSchema(url)
+			if err != nil {
+				return "", err
+			}
+			switch kind {
+			case "treemap":
+				return viz.TreemapView(cs, sum, 1000, 700), nil
+			case "sunburst":
+				return viz.SunburstView(cs, sum, 800), nil
+			case "circlepack":
+				return viz.CirclePackView(cs, sum, 800), nil
+			case "bundle":
+				return viz.BundleView(cs, sum, r.URL.Query().Get("focus"), 900), nil
+			case "cluster-graph":
+				return viz.ClusterGraphView(cs, 900), nil
+			case "summary-graph":
+				var visible map[string]bool
+				if p, ok := strings.CutPrefix(params, "visible="); ok {
+					visible = map[string]bool{}
+					for _, c := range strings.Split(p, ",") {
+						visible[c] = true
+					}
+				}
+				return viz.SummaryGraphView(sum, visible, 900), nil
+			}
+			return "", fmt.Errorf("unknown view %q", kind)
+		})
 	}
 }
 

@@ -1,0 +1,255 @@
+package snapcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func k(url string, gen uint64, view string) Key {
+	return Key{URL: url, Generation: gen, View: view}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	computes := 0
+	get := func() (any, error) {
+		return c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+			computes++
+			return "payload", 7, nil
+		})
+	}
+	for i := 0; i < 3; i++ {
+		v, err := get()
+		if err != nil || v != "payload" {
+			t.Fatalf("get = %v, %v", v, err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 || st.Bytes != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGenerationKeysDistinct(t *testing.T) {
+	c := New(1 << 20)
+	for gen := uint64(1); gen <= 3; gen++ {
+		v, err := c.GetOrCompute(k("u", gen, "v"), func() (any, int64, error) {
+			return fmt.Sprintf("gen%d", gen), 4, nil
+		})
+		if err != nil || v != fmt.Sprintf("gen%d", gen) {
+			t.Fatalf("gen %d: got %v, %v", gen, v, err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 3 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(100)
+	put := func(view string) {
+		c.GetOrCompute(k("u", 1, view), func() (any, int64, error) { return view, 40, nil })
+	}
+	put("a")
+	put("b")
+	// touch "a" so "b" is the LRU victim when "c" overflows the budget
+	c.GetOrCompute(k("u", 1, "a"), func() (any, int64, error) {
+		t.Fatal("expected a to be resident")
+		return nil, 0, nil
+	})
+	put("c")
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// "b" must be gone, "a" and "c" resident
+	recomputed := false
+	c.GetOrCompute(k("u", 1, "b"), func() (any, int64, error) {
+		recomputed = true
+		return "b", 40, nil
+	})
+	if !recomputed {
+		t.Fatal("LRU victim was not b")
+	}
+}
+
+func TestOversizeValueNotCached(t *testing.T) {
+	c := New(10)
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrCompute(k("u", 1, "big"), func() (any, int64, error) {
+			return "big", 100, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+			return nil, 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(1 << 20)
+	const readers = 16
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	// one leader blocks inside compute while the rest pile up on the key
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+			computes.Add(1)
+			close(started)
+			<-gate
+			return "once", 4, nil
+		})
+	}()
+	<-started
+	results := make([]any, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+				computes.Add(1)
+				return "once", 4, nil
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d, want 1", n)
+	}
+	for i, v := range results {
+		if v != "once" {
+			t.Fatalf("reader %d got %v", i, v)
+		}
+	}
+}
+
+func TestInvalidateBefore(t *testing.T) {
+	c := New(1 << 20)
+	c.GetOrCompute(k("u", 1, "a"), func() (any, int64, error) { return "a1", 4, nil })
+	c.GetOrCompute(k("u", 1, "b"), func() (any, int64, error) { return "b1", 4, nil })
+	c.GetOrCompute(k("u", 2, "a"), func() (any, int64, error) { return "a2", 4, nil })
+	c.GetOrCompute(k("other", 1, "a"), func() (any, int64, error) { return "o1", 4, nil })
+	if n := c.InvalidateBefore("u", 2); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Invalidations != 2 || st.Bytes != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// the current generation and the other URL survive
+	hits := st.Hits
+	c.GetOrCompute(k("u", 2, "a"), func() (any, int64, error) {
+		t.Fatal("current generation was invalidated")
+		return nil, 0, nil
+	})
+	c.GetOrCompute(k("other", 1, "a"), func() (any, int64, error) {
+		t.Fatal("unrelated URL was invalidated")
+		return nil, 0, nil
+	})
+	if got := c.Stats().Hits; got != hits+2 {
+		t.Fatalf("hits = %d, want %d", got, hits+2)
+	}
+}
+
+// TestComputePanicDoesNotWedgeKey: a panicking compute must release
+// collapsed waiters with an error and leave the key retryable, not
+// park every future reader on a dead flight entry.
+func TestComputePanicDoesNotWedgeKey(t *testing.T) {
+	c := New(1 << 20)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+			close(started)
+			<-gate
+			panic("boom")
+		})
+	}()
+	<-started
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+			return "late", 4, nil
+		})
+		waiter <- err
+	}()
+	// wait until the second caller has collapsed onto the flight before
+	// triggering the panic
+	for c.Stats().Collapsed == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	<-leaderDone
+	if err := <-waiter; err == nil {
+		t.Fatal("collapsed waiter got nil error from a panicked compute")
+	}
+	// the key must be retryable, not wedged
+	v, err := c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+		return "ok", 2, nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats after retry = %+v", st)
+	}
+}
+
+func TestDisabledAndNil(t *testing.T) {
+	for _, c := range []*Cache{nil, New(0)} {
+		if c.Enabled() {
+			t.Fatal("disabled cache reports enabled")
+		}
+		computes := 0
+		for i := 0; i < 2; i++ {
+			v, err := c.GetOrCompute(k("u", 1, "v"), func() (any, int64, error) {
+				computes++
+				return "x", 1, nil
+			})
+			if err != nil || v != "x" {
+				t.Fatalf("get = %v, %v", v, err)
+			}
+		}
+		if computes != 2 {
+			t.Fatalf("computes = %d, want 2 (pass-through)", computes)
+		}
+		if n := c.InvalidateBefore("u", 9); n != 0 {
+			t.Fatalf("invalidate on disabled cache = %d", n)
+		}
+	}
+}
