@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -611,5 +612,82 @@ func BenchmarkAblation_StoreFullScanFilter(b *testing.B) {
 		if n == 0 {
 			b.Fatal("no matches")
 		}
+	}
+}
+
+// --- E14: ID-space query engine vs the legacy term-space evaluator ---
+
+// The evaluator is the innermost loop of every synthetic endpoint, so E1,
+// E2, E8 and E12 all inherit this speedup; E14 isolates it on three query
+// mixes. "{C}" in a query is replaced by the store's biggest class.
+
+var (
+	e14Once   sync.Once
+	e14St     *store.Store
+	e14Class  string
+	e14Class2 string
+)
+
+func e14Store(b *testing.B) (*store.Store, string, string) {
+	e14Once.Do(func() {
+		e14St = synth.Generate(synth.Spec{
+			Name: "e14", Classes: 12, Instances: 2500, ObjectProps: 24,
+			DataProps: 8, LinkFactor: 2, CommunitySeeds: 3, Seed: 99,
+		})
+		cls := e14St.Classes()
+		e14Class = cls[0].Class.Value
+		e14Class2 = cls[1].Class.Value
+	})
+	return e14St, e14Class, e14Class2
+}
+
+var e14Mixes = []struct {
+	name    string
+	queries []string
+}{
+	{"bgp", []string{
+		`SELECT ?x ?y WHERE { ?x a <{C}> . ?x ?p ?y . ?y a <{C2}> }`,
+		`SELECT ?x WHERE { ?x ?p ?y . ?y ?q ?z . ?z a <{C}> . ?x a <{C2}> }`,
+		`SELECT ?x ?y WHERE { ?x ?p ?y . ?y ?q ?x }`,
+	}},
+	{"distinct", []string{
+		`SELECT DISTINCT ?c WHERE { ?s a ?c }`,
+		`SELECT DISTINCT ?p WHERE { ?s ?p ?o }`,
+		`SELECT DISTINCT ?x ?c WHERE { ?x a ?c . ?x ?p ?o }`,
+	}},
+	{"aggregate", []string{
+		`SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n)`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`,
+		`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p`,
+	}},
+}
+
+func benchE14(b *testing.B, queries []string, engine sparql.Engine) {
+	st, class, class2 := e14Store(b)
+	parsed := make([]*sparql.Query, len(queries))
+	for i, q := range queries {
+		q = strings.ReplaceAll(q, "{C2}", class2)
+		parsed[i] = sparql.MustParse(strings.ReplaceAll(q, "{C}", class))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		res, err := parsed[i%len(parsed)].ExecEngine(st, engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows += len(res.Rows)
+	}
+	if b.N >= len(queries) && rows == 0 {
+		b.Fatal("benchmark queries produced no rows")
+	}
+}
+
+func BenchmarkE14_QueryEngine(b *testing.B) {
+	for _, mix := range e14Mixes {
+		mix := mix
+		b.Run(mix.name+"/idspace", func(b *testing.B) { benchE14(b, mix.queries, sparql.EngineIDSpace) })
+		b.Run(mix.name+"/legacy", func(b *testing.B) { benchE14(b, mix.queries, sparql.EngineLegacy) })
 	}
 }

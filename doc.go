@@ -15,6 +15,14 @@
 // internal/server serves matching "<url>@<generation>" ETags so
 // unchanged datasets revalidate with 304 instead of recomputing.
 //
+// The query layer (internal/sparql over internal/store) compiles each
+// query into an ID-space plan: solution rows are flat slot arrays of
+// interned store IDs in a packed arena, joins run on sorted posting
+// lists through a lock-once store.Reader, and terms materialize only at
+// projection and expression boundaries. The original term-space
+// evaluator survives as the EngineLegacy fallback and differential-test
+// reference.
+//
 // See README.md for the quickstart and HTTP API, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 // The benchmarks in bench_test.go regenerate every figure and

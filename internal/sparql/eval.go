@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,8 +34,41 @@ func Exec(st *store.Store, query string) (*Result, error) {
 	return q.Exec(st)
 }
 
-// Exec executes the parsed query against st.
+// Engine selects the evaluation strategy.
+type Engine uint8
+
+// Available engines.
+const (
+	// EngineAuto runs the ID-space engine, falling back to the legacy
+	// term-space evaluator for queries it cannot plan.
+	EngineAuto Engine = iota
+	// EngineIDSpace forces the compiled ID-space engine (exec.go).
+	EngineIDSpace
+	// EngineLegacy forces the term-space evaluator that joins map-based
+	// Bindings; kept as the fallback and as the differential-testing
+	// reference.
+	EngineLegacy
+)
+
+// Exec executes the parsed query against st with the default engine.
 func (q *Query) Exec(st *store.Store) (*Result, error) {
+	return q.ExecEngine(st, EngineAuto)
+}
+
+// ExecEngine executes the parsed query with an explicit engine choice.
+func (q *Query) ExecEngine(st *store.Store, engine Engine) (*Result, error) {
+	if engine == EngineLegacy {
+		return q.execLegacy(st)
+	}
+	res, err := q.execID(st)
+	if engine == EngineAuto && errors.Is(err, errUnsupportedPlan) {
+		return q.execLegacy(st)
+	}
+	return res, err
+}
+
+// execLegacy executes the query on the term-space evaluator.
+func (q *Query) execLegacy(st *store.Store) (*Result, error) {
 	ev := &evaluator{st: st}
 	sols := ev.evalGroup(q.Where, []Binding{{}})
 
@@ -535,6 +569,13 @@ func (ev *evaluator) evalBGP(bgp *BGP, input []Binding) []Binding {
 	sols := input
 	remaining := make([]TriplePattern, len(bgp.Patterns))
 	copy(remaining, bgp.Patterns)
+	// The estimate depends only on the pattern's constants, so one store
+	// call per pattern suffices; re-estimating every remaining pattern on
+	// every iteration cost O(k²) Cardinality calls per BGP.
+	cards := make([]int, len(remaining))
+	for i, tp := range remaining {
+		cards[i] = ev.st.Cardinality(patternFor(tp))
+	}
 	bound := map[string]bool{}
 	if len(input) > 0 {
 		for v := range input[0] {
@@ -555,14 +596,14 @@ func (ev *evaluator) evalBGP(bgp *BGP, input []Binding) []Binding {
 					break
 				}
 			}
-			card := ev.st.Cardinality(patternFor(tp, bound))
-			if best == -1 || (conn && !bestConn) || (conn == bestConn && card < bestCard) {
-				best, bestCard, bestConn = i, card, conn
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && cards[i] < bestCard) {
+				best, bestCard, bestConn = i, cards[i], conn
 			}
 		}
 		first = false
 		tp := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
+		cards = append(cards[:best], cards[best+1:]...)
 		sols = ev.joinPattern(tp, sols)
 		if len(sols) == 0 {
 			return nil
@@ -574,10 +615,10 @@ func (ev *evaluator) evalBGP(bgp *BGP, input []Binding) []Binding {
 	return sols
 }
 
-// patternFor builds a store pattern for cardinality estimation: variables
-// already bound are treated as bound (approximated by leaving them free,
-// which over-estimates; constants are exact).
-func patternFor(tp TriplePattern, bound map[string]bool) store.Pattern {
+// patternFor builds a store pattern for cardinality estimation from the
+// pattern's constants (row-bound variables are approximated as free, which
+// over-estimates but never changes results).
+func patternFor(tp TriplePattern) store.Pattern {
 	var pat store.Pattern
 	if !tp.S.IsVar() {
 		pat.S = tp.S.Term

@@ -1,0 +1,971 @@
+package sparql
+
+// The ID-space executor. Solution rows are flat []store.ID slices of
+// length nslots, packed back to back in a growing arena ([]store.ID with a
+// stride), so the join inner loops allocate no per-row maps and compare
+// variables with uint32 equality. Joins run as index nested loops over the
+// store's sorted posting lists (fully-bound patterns degrade to a binary
+// search — a merge against the sorted list), with a hash join taking over
+// when a large row set joins a pattern on a single variable. Terms are
+// materialized only at projection, FILTER/BIND/ORDER BY expression
+// evaluation, and result serialization.
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// rowbuf is a packed set of solution rows: n rows of stride IDs each,
+// stored contiguously. The zero ID (store.NoID) marks an unbound slot.
+type rowbuf struct {
+	data   []store.ID
+	stride int
+	n      int
+}
+
+func (rb *rowbuf) row(i int) []store.ID {
+	return rb.data[i*rb.stride : (i+1)*rb.stride]
+}
+
+// add appends a copy of r (stride IDs) to the buffer.
+func (rb *rowbuf) add(r []store.ID) {
+	rb.data = append(rb.data, r...)
+	rb.n++
+}
+
+// appendAll appends every row of other.
+func (rb *rowbuf) appendAll(other *rowbuf) {
+	rb.data = append(rb.data, other.data[:other.n*other.stride]...)
+	rb.n += other.n
+}
+
+// window restricts the buffer to rows [offset, offset+limit); limit < 0
+// means unbounded. It mutates the buffer in place.
+func (rb *rowbuf) window(offset, limit int) *rowbuf {
+	if offset > 0 {
+		if offset >= rb.n {
+			rb.data, rb.n = nil, 0
+			return rb
+		}
+		rb.data = rb.data[offset*rb.stride:]
+		rb.n -= offset
+	}
+	if limit >= 0 && limit < rb.n {
+		rb.data = rb.data[:limit*rb.stride]
+		rb.n = limit
+	}
+	return rb
+}
+
+// idExec executes a compiled plan. It owns the executor-local dictionary
+// for terms the store has never seen (BIND results, VALUES constants) and
+// the scratch buffers reused across the hot loops.
+type idExec struct {
+	rd       *store.Reader
+	maxStore store.ID // highest store-issued ID; larger IDs are local
+
+	local    []rdf.Term // local terms; ID maxStore+1+i
+	localIDs map[rdf.Term]store.ID
+
+	nslots  int
+	names   []string   // slot → variable name
+	scratch Binding    // reusable binding for expression evaluation
+	joinRow []store.ID // reusable row assembled during joins
+}
+
+func newIDExec(st *store.Store) *idExec {
+	rd := st.Reader()
+	return &idExec{
+		rd:       rd,
+		maxStore: rd.MaxID(),
+		localIDs: make(map[rdf.Term]store.ID),
+		scratch:  make(Binding, 8),
+	}
+}
+
+// intern returns the unique ID for t: the store's if it knows the term,
+// otherwise an executor-local one. Equal terms always map to equal IDs.
+func (e *idExec) intern(t rdf.Term) store.ID {
+	if id := e.rd.Lookup(t); id != store.NoID {
+		return id
+	}
+	if id, ok := e.localIDs[t]; ok {
+		return id
+	}
+	e.local = append(e.local, t)
+	id := e.maxStore + store.ID(len(e.local))
+	e.localIDs[t] = id
+	return id
+}
+
+// term materializes the term for an ID (store or local).
+func (e *idExec) term(id store.ID) rdf.Term {
+	if id <= e.maxStore {
+		return e.rd.Term(id)
+	}
+	return e.local[id-e.maxStore-1]
+}
+
+// bindScratch rebuilds the reusable scratch Binding with the given
+// variables taken from row r. The map is cleared and refilled, never
+// reallocated, so expression evaluation costs no per-row map allocation.
+func (e *idExec) bindScratch(vars []varslot, r []store.ID) Binding {
+	b := e.scratch
+	for k := range b {
+		delete(b, k)
+	}
+	for _, vs := range vars {
+		if id := r[vs.slot]; id != store.NoID {
+			b[vs.name] = e.term(id)
+		}
+	}
+	return b
+}
+
+// --- pattern evaluation ---
+
+// evalGroup evaluates a compiled group. budget limits the number of rows
+// the group needs to produce (LIMIT pushdown); -1 means unlimited. The
+// budget only reaches the final join step and only when no filter could
+// later drop rows.
+func (e *idExec) evalGroup(g *cgroup, in *rowbuf, budget int) *rowbuf {
+	rows := in
+	if len(g.filters) > 0 {
+		budget = -1
+	}
+	for i, el := range g.elems {
+		b := -1
+		if i == len(g.elems)-1 {
+			b = budget
+		}
+		rows = e.evalNode(el, rows, b)
+		if rows.n == 0 {
+			break
+		}
+	}
+	if len(g.filters) > 0 && rows.n > 0 {
+		out := &rowbuf{stride: rows.stride}
+		for i := 0; i < rows.n; i++ {
+			r := rows.row(i)
+			keep := true
+			for _, f := range g.filters {
+				ok, err := evalBool(f.expr, e.bindScratch(f.vars, r))
+				if err != nil || !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out.add(r)
+			}
+		}
+		rows = out
+	}
+	return rows
+}
+
+func (e *idExec) evalNode(n cnode, in *rowbuf, budget int) *rowbuf {
+	switch x := n.(type) {
+	case *cBGP:
+		return e.evalBGP(x, in, budget)
+	case *cgroup:
+		return e.evalGroup(x, in, budget)
+	case *cOptional:
+		out := &rowbuf{stride: in.stride}
+		one := &rowbuf{stride: in.stride, n: 1}
+		for i := 0; i < in.n; i++ {
+			r := in.row(i)
+			one.data = r
+			ext := e.evalGroup(x.inner, one, -1)
+			if ext.n == 0 {
+				out.add(r)
+			} else {
+				out.appendAll(ext)
+			}
+		}
+		return out
+	case *cUnion:
+		l := e.evalGroup(x.left, in, -1)
+		r := e.evalGroup(x.right, in, -1)
+		out := &rowbuf{stride: in.stride}
+		out.appendAll(l)
+		out.appendAll(r)
+		return out
+	case *cMinus:
+		empty := &rowbuf{stride: in.stride, data: make([]store.ID, in.stride), n: 1}
+		right := e.evalGroup(x.inner, empty, -1)
+		out := &rowbuf{stride: in.stride}
+		for i := 0; i < in.n; i++ {
+			r := in.row(i)
+			removed := false
+			for j := 0; j < right.n && !removed; j++ {
+				rr := right.row(j)
+				shared, equal := false, true
+				for s := 0; s < in.stride; s++ {
+					if r[s] != store.NoID && rr[s] != store.NoID {
+						shared = true
+						if r[s] != rr[s] {
+							equal = false
+							break
+						}
+					}
+				}
+				removed = shared && equal
+			}
+			if !removed {
+				out.add(r)
+			}
+		}
+		return out
+	case *cBind:
+		out := &rowbuf{stride: in.stride}
+		for i := 0; i < in.n; i++ {
+			r := in.row(i)
+			nr := e.joinRow[:in.stride]
+			copy(nr, r)
+			if t, err := evalExpr(x.expr, e.bindScratch(x.vars, r)); err == nil {
+				nr[x.slot] = e.intern(t)
+			}
+			out.add(nr)
+		}
+		return out
+	case *cValues:
+		out := &rowbuf{stride: in.stride}
+		for i := 0; i < in.n; i++ {
+			r := in.row(i)
+			for _, vr := range x.rows {
+				nr := e.joinRow[:in.stride]
+				copy(nr, r)
+				ok := true
+				for j, slot := range x.slots {
+					v := vr[j]
+					if v == store.NoID {
+						continue // UNDEF
+					}
+					if cur := nr[slot]; cur != store.NoID {
+						if cur != v {
+							ok = false
+							break
+						}
+					} else {
+						nr[slot] = v
+					}
+				}
+				if ok {
+					out.add(nr)
+				}
+			}
+		}
+		return out
+	}
+	return &rowbuf{stride: in.stride}
+}
+
+// evalBGP joins the compiled triple patterns with greedy selectivity
+// ordering. Cardinality estimates are memoized per pattern and only
+// recomputed when the pattern's bound-variable signature changes.
+func (e *idExec) evalBGP(b *cBGP, in *rowbuf, budget int) *rowbuf {
+	n := len(b.pats)
+	if n == 0 {
+		return in
+	}
+	bound := make([]bool, e.nslots)
+	if in.n > 0 {
+		for s, v := range in.row(0) {
+			if v != store.NoID {
+				bound[s] = true
+			}
+		}
+	}
+	type est struct {
+		card  int
+		sig   uint8
+		valid bool
+	}
+	ests := make([]est, n)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		first := len(order) == 0
+		best, bestCard, bestConn := -1, 0, false
+		for i := range b.pats {
+			if used[i] {
+				continue
+			}
+			p := &b.pats[i]
+			conn := first
+			for _, s := range p.slots {
+				if bound[s] {
+					conn = true
+					break
+				}
+			}
+			sig := boundSig(p, bound)
+			if !ests[i].valid || ests[i].sig != sig {
+				ests[i] = est{card: e.estimate(p, bound), sig: sig, valid: true}
+			}
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && ests[i].card < bestCard) {
+				best, bestCard, bestConn = i, ests[i].card, conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, s := range b.pats[best].slots {
+			bound[s] = true
+		}
+	}
+	rows := in
+	for k, idx := range order {
+		bgt := -1
+		if k == n-1 {
+			bgt = budget
+		}
+		rows = e.joinPattern(&b.pats[idx], rows, bgt)
+		if rows.n == 0 {
+			return rows
+		}
+	}
+	return rows
+}
+
+// boundSig fingerprints which of the pattern's variable positions are
+// bound; the memoized cardinality estimate is invalidated when it changes.
+func boundSig(p *cpattern, bound []bool) uint8 {
+	var sig uint8
+	if p.s.isVar() && bound[p.s.slot] {
+		sig |= 1
+	}
+	if p.p.isVar() && bound[p.p.slot] {
+		sig |= 2
+	}
+	if p.o.isVar() && bound[p.o.slot] {
+		sig |= 4
+	}
+	return sig
+}
+
+// estimate returns the expected number of matches of p given the current
+// bound set: the exact index cardinality over the constant positions,
+// refined by an average-fanout division for every row-bound variable.
+func (e *idExec) estimate(p *cpattern, bound []bool) int {
+	var pat store.IDPattern
+	if !p.s.isVar() {
+		pat.S = p.s.id
+	}
+	if !p.p.isVar() {
+		pat.P = p.p.id
+	}
+	if !p.o.isVar() {
+		pat.O = p.o.id
+	}
+	if pat.S > e.maxStore || pat.P > e.maxStore || pat.O > e.maxStore {
+		return 0 // a constant the store has never seen matches nothing
+	}
+	card := e.rd.CardinalityIDs(pat)
+	if card == 0 {
+		return 0
+	}
+	if p.s.isVar() && bound[p.s.slot] {
+		card = divClamp(card, e.rd.DistinctSubjects())
+	}
+	if p.p.isVar() && bound[p.p.slot] {
+		card = divClamp(card, e.rd.DistinctPredicates())
+	}
+	if p.o.isVar() && bound[p.o.slot] {
+		card = divClamp(card, e.rd.DistinctObjects())
+	}
+	return card
+}
+
+func divClamp(a, b int) int {
+	if b < 1 {
+		b = 1
+	}
+	a /= b
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// hashJoinMinRows is the input size above which joining through a hash
+// table on the shared variable is considered instead of per-row index
+// probes.
+const hashJoinMinRows = 64
+
+// joinPattern extends every input row with the matches of p. The inner
+// loop works purely on IDs: a fully-bound pattern is a binary search on
+// the sorted SPO postings, otherwise the pattern probes the best
+// permutation index, and large single-variable joins go through a hash
+// table built from one index scan.
+func (e *idExec) joinPattern(p *cpattern, in *rowbuf, budget int) *rowbuf {
+	out := &rowbuf{stride: in.stride}
+	if in.n == 0 {
+		return out
+	}
+	if budget < 0 && in.n >= hashJoinMinRows {
+		if hj := e.tryHashJoin(p, in); hj != nil {
+			return hj
+		}
+	}
+	for i := 0; i < in.n; i++ {
+		r := in.row(i)
+		var pat store.IDPattern
+		sConc := resolvePos(p.s, r, &pat.S)
+		pConc := resolvePos(p.p, r, &pat.P)
+		oConc := resolvePos(p.o, r, &pat.O)
+		if pat.S > e.maxStore || pat.P > e.maxStore || pat.O > e.maxStore {
+			continue // locally-interned term: cannot match the store
+		}
+		if sConc && pConc && oConc {
+			if e.rd.HasID(pat.S, pat.P, pat.O) {
+				out.add(r)
+				if budget >= 0 && out.n >= budget {
+					return out
+				}
+			}
+			continue
+		}
+		stop := false
+		e.rd.MatchIDs(pat, func(s, pp, o store.ID) bool {
+			nr := e.joinRow[:in.stride]
+			copy(nr, r)
+			if bindPos(p.s, s, nr) && bindPos(p.p, pp, nr) && bindPos(p.o, o, nr) {
+				out.add(nr)
+				if budget >= 0 && out.n >= budget {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			break
+		}
+	}
+	return out
+}
+
+// resolvePos writes the concrete ID of a pattern position (constant or
+// row-bound variable) into dst, reporting whether the position is
+// concrete for this row.
+func resolvePos(t cterm, r []store.ID, dst *store.ID) bool {
+	if !t.isVar() {
+		*dst = t.id
+		return true
+	}
+	if v := r[t.slot]; v != store.NoID {
+		*dst = v
+		return true
+	}
+	return false
+}
+
+// bindPos binds a matched ID into the row, checking repeated-variable
+// consistency. Constant positions were already matched by the index.
+func bindPos(t cterm, v store.ID, r []store.ID) bool {
+	if !t.isVar() {
+		return true
+	}
+	if cur := r[t.slot]; cur != store.NoID {
+		return cur == v
+	}
+	r[t.slot] = v
+	return true
+}
+
+// tryHashJoin joins in ⋈ p through a hash table on the single shared
+// variable. It applies when the pattern has exactly one row-bound
+// variable position (bound in every row), every other variable position is
+// unbound in every row, and one scan of the pattern is cheaper than
+// probing the index once per row. It returns nil when it does not apply.
+func (e *idExec) tryHashJoin(p *cpattern, in *rowbuf) *rowbuf {
+	terms := [3]cterm{p.s, p.p, p.o}
+	var pat store.IDPattern
+	patPos := [3]*store.ID{&pat.S, &pat.P, &pat.O}
+	joinPos := -1
+	var freePos []int
+	r0 := in.row(0)
+	for i, t := range terms {
+		if !t.isVar() {
+			if t.id > e.maxStore {
+				return &rowbuf{stride: in.stride} // dead constant: no matches
+			}
+			*patPos[i] = t.id
+			continue
+		}
+		if r0[t.slot] != store.NoID {
+			if joinPos >= 0 {
+				return nil // two bound positions: existence probes are cheap
+			}
+			joinPos = i
+		} else {
+			freePos = append(freePos, i)
+		}
+	}
+	if joinPos < 0 || len(freePos) == 0 {
+		return nil
+	}
+	joinSlot := terms[joinPos].slot
+	for _, fi := range freePos {
+		if terms[fi].slot == joinSlot {
+			return nil
+		}
+	}
+	if len(freePos) == 2 && terms[freePos[0]].slot == terms[freePos[1]].slot {
+		return nil // repeated free variable: nested loop handles unification
+	}
+	// the static classification must hold for every row, not just the first
+	for i := 0; i < in.n; i++ {
+		r := in.row(i)
+		if r[joinSlot] == store.NoID {
+			return nil
+		}
+		for _, fi := range freePos {
+			if r[terms[fi].slot] != store.NoID {
+				return nil
+			}
+		}
+	}
+	scan := e.rd.CardinalityIDs(pat)
+	if scan > in.n*8 {
+		return nil // building the table would cost more than probing
+	}
+	w := len(freePos)
+	table := make(map[store.ID][]store.ID, scan/2+1)
+	var vals [3]store.ID
+	e.rd.MatchIDs(pat, func(s, pp, o store.ID) bool {
+		vals[0], vals[1], vals[2] = s, pp, o
+		jv := vals[joinPos]
+		tuple := table[jv]
+		for _, fi := range freePos {
+			tuple = append(tuple, vals[fi])
+		}
+		table[jv] = tuple
+		return true
+	})
+	out := &rowbuf{stride: in.stride}
+	for i := 0; i < in.n; i++ {
+		r := in.row(i)
+		tuples := table[r[joinSlot]]
+		for k := 0; k < len(tuples); k += w {
+			nr := e.joinRow[:in.stride]
+			copy(nr, r)
+			for j, fi := range freePos {
+				nr[terms[fi].slot] = tuples[k+j]
+			}
+			out.add(nr)
+		}
+	}
+	return out
+}
+
+// --- result shaping ---
+
+// distinctRows deduplicates rows on the given slot tuple (a slot of -1
+// reads as unbound). Keys are ID tuples — comparable arrays for narrow
+// projections, packed bytes otherwise — so no term is materialized.
+func (e *idExec) distinctRows(rb *rowbuf, slots []int) *rowbuf {
+	out := &rowbuf{stride: rb.stride}
+	if len(slots) <= 4 {
+		seen := make(map[[4]store.ID]struct{}, rb.n)
+		for i := 0; i < rb.n; i++ {
+			r := rb.row(i)
+			var key [4]store.ID
+			for j, s := range slots {
+				if s >= 0 {
+					key[j] = r[s]
+				}
+			}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out.add(r)
+		}
+		return out
+	}
+	seen := make(map[string]struct{}, rb.n)
+	buf := make([]byte, 0, len(slots)*4)
+	for i := 0; i < rb.n; i++ {
+		r := rb.row(i)
+		buf = packIDKey(buf[:0], r, slots)
+		if _, dup := seen[string(buf)]; dup {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
+		out.add(r)
+	}
+	return out
+}
+
+// packIDKey appends the 4-byte little-endian encoding of the row's IDs at
+// the given slots (a slot of -1 encodes as NoID) — the tuple key shared by
+// ID-space DISTINCT and GROUP BY.
+func packIDKey(buf []byte, r []store.ID, slots []int) []byte {
+	for _, s := range slots {
+		var v store.ID
+		if s >= 0 {
+			v = r[s]
+		}
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// sortRows orders the rows by the ORDER BY conditions, materializing one
+// key term per (row, condition) — the boundary where terms are needed.
+func (e *idExec) sortRows(rb *rowbuf, conds []OrderCond, condVars [][]varslot) {
+	nc := len(conds)
+	keys := make([]rdf.Term, rb.n*nc)
+	errs := make([]bool, rb.n*nc)
+	for i := 0; i < rb.n; i++ {
+		r := rb.row(i)
+		for ci, c := range conds {
+			t, err := evalExpr(c.Expr, e.bindScratch(condVars[ci], r))
+			if err != nil {
+				errs[i*nc+ci] = true
+			} else {
+				keys[i*nc+ci] = t
+			}
+		}
+	}
+	idx := make([]int, rb.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for ci, c := range conds {
+			ea, eb := errs[ia*nc+ci], errs[ib*nc+ci]
+			if ea && eb {
+				continue
+			}
+			if ea {
+				return !c.Desc // unbound/error sorts first
+			}
+			if eb {
+				return c.Desc
+			}
+			ta, tb := keys[ia*nc+ci], keys[ib*nc+ci]
+			cmp, err := termOrder(ta, tb)
+			if err != nil {
+				cmp = ta.Compare(tb)
+			}
+			if cmp == 0 {
+				continue
+			}
+			if c.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	sorted := make([]store.ID, 0, rb.n*rb.stride)
+	for _, i := range idx {
+		sorted = append(sorted, rb.row(i)...)
+	}
+	rb.data = sorted
+}
+
+// materializeAll converts rows into Bindings over every bound variable —
+// the serialization boundary.
+func (e *idExec) materializeAll(rb *rowbuf) []Binding {
+	out := make([]Binding, rb.n)
+	for i := 0; i < rb.n; i++ {
+		r := rb.row(i)
+		b := make(Binding, rb.stride)
+		for s, v := range r {
+			if v != store.NoID {
+				b[e.names[s]] = e.term(v)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// materializeProj converts rows into Bindings restricted to the projected
+// variables (slot -1 = never bound).
+func (e *idExec) materializeProj(rb *rowbuf, vars []string, slots []int) []Binding {
+	out := make([]Binding, rb.n)
+	for i := 0; i < rb.n; i++ {
+		r := rb.row(i)
+		b := make(Binding, len(vars))
+		for j, s := range slots {
+			if s >= 0 && r[s] != store.NoID {
+				b[vars[j]] = e.term(r[s])
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// --- query execution over the compiled plan ---
+
+// execID runs the query through the ID-space engine.
+func (q *Query) execID(st *store.Store) (*Result, error) {
+	ex := newIDExec(st)
+	comp := &compiler{ex: ex, slots: newSlotmap()}
+	root, err := comp.group(q.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	needsGroup := len(q.GroupBy) > 0 || len(q.Having) > 0
+	for _, it := range q.Select {
+		if it.Expr != nil && HasAggregate(it.Expr) {
+			needsGroup = true
+		}
+	}
+
+	// Resolve slots for projection aliases and ORDER BY references before
+	// the slot count freezes.
+	type alias struct {
+		expr Expression
+		vars []varslot
+		slot int
+	}
+	var aliases []alias
+	var obVars [][]varslot
+	if q.Form == FormSelect && !needsGroup {
+		for _, c := range q.OrderBy {
+			obVars = append(obVars, comp.exprVars(c.Expr))
+		}
+		for _, it := range q.Select {
+			if it.Expr != nil {
+				aliases = append(aliases, alias{expr: it.Expr, vars: comp.exprVars(it.Expr), slot: comp.slots.slot(it.Var)})
+			}
+		}
+	}
+	ex.nslots = comp.slots.count()
+	ex.names = comp.slots.names
+	ex.joinRow = make([]store.ID, ex.nslots)
+
+	// LIMIT pushdown for modifier-free evaluation: nothing downstream can
+	// reorder or drop rows, so the final join may stop early.
+	budget := -1
+	switch {
+	case q.Form == FormAsk:
+		budget = 1
+	case q.Form == FormConstruct && q.Limit >= 0:
+		budget = q.Offset + q.Limit
+	case q.Form == FormSelect && q.Limit >= 0 && !needsGroup &&
+		len(q.OrderBy) == 0 && !q.Distinct && !q.Reduced:
+		budget = q.Offset + q.Limit
+	}
+
+	in := &rowbuf{stride: ex.nslots, data: make([]store.ID, ex.nslots), n: 1}
+	rows := ex.evalGroup(root, in, budget)
+
+	if q.Form == FormAsk {
+		return &Result{Ask: true, Boolean: rows.n > 0}, nil
+	}
+	if q.Form == FormConstruct {
+		rows = rows.window(q.Offset, q.Limit)
+		return &Result{Graph: q.execConstruct(ex.materializeAll(rows))}, nil
+	}
+
+	if needsGroup {
+		// Index-extraction style GROUP BY ?key / COUNT queries group on ID
+		// tuples without materializing a single solution; anything richer
+		// (SUM, HAVING, expression keys, …) computes fresh terms per group
+		// and runs at the term boundary over materialized solutions, like
+		// the legacy path.
+		vars, out, ok := q.aggFastPath(ex, comp, rows)
+		if !ok {
+			sols := ex.materializeAll(rows)
+			var err error
+			vars, out, err = q.aggregate(sols)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(q.OrderBy) > 0 {
+			sortSolutions(out, q.OrderBy)
+		}
+		if q.Distinct || q.Reduced {
+			out = distinct(out, vars)
+		}
+		out = windowBindings(out, q.Offset, q.Limit)
+		return &Result{Vars: vars, Rows: out}, nil
+	}
+
+	// Projection aliases are evaluated against the pre-alias row (aliases
+	// cannot see each other), then written into their slots.
+	if len(aliases) > 0 {
+		tmp := make([]store.ID, len(aliases))
+		for i := 0; i < rows.n; i++ {
+			r := rows.row(i)
+			for j, a := range aliases {
+				tmp[j] = store.NoID
+				if t, err := evalExpr(a.expr, ex.bindScratch(a.vars, r)); err == nil {
+					tmp[j] = ex.intern(t)
+				}
+			}
+			for j, a := range aliases {
+				if tmp[j] != store.NoID {
+					r[a.slot] = tmp[j]
+				}
+			}
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		ex.sortRows(rows, q.OrderBy, obVars)
+	}
+
+	var vars []string
+	if q.Star {
+		vars = q.starVars()
+	} else {
+		vars = make([]string, len(q.Select))
+		for i, it := range q.Select {
+			vars[i] = it.Var
+		}
+	}
+	projSlots := make([]int, len(vars))
+	for i, v := range vars {
+		projSlots[i] = comp.slots.lookup(v)
+	}
+	if q.Distinct || q.Reduced {
+		rows = ex.distinctRows(rows, projSlots)
+	}
+	rows = rows.window(q.Offset, q.Limit)
+	var out []Binding
+	if q.Star {
+		// SELECT * keeps every bound variable, like the term-space path.
+		out = ex.materializeAll(rows)
+	} else {
+		out = ex.materializeProj(rows, vars, projSlots)
+	}
+	return &Result{Vars: vars, Rows: out}, nil
+}
+
+// aggFastPath evaluates GROUP BY / COUNT queries entirely in ID space:
+// group keys are plain variables (ID tuples) and every projection is a
+// group key or a plain COUNT. It reports false when the query needs the
+// general term-space aggregation.
+func (q *Query) aggFastPath(ex *idExec, comp *compiler, rows *rowbuf) ([]string, []Binding, bool) {
+	if len(q.Having) > 0 {
+		return nil, nil, false
+	}
+	gslots := make([]int, len(q.GroupBy))
+	gkey := map[string]bool{}
+	for i, ge := range q.GroupBy {
+		v, ok := ge.(*ExprVar)
+		if !ok {
+			return nil, nil, false
+		}
+		gslots[i] = comp.slots.lookup(v.Name)
+		gkey[v.Name] = true
+	}
+	// projections: group-key variable, COUNT(*) or COUNT(?v)
+	type proj struct {
+		isKey     bool
+		keySlot   int // group-key variable slot; -1 when never bound
+		countSlot int // ≥0 counts bound ?v, -1 counts rows, -2 counts nothing
+	}
+	projs := make([]proj, len(q.Select))
+	vars := make([]string, len(q.Select))
+	for i, it := range q.Select {
+		vars[i] = it.Var
+		if it.Expr == nil {
+			if !gkey[it.Var] {
+				return nil, nil, false // sampling non-key vars: slow path
+			}
+			projs[i] = proj{isKey: true, keySlot: comp.slots.lookup(it.Var), countSlot: -2}
+			continue
+		}
+		if it.Var == "" {
+			return nil, nil, false // missing AS: slow path raises the error
+		}
+		agg, ok := it.Expr.(*ExprAggregate)
+		if !ok || agg.Fn != "COUNT" || agg.Distinct {
+			return nil, nil, false
+		}
+		p := proj{keySlot: -1, countSlot: -1}
+		if agg.Arg != nil {
+			av, ok := agg.Arg.(*ExprVar)
+			if !ok {
+				return nil, nil, false
+			}
+			if p.countSlot = comp.slots.lookup(av.Name); p.countSlot < 0 {
+				p.countSlot = -2 // variable never bound: counts zero
+			}
+		}
+		projs[i] = p
+	}
+
+	type group struct {
+		rep    []store.ID // representative row (group-key slots)
+		counts []int      // one per projection
+	}
+	var order []*group
+	nproj := len(projs)
+	tally := func(g *group, r []store.ID) {
+		for pi, p := range projs {
+			switch {
+			case p.isKey:
+			case p.countSlot == -1:
+				g.counts[pi]++
+			case p.countSlot >= 0 && r[p.countSlot] != store.NoID:
+				g.counts[pi]++
+			}
+		}
+	}
+	if len(q.GroupBy) == 0 {
+		g := &group{counts: make([]int, nproj)}
+		order = append(order, g)
+		for i := 0; i < rows.n; i++ {
+			tally(g, rows.row(i))
+		}
+	} else {
+		groups := map[string]*group{}
+		buf := make([]byte, 0, len(gslots)*4)
+		for i := 0; i < rows.n; i++ {
+			r := rows.row(i)
+			buf = packIDKey(buf[:0], r, gslots)
+			g, ok := groups[string(buf)]
+			if !ok {
+				g = &group{rep: r, counts: make([]int, nproj)}
+				groups[string(buf)] = g
+				order = append(order, g)
+			}
+			tally(g, r)
+		}
+	}
+
+	out := make([]Binding, 0, len(order))
+	for _, g := range order {
+		b := make(Binding, nproj)
+		for pi, p := range projs {
+			if p.isKey {
+				if p.keySlot >= 0 && g.rep != nil && g.rep[p.keySlot] != store.NoID {
+					b[vars[pi]] = ex.term(g.rep[p.keySlot])
+				}
+				continue
+			}
+			b[vars[pi]] = rdf.NewInteger(int64(g.counts[pi]))
+		}
+		out = append(out, b)
+	}
+	return vars, out, true
+}
+
+func windowBindings(rows []Binding, offset, limit int) []Binding {
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows
+}

@@ -1,0 +1,187 @@
+package store
+
+// This file is the ID-level read API: triple matching, cardinality and
+// posting-list access over interned IDs, plus the lock-once Reader
+// snapshot the SPARQL execution engine runs its join loops on. None of it
+// materializes rdf.Term values.
+
+import (
+	"repro/internal/rdf"
+)
+
+// IDPattern is a triple pattern over dictionary IDs. NoID in any position
+// is a wildcard. IDs the store never issued simply match nothing.
+type IDPattern struct {
+	S, P, O ID
+}
+
+// Reader is a read-only view of a store, resolved once so hot loops pay no
+// per-call lock or map indirection. It shares the store's internals: it is
+// valid for as long as the store is not written to, matching the store's
+// own contract that writes must not race with reads. Loaders in this
+// repository build stores fully before sharing them.
+type Reader struct {
+	terms     []rdf.Term
+	dict      map[rdf.Term]ID
+	spo       index
+	pos       index
+	osp       index
+	nTrips    int
+	predCount map[ID]int
+}
+
+// Reader returns a snapshot view of the store.
+func (s *Store) Reader() *Reader {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.reader()
+	return &r
+}
+
+// reader builds the view without locking; callers hold s.mu.
+func (s *Store) reader() Reader {
+	return Reader{
+		terms: s.terms, dict: s.dict,
+		spo: s.spo, pos: s.pos, osp: s.osp,
+		nTrips: s.nTrips, predCount: s.predCount,
+	}
+}
+
+// Term returns the term for id without locking. It panics on NoID or an ID
+// the store never issued, which always indicates a programming error.
+func (r *Reader) Term(id ID) rdf.Term { return r.terms[id-1] }
+
+// Lookup returns the ID of t, or NoID.
+func (r *Reader) Lookup(t rdf.Term) ID { return r.dict[t] }
+
+// MaxID returns the highest ID the dictionary has issued; valid IDs are
+// 1..MaxID.
+func (r *Reader) MaxID() ID { return ID(len(r.terms)) }
+
+// Len returns the number of triples.
+func (r *Reader) Len() int { return r.nTrips }
+
+// DistinctSubjects returns the number of distinct subjects.
+func (r *Reader) DistinctSubjects() int { return len(r.spo.m) }
+
+// DistinctPredicates returns the number of distinct predicates.
+func (r *Reader) DistinctPredicates() int { return len(r.pos.m) }
+
+// DistinctObjects returns the number of distinct objects.
+func (r *Reader) DistinctObjects() int { return len(r.osp.m) }
+
+// PredCount returns the number of triples with predicate p.
+func (r *Reader) PredCount(p ID) int { return r.predCount[p] }
+
+// Objects returns the sorted object IDs under (s, p). The slice is shared
+// with the index and must not be modified.
+func (r *Reader) Objects(s, p ID) []ID { return r.spo.lists(s, p) }
+
+// Subjects returns the sorted subject IDs under (p, o). The slice is
+// shared with the index and must not be modified.
+func (r *Reader) Subjects(p, o ID) []ID { return r.pos.lists(p, o) }
+
+// PredicatesBetween returns the sorted predicate IDs linking (s, o). The
+// slice is shared with the index and must not be modified.
+func (r *Reader) PredicatesBetween(s, o ID) []ID { return r.osp.lists(o, s) }
+
+// HasID reports whether the triple (s, p, o) is in the store, by binary
+// search on the sorted SPO posting list.
+func (r *Reader) HasID(s, p, o ID) bool {
+	return containsSorted(r.spo.lists(s, p), o)
+}
+
+// MatchIDs streams every triple matching the pattern to fn as (subject,
+// predicate, object) IDs. Returning false from fn stops the iteration;
+// MatchIDs reports whether the iteration ran to completion. Iteration
+// order is deterministic: the sorted key order of the chosen index.
+func (r *Reader) MatchIDs(pat IDPattern, fn func(s, p, o ID) bool) bool {
+	si, pi, oi := pat.S, pat.P, pat.O
+	switch {
+	case si != NoID && pi != NoID && oi != NoID:
+		if containsSorted(r.spo.lists(si, pi), oi) {
+			return fn(si, pi, oi)
+		}
+		return true
+	case si != NoID && pi != NoID:
+		for _, o := range r.spo.lists(si, pi) {
+			if !fn(si, pi, o) {
+				return false
+			}
+		}
+		return true
+	case pi != NoID && oi != NoID:
+		for _, sub := range r.pos.lists(pi, oi) {
+			if !fn(sub, pi, oi) {
+				return false
+			}
+		}
+		return true
+	case si != NoID && oi != NoID:
+		for _, p := range r.osp.lists(oi, si) {
+			if !fn(si, p, oi) {
+				return false
+			}
+		}
+		return true
+	case si != NoID:
+		return r.spo.m[si].iterate(func(p, o ID) bool { return fn(si, p, o) })
+	case pi != NoID:
+		return r.pos.m[pi].iterate(func(o, sub ID) bool { return fn(sub, pi, o) })
+	case oi != NoID:
+		return r.osp.m[oi].iterate(func(sub, p ID) bool { return fn(sub, p, oi) })
+	default:
+		for _, sub := range r.spo.keys {
+			if !r.spo.m[sub].iterate(func(p, o ID) bool { return fn(sub, p, o) }) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// CardinalityIDs returns how many triples match the pattern. It is exact
+// for every shape and never scans a posting list: all shapes are answered
+// from index sizes except the two single-wildcard-pair shapes, which sum
+// list lengths.
+func (r *Reader) CardinalityIDs(pat IDPattern) int {
+	si, pi, oi := pat.S, pat.P, pat.O
+	switch {
+	case si != NoID && pi != NoID && oi != NoID:
+		if containsSorted(r.spo.lists(si, pi), oi) {
+			return 1
+		}
+		return 0
+	case si != NoID && pi != NoID:
+		return len(r.spo.lists(si, pi))
+	case pi != NoID && oi != NoID:
+		return len(r.pos.lists(pi, oi))
+	case si != NoID && oi != NoID:
+		return len(r.osp.lists(oi, si))
+	case si != NoID:
+		return r.spo.m[si].size()
+	case pi != NoID:
+		return r.predCount[pi]
+	case oi != NoID:
+		return r.osp.m[oi].size()
+	default:
+		return r.nTrips
+	}
+}
+
+// MatchIDs streams matching triples as IDs under the store's read lock.
+// For repeated calls on a loaded store, prefer taking a Reader once.
+func (s *Store) MatchIDs(pat IDPattern, fn func(sub, pred, obj ID) bool) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.reader()
+	return r.MatchIDs(pat, fn)
+}
+
+// CardinalityIDs returns the exact match count of the ID pattern.
+func (s *Store) CardinalityIDs(pat IDPattern) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.reader()
+	return r.CardinalityIDs(pat)
+}

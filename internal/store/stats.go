@@ -52,5 +52,5 @@ func (s *Store) CountInstances(class rdf.Term) int {
 func (s *Store) DistinctSubjects() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.spo)
+	return len(s.spo.m)
 }

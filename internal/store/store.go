@@ -5,6 +5,12 @@
 // with at least one bound position is answered without a full scan. It
 // also keeps the class/property statistics that the SPARQL evaluator uses
 // for selectivity-based join ordering and that Index Extraction reads.
+//
+// Two read APIs are exposed. The term-level API (Match, Cardinality, …)
+// materializes rdf.Term values and is convenient for presentation code.
+// The ID-level API (MatchIDs, CardinalityIDs, Reader) stays entirely in
+// the dictionary-encoded space; the SPARQL execution engine runs its join
+// loops on it so intermediate solutions never re-materialize terms.
 package store
 
 import (
@@ -39,16 +45,28 @@ type Store struct {
 }
 
 // index is a two-level permutation index: first key → second key → sorted
-// set of third keys.
-type index map[ID]map[ID][]ID
+// set of third keys. Both key levels keep a sorted slice of their keys,
+// maintained at insert time, so iteration is deterministic and merge-style
+// scans never need to sort on the read path.
+type index struct {
+	m    map[ID]*postings
+	keys []ID // sorted first-level keys
+}
+
+// postings is the second level of an index: second key → sorted third-key
+// list, plus the sorted second-level keys.
+type postings struct {
+	m    map[ID][]ID
+	keys []ID // sorted second-level keys
+}
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
 		dict:      make(map[rdf.Term]ID),
-		spo:       make(index),
-		pos:       make(index),
-		osp:       make(index),
+		spo:       index{m: make(map[ID]*postings)},
+		pos:       index{m: make(map[ID]*postings)},
+		osp:       index{m: make(map[ID]*postings)},
 		predCount: make(map[ID]int),
 	}
 }
@@ -93,11 +111,11 @@ func (s *Store) Add(t rdf.Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	si, pi, oi := s.intern(t.S), s.intern(t.P), s.intern(t.O)
-	if !insert(s.spo, si, pi, oi) {
+	if !s.spo.insert(si, pi, oi) {
 		return false
 	}
-	insert(s.pos, pi, oi, si)
-	insert(s.osp, oi, si, pi)
+	s.pos.insert(pi, oi, si)
+	s.osp.insert(oi, si, pi)
 	s.nTrips++
 	s.predCount[pi]++
 	return true
@@ -108,14 +126,18 @@ func (s *Store) AddSPO(sub, pred, obj rdf.Term) bool {
 	return s.Add(rdf.Triple{S: sub, P: pred, O: obj})
 }
 
-// insert adds c into the sorted set idx[a][b], reporting whether it was new.
-func insert(idx index, a, b, c ID) bool {
-	m, ok := idx[a]
-	if !ok {
-		m = make(map[ID][]ID)
-		idx[a] = m
+// insert adds c into the sorted set ix[a][b], reporting whether it was new.
+func (ix *index) insert(a, b, c ID) bool {
+	p := ix.m[a]
+	if p == nil {
+		p = &postings{m: make(map[ID][]ID, 2)}
+		ix.m[a] = p
+		insertSortedID(&ix.keys, a)
 	}
-	list := m[b]
+	list, ok := p.m[b]
+	if !ok {
+		insertSortedID(&p.keys, b)
+	}
 	i := sort.Search(len(list), func(k int) bool { return list[k] >= c })
 	if i < len(list) && list[i] == c {
 		return false
@@ -123,8 +145,61 @@ func insert(idx index, a, b, c ID) bool {
 	list = append(list, 0)
 	copy(list[i+1:], list[i:])
 	list[i] = c
-	m[b] = list
+	p.m[b] = list
 	return true
+}
+
+// insertSortedID inserts v into the sorted slice, keeping it sorted. The
+// caller guarantees v is not already present. IDs are handed out in
+// insertion order, so the append-at-end fast path dominates on bulk loads.
+func insertSortedID(s *[]ID, v ID) {
+	l := *s
+	if n := len(l); n == 0 || l[n-1] < v {
+		*s = append(l, v)
+		return
+	}
+	i := sort.Search(len(l), func(k int) bool { return l[k] >= v })
+	l = append(l, 0)
+	copy(l[i+1:], l[i:])
+	l[i] = v
+	*s = l
+}
+
+// lists returns the sorted third-key list under (a, b), or nil.
+func (ix *index) lists(a, b ID) []ID {
+	p := ix.m[a]
+	if p == nil {
+		return nil
+	}
+	return p.m[b]
+}
+
+// iterate walks the postings in sorted second-key order; returning false
+// from fn stops early (and propagates the false).
+func (p *postings) iterate(fn func(b, c ID) bool) bool {
+	if p == nil {
+		return true
+	}
+	for _, b := range p.keys {
+		for _, c := range p.m[b] {
+			if !fn(b, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// size returns the number of (b, c) pairs in the postings.
+func (p *postings) size() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range p.m {
+		n += len(l)
+	}
+	return n
 }
 
 // Len returns the number of triples.
@@ -149,9 +224,13 @@ func (s *Store) Has(t rdf.Triple) bool {
 	if si == NoID || pi == NoID || oi == NoID {
 		return false
 	}
-	list := s.spo[si][pi]
-	i := sort.Search(len(list), func(k int) bool { return list[k] >= oi })
-	return i < len(list) && list[i] == oi
+	return containsSorted(s.spo.lists(si, pi), oi)
+}
+
+// containsSorted reports whether the sorted list contains v.
+func containsSorted(list []ID, v ID) bool {
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= v })
+	return i < len(list) && list[i] == v
 }
 
 // Pattern is a triple pattern: a zero Term in any position is a wildcard.
@@ -165,88 +244,26 @@ func (s *Store) Match(pat Pattern, fn func(rdf.Triple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
-	var si, pi, oi ID
+	var ip IDPattern
 	if !pat.S.IsZero() {
-		if si = s.dict[pat.S]; si == NoID {
+		if ip.S = s.dict[pat.S]; ip.S == NoID {
 			return
 		}
 	}
 	if !pat.P.IsZero() {
-		if pi = s.dict[pat.P]; pi == NoID {
+		if ip.P = s.dict[pat.P]; ip.P == NoID {
 			return
 		}
 	}
 	if !pat.O.IsZero() {
-		if oi = s.dict[pat.O]; oi == NoID {
+		if ip.O = s.dict[pat.O]; ip.O == NoID {
 			return
 		}
 	}
-
-	emit := func(a, b, c ID) bool { // a,b,c in s,p,o order
+	r := s.reader()
+	r.MatchIDs(ip, func(a, b, c ID) bool {
 		return fn(rdf.Triple{S: s.terms[a-1], P: s.terms[b-1], O: s.terms[c-1]})
-	}
-
-	switch {
-	case si != NoID && pi != NoID && oi != NoID:
-		list := s.spo[si][pi]
-		i := sort.Search(len(list), func(k int) bool { return list[k] >= oi })
-		if i < len(list) && list[i] == oi {
-			emit(si, pi, oi)
-		}
-	case si != NoID && pi != NoID:
-		for _, o := range s.spo[si][pi] {
-			if !emit(si, pi, o) {
-				return
-			}
-		}
-	case pi != NoID && oi != NoID:
-		for _, sub := range s.pos[pi][oi] {
-			if !emit(sub, pi, oi) {
-				return
-			}
-		}
-	case si != NoID && oi != NoID:
-		for _, p := range s.osp[oi][si] {
-			if !emit(si, p, oi) {
-				return
-			}
-		}
-	case si != NoID:
-		if !iterate2(s.spo[si], func(p, o ID) bool { return emit(si, p, o) }) {
-			return
-		}
-	case pi != NoID:
-		if !iterate2(s.pos[pi], func(o, sub ID) bool { return emit(sub, pi, o) }) {
-			return
-		}
-	case oi != NoID:
-		if !iterate2(s.osp[oi], func(sub, p ID) bool { return emit(sub, p, oi) }) {
-			return
-		}
-	default:
-		for sub, pm := range s.spo {
-			if !iterate2(pm, func(p, o ID) bool { return emit(sub, p, o) }) {
-				return
-			}
-		}
-	}
-}
-
-// iterate2 walks a second-level index deterministically (sorted first key).
-func iterate2(m map[ID][]ID, fn func(b, c ID) bool) bool {
-	keys := make([]ID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, b := range keys {
-		for _, c := range m[b] {
-			if !fn(b, c) {
-				return false
-			}
-		}
-	}
-	return true
+	})
 }
 
 // MatchAll collects every triple matching the pattern.
@@ -275,48 +292,24 @@ func (s *Store) Count(pat Pattern) int {
 func (s *Store) Cardinality(pat Pattern) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var si, pi, oi ID
+	var ip IDPattern
 	if !pat.S.IsZero() {
-		if si = s.dict[pat.S]; si == NoID {
+		if ip.S = s.dict[pat.S]; ip.S == NoID {
 			return 0
 		}
 	}
 	if !pat.P.IsZero() {
-		if pi = s.dict[pat.P]; pi == NoID {
+		if ip.P = s.dict[pat.P]; ip.P == NoID {
 			return 0
 		}
 	}
 	if !pat.O.IsZero() {
-		if oi = s.dict[pat.O]; oi == NoID {
+		if ip.O = s.dict[pat.O]; ip.O == NoID {
 			return 0
 		}
 	}
-	switch {
-	case si != NoID && pi != NoID && oi != NoID:
-		return 1
-	case si != NoID && pi != NoID:
-		return len(s.spo[si][pi])
-	case pi != NoID && oi != NoID:
-		return len(s.pos[pi][oi])
-	case si != NoID && oi != NoID:
-		return len(s.osp[oi][si])
-	case si != NoID:
-		return size2(s.spo[si])
-	case pi != NoID:
-		return s.predCount[pi]
-	case oi != NoID:
-		return size2(s.osp[oi])
-	default:
-		return s.nTrips
-	}
-}
-
-func size2(m map[ID][]ID) int {
-	n := 0
-	for _, l := range m {
-		n += len(l)
-	}
-	return n
+	r := s.reader()
+	return r.CardinalityIDs(ip)
 }
 
 // Predicates returns the distinct predicates in the store, sorted.

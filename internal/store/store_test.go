@@ -268,3 +268,149 @@ func TestQuickCardinalityExact(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- ID-level read API ---
+
+func TestReaderMatchIDsAgreesWithMatch(t *testing.T) {
+	s := buildSmall()
+	r := s.Reader()
+	pats := []Pattern{
+		{},
+		{S: iri("alice")},
+		{P: iri("knows")},
+		{O: iri("carol")},
+		{S: iri("alice"), P: iri("knows")},
+		{P: iri("knows"), O: iri("carol")},
+		{S: iri("alice"), O: iri("bob")},
+		{S: iri("alice"), P: iri("knows"), O: iri("bob")},
+	}
+	for _, p := range pats {
+		ip := IDPattern{S: r.Lookup(p.S), P: r.Lookup(p.P), O: r.Lookup(p.O)}
+		var viaIDs []rdf.Triple
+		r.MatchIDs(ip, func(a, b, c ID) bool {
+			viaIDs = append(viaIDs, rdf.NewTriple(r.Term(a), r.Term(b), r.Term(c)))
+			return true
+		})
+		viaTerms := s.MatchAll(p)
+		if fmt.Sprint(viaIDs) != fmt.Sprint(viaTerms) {
+			t.Errorf("MatchIDs(%v) = %v, Match = %v", p, viaIDs, viaTerms)
+		}
+		if got, want := r.CardinalityIDs(ip), s.Count(p); got != want {
+			t.Errorf("CardinalityIDs(%v) = %d, want %d", p, got, want)
+		}
+		if got, want := s.CardinalityIDs(ip), s.Count(p); got != want {
+			t.Errorf("Store.CardinalityIDs(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestReaderUnknownIDsMatchNothing(t *testing.T) {
+	s := buildSmall()
+	r := s.Reader()
+	ghost := r.MaxID() + 100
+	for _, ip := range []IDPattern{{S: ghost}, {P: ghost}, {O: ghost}, {S: ghost, P: ghost, O: ghost}} {
+		n := 0
+		r.MatchIDs(ip, func(ID, ID, ID) bool { n++; return true })
+		if n != 0 || r.CardinalityIDs(ip) != 0 {
+			t.Errorf("unknown IDs must match nothing: %v matched %d", ip, n)
+		}
+	}
+	if r.HasID(ghost, ghost, ghost) {
+		t.Error("HasID with unknown IDs must be false")
+	}
+}
+
+func TestReaderHasIDAndPostings(t *testing.T) {
+	s := buildSmall()
+	r := s.Reader()
+	alice, knows, bob := r.Lookup(iri("alice")), r.Lookup(iri("knows")), r.Lookup(iri("bob"))
+	if !r.HasID(alice, knows, bob) {
+		t.Fatal("HasID missed an existing triple")
+	}
+	if r.HasID(bob, knows, alice) {
+		t.Fatal("HasID found a non-existing triple")
+	}
+	objs := r.Objects(alice, knows)
+	if len(objs) != 2 {
+		t.Fatalf("Objects = %v", objs)
+	}
+	for i := 1; i < len(objs); i++ {
+		if objs[i-1] >= objs[i] {
+			t.Fatal("Objects not sorted")
+		}
+	}
+	carol := r.Lookup(iri("carol"))
+	if subs := r.Subjects(knows, carol); len(subs) != 2 {
+		t.Fatalf("Subjects = %v", subs)
+	}
+	if ps := r.PredicatesBetween(alice, bob); len(ps) != 1 || ps[0] != knows {
+		t.Fatalf("PredicatesBetween = %v", ps)
+	}
+}
+
+func TestReaderDistinctCounts(t *testing.T) {
+	s := buildSmall()
+	r := s.Reader()
+	if r.DistinctSubjects() != 3 || r.DistinctSubjects() != s.DistinctSubjects() {
+		t.Fatalf("DistinctSubjects = %d", r.DistinctSubjects())
+	}
+	if r.DistinctPredicates() != 3 {
+		t.Fatalf("DistinctPredicates = %d", r.DistinctPredicates())
+	}
+	if r.PredCount(r.Lookup(iri("knows"))) != 3 {
+		t.Fatal("PredCount(knows) != 3")
+	}
+	if r.Len() != s.Len() || int(r.MaxID()) != s.TermCount() {
+		t.Fatal("Reader counters disagree with store")
+	}
+}
+
+func TestMatchIDsEarlyStop(t *testing.T) {
+	s := buildSmall()
+	r := s.Reader()
+	n := 0
+	done := r.MatchIDs(IDPattern{}, func(ID, ID, ID) bool { n++; return n < 2 })
+	if done || n != 2 {
+		t.Fatalf("early stop: done=%v n=%d", done, n)
+	}
+}
+
+// Property: MatchIDs over random data agrees with term-level Match for
+// every pattern shape, and iteration is deterministic sorted-key order.
+func TestQuickMatchIDsConsistency(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		s := New()
+		for _, x := range raw {
+			s.AddSPO(
+				iri(fmt.Sprintf("s%d", x[0]%6)),
+				iri(fmt.Sprintf("p%d", x[1]%3)),
+				iri(fmt.Sprintf("o%d", x[2]%6)),
+			)
+		}
+		r := s.Reader()
+		pats := []Pattern{
+			{}, {S: iri("s1")}, {P: iri("p1")}, {O: iri("o2")},
+			{S: iri("s0"), P: iri("p0")}, {P: iri("p2"), O: iri("o1")}, {S: iri("s3"), O: iri("o3")},
+		}
+		for _, p := range pats {
+			ip := IDPattern{S: r.Lookup(p.S), P: r.Lookup(p.P), O: r.Lookup(p.O)}
+			if (p.S.IsZero() || ip.S != NoID) && (p.P.IsZero() || ip.P != NoID) && (p.O.IsZero() || ip.O != NoID) {
+				var got []rdf.Triple
+				r.MatchIDs(ip, func(a, b, c ID) bool {
+					got = append(got, rdf.NewTriple(r.Term(a), r.Term(b), r.Term(c)))
+					return true
+				})
+				if fmt.Sprint(got) != fmt.Sprint(s.MatchAll(p)) {
+					return false
+				}
+				if r.CardinalityIDs(ip) != s.Count(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
