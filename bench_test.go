@@ -7,6 +7,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -151,7 +152,7 @@ func BenchmarkE3_PortalCrawl(b *testing.B) {
 				reg.Add(registry.Entry{URL: d.URL, Source: registry.SourceDataHub})
 			}
 		}
-		rep, err := crawler.Crawl(portals, reg, clock.Epoch)
+		rep, err := crawler.Crawl(context.Background(), portals, reg, clock.Epoch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -297,9 +298,9 @@ type latencyClient struct {
 	delay time.Duration
 }
 
-func (l latencyClient) Query(q string) (*sparql.Result, error) {
+func (l latencyClient) Query(ctx context.Context, q string) (*sparql.Result, error) {
 	time.Sleep(l.delay)
-	return l.c.Query(q)
+	return l.c.Query(ctx, q)
 }
 
 const e12Endpoints = 12
@@ -468,7 +469,7 @@ func BenchmarkE11_Listing1Query(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := portals[i%len(portals)]
-		res, err := p.Client().Query(portal.Listing1)
+		res, err := p.Client().Query(context.Background(), portal.Listing1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -491,7 +492,7 @@ func ablationSummary(b *testing.B) *schema.Summary {
 			Name: "abl", Classes: 40, Instances: 4000, ObjectProps: 80,
 			DataProps: 30, LinkFactor: 1, CommunitySeeds: 5, Seed: 17,
 		})
-		ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "abl", clock.Epoch)
+		ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "abl", clock.Epoch)
 		if err != nil {
 			panic(err)
 		}
@@ -546,7 +547,7 @@ func BenchmarkAblation_ExtractionAggregate(b *testing.B) {
 	c := endpoint.LocalClient{Store: st}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix, err := extraction.New().Extract(c, "x", clock.Epoch)
+		ix, err := extraction.New().Extract(context.Background(), c, "x", clock.Epoch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -561,7 +562,7 @@ func BenchmarkAblation_ExtractionMixed(b *testing.B) {
 	r := endpoint.NewRemote("nogroup", "x", st, endpoint.ProfileNoGroupBy, nil, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix, err := extraction.New().Extract(r, "x", clock.Epoch)
+		ix, err := extraction.New().Extract(context.Background(), r, "x", clock.Epoch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -576,7 +577,7 @@ func BenchmarkAblation_ExtractionEnumerate(b *testing.B) {
 	r := endpoint.NewRemote("noagg", "x", st, endpoint.ProfileNoAgg, nil, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix, err := extraction.New().Extract(r, "x", clock.Epoch)
+		ix, err := extraction.New().Extract(context.Background(), r, "x", clock.Epoch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -690,4 +691,161 @@ func BenchmarkE14_QueryEngine(b *testing.B) {
 		b.Run(mix.name+"/idspace", func(b *testing.B) { benchE14(b, mix.queries, sparql.EngineIDSpace) })
 		b.Run(mix.name+"/legacy", func(b *testing.B) { benchE14(b, mix.queries, sparql.EngineLegacy) })
 	}
+}
+
+// --- E15: streaming vs materialized query consumption over the wire ---
+
+// E15 measures what the context-aware streaming API buys the
+// enumeration-strategy extraction workload: rows are decoded token-wise
+// off the HTTP response and folded into aggregation state one at a time,
+// so client-side live memory stays O(row) however large the result,
+// first-row latency is decoupled from last-row latency, and a canceled
+// context stops the transfer within one row. The materialized path reads
+// the entire results document into memory before the caller sees row one
+// — live memory O(result).
+
+var (
+	e15Once sync.Once
+	e15St   *store.Store
+)
+
+const e15Query = `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`
+
+func e15Store() *store.Store {
+	e15Once.Do(func() {
+		e15St = synth.Generate(synth.Spec{
+			Name: "e15", Classes: 10, Instances: 6000, ObjectProps: 16,
+			DataProps: 8, LinkFactor: 2, CommunitySeeds: 3, Seed: 77,
+		})
+	})
+	return e15St
+}
+
+// liveHeapKB reports live heap after a full collection, so the two E15
+// paths are compared on resident rows, not allocation churn. The pause
+// first lets the in-process protocol server stall on TCP backpressure —
+// otherwise its per-row garbage, allocated concurrently with the
+// measurement, reads as live memory it does not actually retain.
+func liveHeapKB() float64 {
+	time.Sleep(50 * time.Millisecond)
+	runtime.GC()
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / 1024
+}
+
+func BenchmarkE15_StreamEnumeration(b *testing.B) {
+	srv := endpoint.Serve(e15Store(), nil)
+	defer srv.Close()
+	c := endpoint.NewHTTPClient(srv.URL)
+	ctx := context.Background()
+	if _, err := c.Query(ctx, `ASK { ?s ?p ?o }`); err != nil { // warm the transport
+		b.Fatal(err)
+	}
+	base := liveHeapKB() // the store itself is resident either way
+	b.ReportAllocs()
+	b.ResetTimer()
+	var firstRowNs, liveKB float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rs, err := c.Stream(ctx, e15Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for range rs.All() {
+			if rows == 0 {
+				firstRowNs += float64(time.Since(start).Nanoseconds())
+			}
+			rows++
+			if rows == 5000 {
+				// mid-transfer live heap: only the row in flight is resident
+				b.StopTimer()
+				if kb := liveHeapKB(); kb > liveKB {
+					liveKB = kb
+				}
+				b.StartTimer()
+			}
+		}
+		if rs.Err() != nil {
+			b.Fatal(rs.Err())
+		}
+		if rows < 10000 {
+			b.Fatalf("only %d rows; store too small for the comparison", rows)
+		}
+	}
+	b.ReportMetric(firstRowNs/float64(b.N), "ns/first-row")
+	b.ReportMetric(liveKB-base, "live-KB-over-base")
+}
+
+func BenchmarkE15_MaterializedEnumeration(b *testing.B) {
+	srv := endpoint.Serve(e15Store(), nil)
+	defer srv.Close()
+	c := endpoint.NewHTTPClient(srv.URL)
+	ctx := context.Background()
+	if _, err := c.Query(ctx, `ASK { ?s ?p ?o }`); err != nil { // warm the transport
+		b.Fatal(err)
+	}
+	base := liveHeapKB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var firstRowNs, liveKB float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := c.Query(ctx, e15Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// the first row is only visible once the whole document arrived
+		firstRowNs += float64(time.Since(start).Nanoseconds())
+		b.StopTimer()
+		if kb := liveHeapKB(); kb > liveKB {
+			liveKB = kb // the full result set is resident here
+		}
+		b.StartTimer()
+		if len(res.Rows) < 10000 {
+			b.Fatalf("only %d rows; store too small for the comparison", len(res.Rows))
+		}
+		runtime.KeepAlive(res)
+	}
+	b.ReportMetric(firstRowNs/float64(b.N), "ns/first-row")
+	b.ReportMetric(liveKB-base, "live-KB-over-base")
+}
+
+// BenchmarkE15_CancelLatency measures how fast a mid-stream cancel
+// returns control: the acceptance bar is "within one row boundary".
+func BenchmarkE15_CancelLatency(b *testing.B) {
+	srv := endpoint.Serve(e15Store(), nil)
+	defer srv.Close()
+	c := endpoint.NewHTTPClient(srv.URL)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cancelNs float64
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		rs, err := c.Stream(ctx, e15Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		var start time.Time
+		for range rs.All() {
+			rows++
+			if rows == 100 {
+				start = time.Now()
+				cancel()
+			}
+		}
+		cancelNs += float64(time.Since(start).Nanoseconds())
+		if rows > 101 {
+			b.Fatalf("stream produced %d rows after cancel at 100", rows-100)
+		}
+		if !errors.Is(rs.Err(), context.Canceled) {
+			b.Fatalf("stream err = %v", rs.Err())
+		}
+		rs.Close()
+		cancel()
+	}
+	b.ReportMetric(cancelNs/float64(b.N), "ns/cancel-to-return")
 }

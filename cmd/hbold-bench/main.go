@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -175,7 +176,7 @@ func e3() {
 		}
 	}
 	before := tool.Registry.Len()
-	rep, err := tool.CrawlPortals(portals)
+	rep, err := tool.CrawlPortals(context.Background(), portals)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func e11() {
 	header("E11", "Listing 1 — the DCAT extraction query, run verbatim against each portal")
 	portals := portal.BuildAll(synth.Corpus(1))
 	for _, p := range portals {
-		res, err := p.Client().Query(portal.Listing1)
+		res, err := p.Client().Query(context.Background(), portal.Listing1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,7 +11,13 @@
 //	hbold extract <file.ttl>
 //	hbold render <file.ttl> <outdir>
 //	hbold crawl
-//	hbold query <file.ttl> <sparql-query>
+//	hbold query [-timeout 0] [-stream] <file.ttl> <sparql-query>
+//
+// query runs through the same context-aware client API the rest of the
+// tool uses: -timeout bounds the query with a context deadline, and
+// -stream prints rows as NDJSON the moment the engine produces them
+// (a head line {"vars": [...]}, then one binding object per row)
+// instead of collecting the result into an aligned table.
 //
 // Both server modes keep a versioned snapshot cache in front of the
 // presentation read path (-cache sets its budget in MiB; 0 disables
@@ -34,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -56,7 +63,6 @@ import (
 	"repro/internal/schema"
 	"repro/internal/server"
 	"repro/internal/snapcache"
-	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/turtle"
@@ -97,7 +103,10 @@ func usage() {
   hbold extract <file.ttl>                  run index extraction on a Turtle file
   hbold render <file.ttl> <outdir>          render all visualizations of a Turtle file to SVG
   hbold crawl                               simulate the §3.3 open-data-portal crawl
-  hbold query <file.ttl> <sparql>           run a SPARQL query over a Turtle file`)
+  hbold query [-timeout 0] [-stream] <file.ttl> <sparql>
+                                            run a SPARQL query over a Turtle file
+                                            (-timeout: context deadline; -stream: NDJSON
+                                            rows as they arrive instead of a table)`)
 	os.Exit(2)
 }
 
@@ -316,7 +325,7 @@ func cmdCrawl() {
 		}
 	}
 	fmt.Printf("endpoints listed before crawl: %d\n", reg.Len())
-	rep, err := crawler.Crawl(portals, reg, clock.Epoch)
+	rep, err := crawler.Crawl(context.Background(), portals, reg, clock.Epoch)
 	if err != nil {
 		log.Fatalf("hbold: %v", err)
 	}
@@ -328,13 +337,53 @@ func cmdCrawl() {
 }
 
 func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+	stream := fs.Bool("stream", false, "print rows as NDJSON as they arrive instead of a table")
+	fs.Parse(args)
+	args = fs.Args()
 	if len(args) != 2 {
 		usage()
 	}
-	st := loadTurtle(args[0])
-	res, err := sparql.Exec(st, args[1])
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	c := endpoint.LocalClient{Store: loadTurtle(args[0])}
+	if !*stream {
+		res, err := c.Query(ctx, args[1])
+		if err != nil {
+			log.Fatalf("hbold: %v", err)
+		}
+		fmt.Print(res.Table())
+		return
+	}
+	rs, err := c.Stream(ctx, args[1])
 	if err != nil {
 		log.Fatalf("hbold: %v", err)
 	}
-	fmt.Print(res.Table())
+	defer rs.Close()
+	out := json.NewEncoder(os.Stdout)
+	if rs.Ask {
+		out.Encode(map[string]bool{"ask": true, "boolean": rs.Boolean})
+		return
+	}
+	if rs.Graph != nil {
+		// CONSTRUCT has no row stream; print the graph as triples
+		for _, tr := range rs.Graph.Triples() {
+			fmt.Println(tr.String())
+		}
+		return
+	}
+	out.Encode(map[string][]string{"vars": rs.Vars})
+	for row := range rs.All() {
+		if err := out.Encode(row); err != nil {
+			log.Fatalf("hbold: %v", err)
+		}
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatalf("hbold: stream failed: %v", err)
+	}
 }

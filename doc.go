@@ -23,6 +23,15 @@
 // evaluator survives as the EngineLegacy fallback and differential-test
 // reference.
 //
+// Queries execute through a context-aware streaming surface:
+// endpoint.Client carries the caller's deadline and cancellation to the
+// wire, endpoint.Stream returns rows as a sparql.RowSeq the moment the
+// engine produces them, the SPARQL protocol moves bindings one at a
+// time in both directions (incremental server writes with flushes,
+// token-wise client decoding), and extraction, the crawler, the query
+// builder and the server's streaming /api/query route all consume rows
+// without ever materializing a full result.
+//
 // See README.md for the quickstart and HTTP API, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 // The benchmarks in bench_test.go regenerate every figure and

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 	fmt.Printf("before crawl: %d endpoints listed\n\n", tool.Registry.Len())
 
 	// crawl the portals with Listing 1
-	rep, err := tool.CrawlPortals(portal.BuildAll(corpus))
+	rep, err := tool.CrawlPortals(context.Background(), portal.BuildAll(corpus))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	fmt.Println(text)
 	fmt.Println()
 
-	res, err := q.Run(client)
+	res, err := q.Run(context.Background(), client)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func main() {
 	}
 	fmt.Println("\ncount query:")
 	fmt.Println(text2)
-	res2, err := q2.Run(client)
+	res2, err := q2.Run(context.Background(), client)
 	if err != nil {
 		log.Fatal(err)
 	}

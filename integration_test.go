@@ -5,6 +5,7 @@ package repro
 // presentation layer, over the simulated endpoint corpus.
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -44,7 +45,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 	}
 
 	// 2. crawl the portals: 610 → 680
-	rep, err := tool.CrawlPortals(portal.BuildAll(corpus))
+	rep, err := tool.CrawlPortals(context.Background(), portal.BuildAll(corpus))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestExtractionOverProtocol(t *testing.T) {
 	srv := endpoint.Serve(st, nil)
 	defer srv.Close()
 	client := endpoint.NewHTTPClient(srv.URL)
-	ix, err := extraction.New().Extract(client, srv.URL, clock.Epoch)
+	ix, err := extraction.New().Extract(context.Background(), client, srv.URL, clock.Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestExtractionOverProtocol(t *testing.T) {
 	// and the same through a quirky endpoint over HTTP
 	srv2 := endpoint.Serve(st, endpoint.ProfileNoAgg)
 	defer srv2.Close()
-	ix2, err := extraction.New().Extract(endpoint.NewHTTPClient(srv2.URL), srv2.URL, clock.Epoch)
+	ix2, err := extraction.New().Extract(context.Background(), endpoint.NewHTTPClient(srv2.URL), srv2.URL, clock.Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -13,7 +14,7 @@ import (
 func scholarlySummary(t testing.TB) *schema.Summary {
 	t.Helper()
 	st := synth.Scholarly(1)
-	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "scholarly", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func modularSummary(t testing.TB, seed int64) *schema.Summary {
 		Name: "mod", Classes: 30, Instances: 3000, ObjectProps: 60,
 		DataProps: 20, LinkFactor: 1, CommunitySeeds: 4, Seed: seed,
 	})
-	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "mod", time.Now())
+	ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "mod", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}

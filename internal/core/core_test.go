@@ -360,7 +360,7 @@ func TestCrawlPortalsIntegration(t *testing.T) {
 			h.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title, Source: registry.SourceDataHub, AddedAt: clock.Epoch})
 		}
 	}
-	rep, err := h.CrawlPortals(portal.BuildAll(corpus))
+	rep, err := h.CrawlPortals(context.Background(), portal.BuildAll(corpus))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -155,8 +155,8 @@ func (h *HBOLD) Process(url string) error {
 // failure, while the scheduler suppresses per-attempt recording and
 // records once per job through its OnJobFailed hook — otherwise a few
 // seconds of in-run retries would eat a give-up budget the §3.1 policy
-// means to spend one day at a time. Cancellation is checked at stage
-// boundaries (the individual SPARQL queries are not interruptible);
+// means to spend one day at a time. The context reaches every SPARQL
+// query on the wire (a scheduler Stop aborts an extraction mid-page);
 // a canceled pipeline is not an endpoint failure and records nothing.
 func (h *HBOLD) process(ctx context.Context, url string, recordFail bool) error {
 	now := h.Clock.Now()
@@ -173,8 +173,12 @@ func (h *HBOLD) process(ctx context.Context, url string, recordFail bool) error 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	ix, err := h.Extractor.Extract(c, url, now)
+	ix, err := h.Extractor.Extract(ctx, c, url, now)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// a canceled run says nothing about the endpoint
+			return cerr
+		}
 		if recordFail {
 			h.recordFailure(url, now, err)
 		}
@@ -369,8 +373,15 @@ func (h *HBOLD) RunDue() (ok, failed int) {
 
 // CrawlPortals runs the §3.3 crawler over the portals and merges the
 // discovered endpoints into the registry.
-func (h *HBOLD) CrawlPortals(portals []*portal.Portal) (*crawler.Report, error) {
-	return crawler.Crawl(portals, h.Registry, h.Clock.Now())
+func (h *HBOLD) CrawlPortals(ctx context.Context, portals []*portal.Portal) (*crawler.Report, error) {
+	return crawler.Crawl(ctx, portals, h.Registry, h.Clock.Now())
+}
+
+// EndpointClient returns the SPARQL client connected for url, for
+// callers that run their own queries against the dataset's endpoint —
+// the server's streaming /api/query route and the query builder UI.
+func (h *HBOLD) EndpointClient(url string) (endpoint.Client, error) {
+	return h.client(url)
 }
 
 // SubmitEndpoint implements the §3.4 manual insertion: the user provides

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/sched"
+	"repro/internal/sparql"
+)
+
+// wireBlockClient stands in for an endpoint mid-query: the first request
+// parks on the wire until its context dies, then reports what killed it.
+type wireBlockClient struct {
+	startedOnce sync.Once
+	started     chan struct{}
+	wireErr     chan error
+}
+
+func newWireBlockClient() *wireBlockClient {
+	return &wireBlockClient{started: make(chan struct{}), wireErr: make(chan error, 1)}
+}
+
+func (c *wireBlockClient) Query(ctx context.Context, q string) (*sparql.Result, error) {
+	c.startedOnce.Do(func() { close(c.started) })
+	<-ctx.Done()
+	select {
+	case c.wireErr <- ctx.Err():
+	default:
+	}
+	return nil, ctx.Err()
+}
+
+// TestSchedulerStopCancelsExtractionOnWire drives the full chain the
+// streaming API exists for: Scheduler.Stop cancels the run context, the
+// cancellation flows through core.process into the extractor and down to
+// the SPARQL client blocked on the wire, and the job terminates with the
+// context's error instead of waiting out the query.
+func TestSchedulerStopCancelsExtractionOnWire(t *testing.T) {
+	h := New(nil, nil)
+	url := "http://blocked.example.org/sparql"
+	h.Registry.Add(registry.Entry{URL: url, Title: "blocked", AddedAt: h.Clock.Now()})
+	c := newWireBlockClient()
+	h.Connect(url, c)
+
+	s := h.Scheduler()
+	ticket, err := s.Submit(url, sched.Routine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("extraction never reached the wire")
+	}
+	s.Stop()
+
+	select {
+	case werr := <-c.wireErr:
+		if !errors.Is(werr, context.Canceled) {
+			t.Fatalf("wire saw %v, want context.Canceled", werr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop never reached the in-flight query")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	state, jerr := ticket.Wait(ctx)
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("job never terminated: %v", err)
+	}
+	if state == sched.StateSucceeded {
+		t.Fatalf("job state = %v (err %v), want a canceled termination", state, jerr)
+	}
+	// a canceled run is not an endpoint failure: the §3.1 give-up
+	// budget must be untouched
+	if e, ok := h.Registry.Get(url); !ok || e.ConsecutiveFailures != 0 {
+		t.Fatalf("registry recorded %d failures for a canceled run", e.ConsecutiveFailures)
+	}
+}

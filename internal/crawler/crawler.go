@@ -5,9 +5,11 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/endpoint"
 	"repro/internal/portal"
 	"repro/internal/registry"
 )
@@ -51,30 +53,44 @@ func (r *Report) TotalAdded() int {
 }
 
 // Crawl runs the Listing 1 query against every portal and merges the
-// results into the registry.
-func Crawl(portals []*portal.Portal, reg *registry.Registry, now time.Time) (*Report, error) {
+// results into the registry. Each portal's catalog is consumed as a row
+// stream, so canceling ctx aborts a crawl mid-catalog.
+func Crawl(ctx context.Context, portals []*portal.Portal, reg *registry.Registry, now time.Time) (*Report, error) {
 	rep := &Report{ListedBefore: reg.Len()}
 	for _, p := range portals {
 		pr := PortalReport{Portal: p.Name}
-		res, err := p.Client().Query(portal.Listing1)
+		rs, err := endpoint.Stream(ctx, p.Client(), portal.Listing1)
 		if err != nil {
 			return nil, fmt.Errorf("crawler: portal %s: %w", p.Name, err)
 		}
+		// collect the catalog first, merge only after the stream ended
+		// cleanly: a portal that dies mid-catalog (canceled context,
+		// broken stream) must contribute zero entries, like a failed
+		// materialized query always did
+		type candidate struct{ url, title string }
+		var found []candidate
 		seen := map[string]bool{}
-		for _, row := range res.Rows {
+		for row := range rs.All() {
 			url := row["url"].Value
 			if url == "" || seen[url] {
 				continue
 			}
 			seen[url] = true
+			found = append(found, candidate{url: url, title: row["title"].Value})
+		}
+		err = rs.Err()
+		rs.Close()
+		if err != nil {
+			return nil, fmt.Errorf("crawler: portal %s: %w", p.Name, err)
+		}
+		for _, c := range found {
 			pr.Discovered++
-			title := row["title"].Value
-			if reg.Has(url) {
+			if reg.Has(c.url) {
 				pr.AlreadyListed++
 				continue
 			}
 			reg.Add(registry.Entry{
-				URL: url, Title: title,
+				URL: c.url, Title: c.title,
 				Source: registry.SourcePortal, Portal: p.Name,
 				AddedAt: now,
 			})

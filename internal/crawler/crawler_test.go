@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func TestCrawlReproducesPaperCounts(t *testing.T) {
 		t.Fatalf("pre-crawl registry = %d, want %d", reg.Len(), synth.PreExistingEndpoints)
 	}
 
-	rep, err := Crawl(portals, reg, clock.Epoch)
+	rep, err := Crawl(context.Background(), portals, reg, clock.Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,10 +70,10 @@ func TestCrawlIdempotent(t *testing.T) {
 	corpus := synth.Corpus(2)
 	portals := portal.BuildAll(corpus)
 	reg := seedRegistry(corpus)
-	if _, err := Crawl(portals, reg, clock.Epoch); err != nil {
+	if _, err := Crawl(context.Background(), portals, reg, clock.Epoch); err != nil {
 		t.Fatal(err)
 	}
-	rep2, err := Crawl(portals, reg, clock.Epoch.Add(24*time.Hour))
+	rep2, err := Crawl(context.Background(), portals, reg, clock.Epoch.Add(24*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestCrawlProvenanceRecorded(t *testing.T) {
 	corpus := synth.Corpus(3)
 	portals := portal.BuildAll(corpus)
 	reg := seedRegistry(corpus)
-	Crawl(portals, reg, clock.Epoch)
+	Crawl(context.Background(), portals, reg, clock.Epoch)
 	found := false
 	for _, e := range reg.Entries() {
 		if e.Source == registry.SourcePortal {
@@ -112,7 +113,7 @@ func TestListing1FiltersNonSparql(t *testing.T) {
 	// the portals contain noise datasets with CSV downloads; Listing 1's
 	// regex must exclude them, so discovered == SparqlDatasets
 	for _, p := range portals {
-		res, err := p.Client().Query(portal.Listing1)
+		res, err := p.Client().Query(context.Background(), portal.Listing1)
 		if err != nil {
 			t.Fatal(err)
 		}

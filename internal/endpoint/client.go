@@ -1,9 +1,12 @@
 package endpoint
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -12,61 +15,255 @@ import (
 	"repro/internal/sparql"
 )
 
+// resultsMIME is the SPARQL 1.1 JSON results media type, sent as Accept
+// on every request and produced by the protocol server.
+const resultsMIME = "application/sparql-results+json"
+
+// Default retry backoff bounds; see HTTPClient.BaseBackoff.
+const (
+	defaultBaseBackoff = 250 * time.Millisecond
+	defaultMaxBackoff  = 5 * time.Second
+)
+
+// connectPatience bounds connection setup and time-to-first-byte against
+// slow public endpoints. It deliberately does NOT bound the body read: a
+// stream lives as long as the consumer keeps pulling rows, limited only
+// by the caller's context. (http.Client.Timeout would cover the whole
+// body and kill any stream outliving it, however healthy.)
+const connectPatience = 30 * time.Second
+
+// defaultHTTPClient is the shared client used when HTTPClient.HTTP is
+// nil: dial and response-header bounded by connectPatience, body
+// unbounded.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           (&net.Dialer{Timeout: connectPatience, KeepAlive: 30 * time.Second}).DialContext,
+		ResponseHeaderTimeout: connectPatience,
+		MaxIdleConnsPerHost:   8,
+		IdleConnTimeout:       90 * time.Second,
+	},
+}
+
 // HTTPClient queries a SPARQL endpoint over the SPARQL protocol. It is
 // used against the in-process protocol servers in tests and examples, and
-// would work unchanged against a live endpoint.
+// would work unchanged against a live endpoint. It implements both Client
+// (materialized results) and Streamer (incremental rows decoded token-wise
+// off the response body, so memory stays O(row) however large the result).
 type HTTPClient struct {
 	// URL is the endpoint URL.
 	URL string
-	// HTTP is the underlying client; nil means a client with a 30 s
-	// timeout, matching the extraction pipeline's patience for slow
-	// public endpoints.
+	// HTTP is the underlying client; nil means a shared client that
+	// bounds connection setup and time-to-first-byte at 30 s (the
+	// extraction pipeline's patience for slow public endpoints) while
+	// leaving the body read unbounded so long streams survive — bound
+	// those with the context. Setting an http.Client with a Timeout
+	// here caps every stream's total lifetime at that Timeout.
 	HTTP *http.Client
 	// Retries is the number of extra attempts on transient failure.
 	Retries int
+	// BaseBackoff is the pause before the first retry; each further
+	// retry doubles it (with ±50% jitter so a fleet of clients does not
+	// re-hit a recovering endpoint in lockstep), capped at MaxBackoff.
+	// Zero values get defaults of 250ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
 }
 
 // NewHTTPClient returns a client for the endpoint at rawURL.
 func NewHTTPClient(rawURL string) *HTTPClient {
-	return &HTTPClient{URL: rawURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &HTTPClient{URL: rawURL}
 }
 
-// Query implements Client by POSTing the query as a form.
-func (c *HTTPClient) Query(query string) (*sparql.Result, error) {
-	httpc := c.HTTP
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 30 * time.Second}
+func (c *HTTPClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
+	return defaultHTTPClient
+}
+
+// backoff sleeps before retry attempt (1-based), doubling from
+// BaseBackoff up to MaxBackoff with ±50% jitter. It returns early with
+// the context's error if ctx is done first.
+func (c *HTTPClient) backoff(ctx context.Context, attempt int) error {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = defaultBaseBackoff
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// jitter in [d/2, 3d/2): desynchronizes the retry storms a shared
+	// outage would otherwise cause
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// post issues one SPARQL protocol request. The caller owns the response
+// body on success.
+func (c *HTTPClient) post(ctx context.Context, query string) (*http.Response, error) {
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL,
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", resultsMIME)
+	return c.httpClient().Do(req)
+}
+
+// permanent reports whether retrying is pointless because the caller's
+// own context is done. Only the caller's context counts: an http-level
+// timeout also surfaces as a deadline error, but that one is transient —
+// matching on the error value would silently disable Retries for exactly
+// the flaky-endpoint failures the retry loop exists for.
+func permanent(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+// retrying runs one attempt under the client's retry policy: transient
+// failures (as reported by the attempt itself) are retried up to
+// c.Retries times with jittered exponential backoff, stopping early
+// when the caller's context dies. Query and Stream share this loop so
+// the retry policy cannot drift between the two paths.
+func retrying[T any](ctx context.Context, c *HTTPClient, attempt func(context.Context) (T, bool, error)) (T, error) {
+	var zero T
 	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		form := url.Values{"query": {query}}
-		resp, err := httpc.Post(c.URL, "application/x-www-form-urlencoded",
-			strings.NewReader(form.Encode()))
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			lastErr = fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(string(body), 200))
-			// 4xx won't get better on retry
-			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-				return nil, lastErr
+	for n := 0; ; n++ {
+		if n > 0 {
+			if err := c.backoff(ctx, n); err != nil {
+				return zero, err
 			}
-			continue
 		}
-		var res sparql.Result
-		if err := json.Unmarshal(body, &res); err != nil {
-			return nil, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
+		v, retry, err := attempt(ctx)
+		if err == nil {
+			return v, nil
 		}
-		return &res, nil
+		lastErr = err
+		if !retry || permanent(ctx) || n >= c.Retries {
+			return zero, lastErr
+		}
 	}
-	return nil, lastErr
+}
+
+// Query implements Client by POSTing the query as a form and
+// materializing the full result document.
+func (c *HTTPClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	return retrying(ctx, c, func(ctx context.Context) (*sparql.Result, bool, error) {
+		return c.queryOnce(ctx, query)
+	})
+}
+
+// queryOnce runs a single materialized attempt; retry reports whether
+// the failure is worth another attempt. A caller context without a
+// deadline gets a per-attempt ceiling of connectPatience — unlike a
+// stream, a materialized query has nothing to show until the whole body
+// arrived, so an unbounded read is just a hang.
+func (c *HTTPClient) queryOnce(ctx context.Context, query string) (res *sparql.Result, retry bool, err error) {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, connectPatience)
+		defer cancel()
+	}
+	resp, err := c.post(ctx, query)
+	if err != nil {
+		return nil, true, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(string(body), 200))
+		// 4xx won't get better on retry
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, false, err
+		}
+		return nil, true, err
+	}
+	var out sparql.Result
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, false, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
+	}
+	return &out, false, nil
+}
+
+// Stream implements Streamer: it opens the protocol request (retrying
+// transient failures like Query does, since no row has been delivered
+// yet) and then decodes bindings incrementally off the response body.
+// Once rows are flowing, a failure — truncated body, malformed JSON, a
+// canceled context — surfaces through the stream's Err, never as a
+// silent end of results.
+func (c *HTTPClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	return retrying(ctx, c, func(ctx context.Context) (*sparql.RowSeq, bool, error) {
+		return c.streamOnce(ctx, query)
+	})
+}
+
+func (c *HTTPClient) streamOnce(ctx context.Context, query string) (rs *sparql.RowSeq, retry bool, err error) {
+	resp, err := c.post(ctx, query)
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		resp.Body.Close()
+		err := fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(string(body), 200))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, false, err
+		}
+		return nil, true, err
+	}
+	rr, err := sparql.NewJSONRowReader(resp.Body)
+	if err != nil {
+		resp.Body.Close()
+		return nil, true, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
+	}
+	if val, ok := rr.Ask(); ok {
+		resp.Body.Close()
+		out := sparql.ResultSeq(&sparql.Result{Ask: true, Boolean: val})
+		return out, false, nil
+	}
+	var streamErr error
+	seq := func(yield func(sparql.Binding) bool) {
+		defer resp.Body.Close()
+		for {
+			if err := ctx.Err(); err != nil {
+				streamErr = err
+				return
+			}
+			b, err := rr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				streamErr = fmt.Errorf("endpoint: stream from %s: %w", c.URL, err)
+				return
+			}
+			if !yield(b) {
+				return
+			}
+		}
+	}
+	out := sparql.NewRowSeq(rr.Vars(), seq, &streamErr)
+	// if the consumer closes without ever pulling a row, the producer
+	// never ran and its deferred close never fires
+	out.OnClose(func() { resp.Body.Close() })
+	return out, false, nil
 }
 
 func truncate(s string, n int) string {

@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/url"
@@ -48,7 +49,7 @@ func TestHandlerPOSTViaClient(t *testing.T) {
 	srv := Serve(testStore(t), nil)
 	defer srv.Close()
 	c := NewHTTPClient(srv.URL)
-	res, err := c.Query(`SELECT ?s WHERE { ?s a <http://ex/C> }`)
+	res, err := c.Query(context.Background(), `SELECT ?s WHERE { ?s a <http://ex/C> }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestHandlerAskViaClient(t *testing.T) {
 	srv := Serve(testStore(t), nil)
 	defer srv.Close()
 	c := NewHTTPClient(srv.URL)
-	res, err := c.Query(`ASK { <http://ex/a> <http://ex/p> <http://ex/b> }`)
+	res, err := c.Query(context.Background(), `ASK { <http://ex/a> <http://ex/p> <http://ex/b> }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestHandlerBadQuery(t *testing.T) {
 	srv := Serve(testStore(t), nil)
 	defer srv.Close()
 	c := NewHTTPClient(srv.URL)
-	if _, err := c.Query(`GARBAGE`); err == nil {
+	if _, err := c.Query(context.Background(), `GARBAGE`); err == nil {
 		t.Fatal("bad query should error")
 	}
 }
@@ -187,7 +188,7 @@ func TestAvailabilityMixedUptime(t *testing.T) {
 
 func TestRemoteQueryAndStats(t *testing.T) {
 	r := NewRemote("test", "sim://test", testStore(t), nil, nil, nil)
-	res, err := r.Query(`SELECT ?s WHERE { ?s a <http://ex/C> }`)
+	res, err := r.Query(context.Background(), `SELECT ?s WHERE { ?s a <http://ex/C> }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestRemoteUnavailable(t *testing.T) {
 	r := NewRemote("flaky", "sim://flaky", testStore(t), nil, avail, ck)
 	sawDown, sawUp := false, false
 	for d := 0; d < 60 && (!sawDown || !sawUp); d++ {
-		_, err := r.Query(`ASK { ?s ?p ?o }`)
+		_, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`)
 		if errors.Is(err, ErrUnavailable) {
 			sawDown = true
 		} else if err == nil {
@@ -240,7 +241,7 @@ func TestCostModel(t *testing.T) {
 
 func TestLocalClient(t *testing.T) {
 	c := LocalClient{Store: testStore(t)}
-	res, err := c.Query(`SELECT ?s WHERE { ?s a <http://ex/D> }`)
+	res, err := c.Query(context.Background(), `SELECT ?s WHERE { ?s a <http://ex/D> }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestClientRetriesOn500(t *testing.T) {
 	defer srv.Close()
 	c := NewHTTPClient(srv.URL)
 	c.Retries = 3
-	res, err := c.Query(`ASK { ?s ?p ?o }`)
+	res, err := c.Query(context.Background(), `ASK { ?s ?p ?o }`)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,10 +19,37 @@ import (
 var ErrUnavailable = errors.New("endpoint: unavailable")
 
 // Client is anything that can answer SPARQL queries: a local store, an
-// HTTP endpoint, or a simulated remote.
+// HTTP endpoint, or a simulated remote. The context carries the caller's
+// deadline and cancellation down to the wire: an extraction job stopped
+// by the scheduler, a closed HTTP request, or a CLI timeout aborts the
+// query instead of letting it run to completion.
 type Client interface {
-	// Query executes a SPARQL query and returns its result.
-	Query(query string) (*sparql.Result, error)
+	// Query executes a SPARQL query and returns its materialized result.
+	Query(ctx context.Context, query string) (*sparql.Result, error)
+}
+
+// Streamer is implemented by clients that can deliver results
+// incrementally. Consumers should not type-assert for it directly; use
+// the package-level Stream, which falls back to a materialized query for
+// plain Clients.
+type Streamer interface {
+	// Stream executes a SPARQL query and returns its rows as a stream.
+	// The caller must drain or Close the stream.
+	Stream(ctx context.Context, query string) (*sparql.RowSeq, error)
+}
+
+// Stream returns a row stream from any client: natively when c
+// implements Streamer, otherwise by materializing the result and
+// streaming from it (still honoring ctx between rows).
+func Stream(ctx context.Context, c Client, query string) (*sparql.RowSeq, error) {
+	if s, ok := c.(Streamer); ok {
+		return s.Stream(ctx, query)
+	}
+	res, err := c.Query(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ResultSeq(res), nil
 }
 
 // Availability is a deterministic day-granular outage schedule. Starting
@@ -139,21 +167,37 @@ func (r *Remote) Up() bool {
 
 // Query implements Client. It fails with ErrUnavailable on down days and
 // otherwise evaluates the query under the endpoint's quirks, accounting
-// virtual time.
-func (r *Remote) Query(query string) (*sparql.Result, error) {
+// virtual time. It is the materialized view of Stream, so cancellation
+// is honored mid-query and cost accrues per row either way.
+func (r *Remote) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	rs, err := r.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+// Stream implements Streamer. Availability is checked when the query
+// arrives, the base latency is charged up front and the per-row transfer
+// cost as each row crosses the simulated wire; canceling ctx mid-stream
+// stops the evaluation within one row.
+func (r *Remote) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
 	if !r.Up() {
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, r.Name)
 	}
-	res, err := Evaluate(r.Store, query, r.Quirks)
-	rows := 0
-	if res != nil {
-		rows = len(res.Rows)
-	}
 	r.mu.Lock()
 	r.queries++
-	r.virtual += r.Cost.Cost(rows)
+	r.virtual += r.Cost.BaseLatency
 	r.mu.Unlock()
-	return res, err
+	rs, err := EvaluateStream(ctx, r.Store, query, r.Quirks)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Tap(func(sparql.Binding) {
+		r.mu.Lock()
+		r.virtual += r.Cost.PerRow
+		r.mu.Unlock()
+	}), nil
 }
 
 // Stats returns the number of queries served and the accumulated virtual
@@ -170,7 +214,17 @@ type LocalClient struct {
 	Store *store.Store
 }
 
-// Query implements Client.
-func (c LocalClient) Query(query string) (*sparql.Result, error) {
-	return sparql.Exec(c.Store, query)
+// Query implements Client by collecting the stream, so cancellation is
+// honored mid-query even for in-process evaluation.
+func (c LocalClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	rs, err := c.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+// Stream implements Streamer straight off the engine's row pipeline.
+func (c LocalClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	return sparql.StreamExec(ctx, c.Store, query)
 }

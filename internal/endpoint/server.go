@@ -7,7 +7,7 @@
 package endpoint
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -25,8 +25,19 @@ type Handler struct {
 	Quirks *Quirks
 }
 
+// flushEvery is how many streamed result rows are written between
+// flushes: small enough that a consumer sees rows while the query still
+// runs, large enough that flushing is not per-row overhead.
+const flushEvery = 64
+
 // ServeHTTP implements the SPARQL 1.1 protocol subset: query via GET
 // parameter or POST form, responding in the SPARQL JSON results format.
+// The results document is written incrementally — one binding at a time
+// with periodic flushes — so the first row reaches the client while the
+// evaluation is still producing later ones, and a client that hangs up
+// cancels the evaluation through the request context. A mid-stream
+// evaluation failure leaves the JSON document unterminated, which is how
+// the streaming client distinguishes a broken stream from a short result.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var query string
 	switch r.Method {
@@ -46,20 +57,52 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
-	res, err := Evaluate(h.Store, query, h.Quirks)
+	rs, err := EvaluateStream(r.Context(), h.Store, query, h.Quirks)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/sparql-results+json")
-	if err := json.NewEncoder(w).Encode(res); err != nil {
-		// headers already sent; nothing useful to do
+	defer rs.Close()
+	w.Header().Set("Content-Type", resultsMIME)
+	if rs.Ask {
+		sparql.WriteAskJSON(w, rs.Boolean)
 		return
 	}
+	jw := sparql.NewJSONRowWriter(w, rs.Vars)
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	for row := range rs.All() {
+		if jw.WriteRow(row) != nil {
+			return // client went away; the context unwinds the evaluation
+		}
+		n++
+		if n%flushEvery == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if rs.Err() != nil {
+		// mid-stream failure after rows were sent: leave the document
+		// unterminated so the client sees a broken stream, not a result
+		return
+	}
+	jw.Close()
 }
 
-// Evaluate runs a query against st honouring the endpoint quirks.
+// Evaluate runs a query against st honouring the endpoint quirks,
+// materializing the full result.
 func Evaluate(st *store.Store, query string, q *Quirks) (*sparql.Result, error) {
+	rs, err := EvaluateStream(context.Background(), st, query, q)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+// EvaluateStream runs a query against st honouring the endpoint quirks,
+// returning the rows as a stream. A MaxRows quirk becomes a stream
+// truncation — real endpoints silently cap result sets, and a streaming
+// engine caps them by simply stopping.
+func EvaluateStream(ctx context.Context, st *store.Store, query string, q *Quirks) (*sparql.RowSeq, error) {
 	parsed, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -69,15 +112,14 @@ func Evaluate(st *store.Store, query string, q *Quirks) (*sparql.Result, error) 
 			return nil, err
 		}
 	}
-	res, err := parsed.Exec(st)
+	rs, err := parsed.Stream(ctx, st)
 	if err != nil {
 		return nil, err
 	}
-	if q != nil && q.MaxRows > 0 && !res.Ask && len(res.Rows) > q.MaxRows {
-		// real endpoints silently truncate result sets
-		res.Rows = res.Rows[:q.MaxRows]
+	if q != nil && q.MaxRows > 0 && !rs.Ask {
+		rs = rs.Limit(q.MaxRows)
 	}
-	return res, nil
+	return rs, nil
 }
 
 // Quirks models implementation differences between SPARQL engines that

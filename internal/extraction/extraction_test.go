@@ -1,6 +1,7 @@
 package extraction
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -66,7 +67,7 @@ func checkSmallIndex(t *testing.T, ix *Index) {
 func TestExtractAggregate(t *testing.T) {
 	st := smallStore(t)
 	c := endpoint.LocalClient{Store: st}
-	ix, err := New().Extract(c, "local://small", time.Now())
+	ix, err := New().Extract(context.Background(), c, "local://small", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestExtractAggregate(t *testing.T) {
 func TestExtractEnumerateFallback(t *testing.T) {
 	st := smallStore(t)
 	r := endpoint.NewRemote("noagg", "sim://noagg", st, endpoint.ProfileNoAgg, nil, nil)
-	ix, err := New().Extract(r, "sim://noagg", time.Now())
+	ix, err := New().Extract(context.Background(), r, "sim://noagg", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,12 @@ func TestStrategiesAgree(t *testing.T) {
 		Name: "agree", Classes: 6, Instances: 300, ObjectProps: 10,
 		DataProps: 8, LinkFactor: 1, Seed: 11,
 	})
-	agg, err := New().Extract(endpoint.LocalClient{Store: st}, "a", time.Now())
+	agg, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "a", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
 	enum, err := New().Extract(
+		context.Background(),
 		endpoint.NewRemote("x", "x", st, endpoint.ProfileNoAgg, nil, nil), "b", time.Now())
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +132,7 @@ func TestStrategiesAgree(t *testing.T) {
 func TestExtractWithSmallPagesMatches(t *testing.T) {
 	st := smallStore(t)
 	e := &Extractor{PageSize: 2} // force many pages
-	ix, err := e.Extract(endpoint.NewRemote("x", "x", st, endpoint.ProfileNoAgg, nil, nil), "x", time.Now())
+	ix, err := e.Extract(context.Background(), endpoint.NewRemote("x", "x", st, endpoint.ProfileNoAgg, nil, nil), "x", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestExtractCappedEndpoint(t *testing.T) {
 	// a capped endpoint still supports aggregates; extraction succeeds
 	st := synth.Generate(synth.Spec{Name: "cap", Classes: 5, Instances: 200, ObjectProps: 6, DataProps: 5, LinkFactor: 1, Seed: 2})
 	r := endpoint.NewRemote("cap", "sim://cap", st, endpoint.ProfileCapped, nil, nil)
-	ix, err := New().Extract(r, "sim://cap", time.Now())
+	ix, err := New().Extract(context.Background(), r, "sim://cap", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestExtractCappedEndpoint(t *testing.T) {
 func TestExtractDeadEndpointFails(t *testing.T) {
 	st := smallStore(t)
 	r := endpoint.NewRemote("dead", "sim://dead", st, nil, endpoint.AlwaysDown(), nil)
-	if _, err := New().Extract(r, "sim://dead", time.Now()); err == nil {
+	if _, err := New().Extract(context.Background(), r, "sim://dead", time.Now()); err == nil {
 		t.Fatal("dead endpoint must fail extraction")
 	}
 }
@@ -161,14 +163,14 @@ func TestExtractDeadEndpointFails(t *testing.T) {
 func TestMaxClassesGuard(t *testing.T) {
 	st := synth.Generate(synth.Spec{Name: "many", Classes: 30, Instances: 300, Seed: 1})
 	e := &Extractor{PageSize: 1000, MaxClasses: 10}
-	if _, err := e.Extract(endpoint.LocalClient{Store: st}, "x", time.Now()); err == nil {
+	if _, err := e.Extract(context.Background(), endpoint.LocalClient{Store: st}, "x", time.Now()); err == nil {
 		t.Fatal("MaxClasses should abort extraction")
 	}
 }
 
 func TestRDFTypeExcludedFromProperties(t *testing.T) {
 	st := smallStore(t)
-	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "x", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "x", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestRDFTypeExcludedFromProperties(t *testing.T) {
 }
 
 func TestEmptyEndpoint(t *testing.T) {
-	ix, err := New().Extract(endpoint.LocalClient{Store: store.New()}, "empty", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: store.New()}, "empty", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,7 @@ func TestEmptyEndpoint(t *testing.T) {
 
 func TestExtractScholarly(t *testing.T) {
 	st := synth.Scholarly(1)
-	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "scholarly", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,9 +9,17 @@
 // attempts the efficient aggregate queries and transparently falls back
 // to DISTINCT enumeration with LIMIT/OFFSET paging when the endpoint
 // rejects aggregates or truncates results.
+//
+// Enumeration consumes each page as a row stream (endpoint.Stream):
+// rows are folded into counters and small maps as they arrive instead of
+// being materialized per page, so extraction memory is bounded by the
+// aggregation state, not the page size — and a canceled context (a
+// stopped scheduler job, a CLI timeout) aborts mid-page instead of at
+// the next page boundary.
 package extraction
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -94,42 +102,52 @@ func New() *Extractor {
 
 // Extract runs the full index extraction, trying the pattern strategies
 // from the most to the least capable: full aggregates (GROUP BY),
-// plain-COUNT ("mixed"), then pure enumeration with paging.
-func (e *Extractor) Extract(c endpoint.Client, url string, now time.Time) (*Index, error) {
+// plain-COUNT ("mixed"), then pure enumeration with paging. The context
+// reaches every query on the wire; canceling it aborts the run mid-page
+// without trying further strategies.
+func (e *Extractor) Extract(ctx context.Context, c endpoint.Client, url string, now time.Time) (*Index, error) {
 	ix := &Index{Endpoint: url, ExtractedAt: now}
 
-	if err := e.extractAggregate(c, ix); err == nil {
+	if err := e.extractAggregate(ctx, c, ix); err == nil {
 		ix.Strategy = "aggregate"
-		e.fetchLabels(c, ix)
+		e.fetchLabels(ctx, c, ix)
 		return ix, nil
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	*ix = Index{Endpoint: url, ExtractedAt: now}
-	if err := e.extractMixed(c, ix); err == nil {
+	if err := e.extractMixed(ctx, c, ix); err == nil {
 		ix.Strategy = "mixed"
-		e.fetchLabels(c, ix)
+		e.fetchLabels(ctx, c, ix)
 		return ix, nil
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	*ix = Index{Endpoint: url, ExtractedAt: now}
-	if err := e.extractEnumerate(c, ix); err != nil {
+	if err := e.extractEnumerate(ctx, c, ix); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("extraction: all strategies failed for %s: %w", url, err)
 	}
 	ix.Strategy = "enumerate"
-	e.fetchLabels(c, ix)
+	e.fetchLabels(ctx, c, ix)
 	return ix, nil
 }
 
 // fetchLabels upgrades class display names with rdfs:label where the
 // ontology provides one (preferring untagged or English labels). It is
 // best effort: failures leave the IRI-derived local names in place.
-func (e *Extractor) fetchLabels(c endpoint.Client, ix *Index) {
+func (e *Extractor) fetchLabels(ctx context.Context, c endpoint.Client, ix *Index) {
 	if len(ix.Classes) == 0 {
 		return
 	}
-	res, err := c.Query(fmt.Sprintf(
+	rs, err := endpoint.Stream(ctx, c, fmt.Sprintf(
 		`SELECT ?c ?l WHERE { ?c <%s> ?l } LIMIT 10000`, rdf.RDFSLabel))
 	if err != nil {
 		return
 	}
+	defer rs.Close()
 	// rank: plain literal > @en > any other language; first wins per rank
 	rank := func(lang string) int {
 		switch lang {
@@ -143,7 +161,7 @@ func (e *Extractor) fetchLabels(c endpoint.Client, ix *Index) {
 	}
 	labels := map[string]string{}
 	best := map[string]int{}
-	for _, row := range res.Rows {
+	for row := range rs.All() {
 		cls, lab := row["c"], row["l"]
 		if !cls.IsIRI() || !lab.IsLiteral() || lab.Value == "" {
 			continue
@@ -153,6 +171,9 @@ func (e *Extractor) fetchLabels(c endpoint.Client, ix *Index) {
 			labels[cls.Value] = lab.Value
 			best[cls.Value] = r
 		}
+	}
+	if rs.Err() != nil {
+		return
 	}
 	for i := range ix.Classes {
 		if l, ok := labels[ix.Classes[i].IRI]; ok && l != "" {
@@ -164,18 +185,18 @@ func (e *Extractor) fetchLabels(c endpoint.Client, ix *Index) {
 // extractMixed handles endpoints that answer plain COUNT aggregates but
 // reject GROUP BY: classes and properties are enumerated with DISTINCT
 // paging, and each is counted with an ungrouped COUNT query.
-func (e *Extractor) extractMixed(c endpoint.Client, ix *Index) error {
+func (e *Extractor) extractMixed(ctx context.Context, c endpoint.Client, ix *Index) error {
 	page := e.PageSize
 	if page <= 0 {
 		page = 1000
 	}
-	res, err := c.Query(`SELECT (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }`)
+	res, err := c.Query(ctx, `SELECT (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }`)
 	if err != nil {
 		return err
 	}
 	ix.Triples = intResult(res, "n")
 
-	classIRIs, err := e.pageAll(c,
+	classIRIs, err := e.pageAll(ctx, c,
 		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY ?c`, "c", page)
 	if err != nil {
 		return err
@@ -184,7 +205,7 @@ func (e *Extractor) extractMixed(c endpoint.Client, ix *Index) error {
 		return fmt.Errorf("extraction: %d classes exceed limit %d", len(classIRIs), e.MaxClasses)
 	}
 	for _, cls := range classIRIs {
-		res, err := c.Query(fmt.Sprintf(
+		res, err := c.Query(ctx, fmt.Sprintf(
 			`SELECT (COUNT(?s) AS ?n) WHERE { ?s a <%s> }`, cls))
 		if err != nil {
 			return err
@@ -194,13 +215,13 @@ func (e *Extractor) extractMixed(c endpoint.Client, ix *Index) error {
 		ix.Instances += cnt
 
 		// datatype properties: DISTINCT enumeration + one COUNT each
-		props, err := e.pageAll(c, fmt.Sprintf(
+		props, err := e.pageAll(ctx, c, fmt.Sprintf(
 			`SELECT DISTINCT ?p WHERE { ?s a <%s> . ?s ?p ?o FILTER isLiteral(?o) } ORDER BY ?p`, cls), "p", page)
 		if err != nil {
 			return err
 		}
 		for _, p := range props {
-			res, err := c.Query(fmt.Sprintf(
+			res, err := c.Query(ctx, fmt.Sprintf(
 				`SELECT (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s <%s> ?o FILTER isLiteral(?o) }`, cls, p))
 			if err != nil {
 				return err
@@ -209,22 +230,26 @@ func (e *Extractor) extractMixed(c endpoint.Client, ix *Index) error {
 		}
 
 		// object properties: DISTINCT (property, range class) pairs + COUNT
-		res2, err := c.Query(fmt.Sprintf(
-			`SELECT DISTINCT ?p ?d WHERE { ?s a <%s> . ?s ?p ?o . ?o a ?d } ORDER BY ?p ?d LIMIT %d`, cls, page))
+		type pd struct{ p, d string }
+		var pairs []pd
+		err = e.streamRows(ctx, c, fmt.Sprintf(
+			`SELECT DISTINCT ?p ?d WHERE { ?s a <%s> . ?s ?p ?o . ?o a ?d } ORDER BY ?p ?d LIMIT %d`, cls, page),
+			func(row sparqlBinding) {
+				pairs = append(pairs, pd{row["p"].Value, row["d"].Value})
+			})
 		if err != nil {
 			return err
 		}
-		for _, row := range res2.Rows {
-			p, d := row["p"].Value, row["d"].Value
-			if p == rdf.RDFType {
+		for _, pair := range pairs {
+			if pair.p == rdf.RDFType {
 				continue
 			}
-			res3, err := c.Query(fmt.Sprintf(
-				`SELECT (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s <%s> ?o . ?o a <%s> }`, cls, p, d))
+			res3, err := c.Query(ctx, fmt.Sprintf(
+				`SELECT (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s <%s> ?o . ?o a <%s> }`, cls, pair.p, pair.d))
 			if err != nil {
 				return err
 			}
-			ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{IRI: p, Target: d, Count: intResult(res3, "n")})
+			ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{IRI: pair.p, Target: pair.d, Count: intResult(res3, "n")})
 		}
 		sortClassIndex(&ci)
 		ix.Classes = append(ix.Classes, ci)
@@ -234,24 +259,24 @@ func (e *Extractor) extractMixed(c endpoint.Client, ix *Index) error {
 }
 
 // extractAggregate uses COUNT/GROUP BY queries.
-func (e *Extractor) extractAggregate(c endpoint.Client, ix *Index) error {
-	res, err := c.Query(`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`)
+func (e *Extractor) extractAggregate(ctx context.Context, c endpoint.Client, ix *Index) error {
+	res, err := c.Query(ctx, `SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`)
 	if err != nil {
 		return err
 	}
 	ix.Triples = intResult(res, "n")
 
-	res, err = c.Query(`SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n)`)
+	err = e.streamRows(ctx, c, `SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n)`,
+		func(row sparqlBinding) {
+			cls := row["c"]
+			n := bindingInt(row, "n")
+			ix.Classes = append(ix.Classes, ClassIndex{
+				IRI: cls.Value, Label: cls.LocalName(), Instances: n,
+			})
+			ix.Instances += n
+		})
 	if err != nil {
 		return err
-	}
-	for _, row := range res.Rows {
-		cls := row["c"]
-		n := bindingInt(row, "n")
-		ix.Classes = append(ix.Classes, ClassIndex{
-			IRI: cls.Value, Label: cls.LocalName(), Instances: n,
-		})
-		ix.Instances += n
 	}
 	if e.MaxClasses > 0 && len(ix.Classes) > e.MaxClasses {
 		return fmt.Errorf("extraction: %d classes exceed limit %d", len(ix.Classes), e.MaxClasses)
@@ -260,29 +285,29 @@ func (e *Extractor) extractAggregate(c endpoint.Client, ix *Index) error {
 	for i := range ix.Classes {
 		ci := &ix.Classes[i]
 		// datatype properties
-		res, err = c.Query(fmt.Sprintf(
-			`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s ?p ?o FILTER isLiteral(?o) } GROUP BY ?p`, ci.IRI))
+		err = e.streamRows(ctx, c, fmt.Sprintf(
+			`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s ?p ?o FILTER isLiteral(?o) } GROUP BY ?p`, ci.IRI),
+			func(row sparqlBinding) {
+				ci.DataProperties = append(ci.DataProperties, PropertyCount{
+					IRI: row["p"].Value, Count: bindingInt(row, "n"),
+				})
+			})
 		if err != nil {
 			return err
-		}
-		for _, row := range res.Rows {
-			ci.DataProperties = append(ci.DataProperties, PropertyCount{
-				IRI: row["p"].Value, Count: bindingInt(row, "n"),
-			})
 		}
 		// object properties with their range classes
-		res, err = c.Query(fmt.Sprintf(
-			`SELECT ?p ?d (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s ?p ?o . ?o a ?d } GROUP BY ?p ?d`, ci.IRI))
+		err = e.streamRows(ctx, c, fmt.Sprintf(
+			`SELECT ?p ?d (COUNT(?o) AS ?n) WHERE { ?s a <%s> . ?s ?p ?o . ?o a ?d } GROUP BY ?p ?d`, ci.IRI),
+			func(row sparqlBinding) {
+				if row["p"].Value == rdf.RDFType {
+					return
+				}
+				ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{
+					IRI: row["p"].Value, Target: row["d"].Value, Count: bindingInt(row, "n"),
+				})
+			})
 		if err != nil {
 			return err
-		}
-		for _, row := range res.Rows {
-			if row["p"].Value == rdf.RDFType {
-				continue
-			}
-			ci.ObjectProperties = append(ci.ObjectProperties, LinkCount{
-				IRI: row["p"].Value, Target: row["d"].Value, Count: bindingInt(row, "n"),
-			})
 		}
 		sortClassIndex(ci)
 	}
@@ -291,14 +316,14 @@ func (e *Extractor) extractAggregate(c endpoint.Client, ix *Index) error {
 }
 
 // extractEnumerate pages DISTINCT enumerations and counts client-side.
-func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
+func (e *Extractor) extractEnumerate(ctx context.Context, c endpoint.Client, ix *Index) error {
 	page := e.PageSize
 	if page <= 0 {
 		page = 1000
 	}
 
 	// distinct classes
-	classIRIs, err := e.pageAll(c,
+	classIRIs, err := e.pageAll(ctx, c,
 		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY ?c`, "c", page)
 	if err != nil {
 		return err
@@ -312,7 +337,7 @@ func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
 	ix.Triples = 0
 
 	// total triples by paging subjects of all statements
-	n, err := e.pageCount(c, `SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o`, page)
+	n, err := e.pageCount(ctx, c, `SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o`, page)
 	if err != nil {
 		return err
 	}
@@ -320,7 +345,7 @@ func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
 
 	for _, cls := range classIRIs {
 		t := rdf.NewIRI(cls)
-		cnt, err := e.pageCount(c, fmt.Sprintf(
+		cnt, err := e.pageCount(ctx, c, fmt.Sprintf(
 			`SELECT ?s WHERE { ?s a <%s> } ORDER BY ?s`, cls), page)
 		if err != nil {
 			return err
@@ -329,32 +354,35 @@ func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
 		ix.Instances += cnt
 
 		// properties: enumerate triples of typed subjects page by page and
-		// classify objects client-side
+		// classify objects client-side, folding each row into the counters
+		// as it arrives off the stream
 		dataCounts := map[string]int{}
 		linkCounts := map[[2]string]int{}
 		offset := 0
 		for {
-			res, err := c.Query(fmt.Sprintf(
+			got := 0
+			err := e.streamRows(ctx, c, fmt.Sprintf(
 				`SELECT ?p ?o WHERE { ?s a <%s> . ?s ?p ?o } ORDER BY ?p ?o LIMIT %d OFFSET %d`,
-				cls, page, offset))
+				cls, page, offset),
+				func(row sparqlBinding) {
+					got++
+					p := row["p"].Value
+					if p == rdf.RDFType {
+						return
+					}
+					o := row["o"]
+					if o.IsLiteral() {
+						dataCounts[p]++
+					} else if o.IsIRI() {
+						// resolve the object's class with a spot query (ASK per
+						// candidate would be costly; instead fetch its types)
+						linkCounts[[2]string{p, o.Value}]++
+					}
+				})
 			if err != nil {
 				return err
 			}
-			for _, row := range res.Rows {
-				p := row["p"].Value
-				if p == rdf.RDFType {
-					continue
-				}
-				o := row["o"]
-				if o.IsLiteral() {
-					dataCounts[p]++
-				} else if o.IsIRI() {
-					// resolve the object's class with a spot query (ASK per
-					// candidate would be costly; instead fetch its types)
-					linkCounts[[2]string{p, o.Value}]++
-				}
-			}
-			if len(res.Rows) < page {
+			if got < page {
 				break
 			}
 			offset += page
@@ -370,7 +398,7 @@ func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
 			p, obj := key[0], key[1]
 			target, ok := typeCache[obj]
 			if !ok {
-				res, err := c.Query(fmt.Sprintf(
+				res, err := c.Query(ctx, fmt.Sprintf(
 					`SELECT ?c WHERE { <%s> a ?c } ORDER BY ?c LIMIT 1`, obj))
 				if err != nil {
 					return err
@@ -394,19 +422,35 @@ func (e *Extractor) extractEnumerate(c endpoint.Client, ix *Index) error {
 	return nil
 }
 
-// pageAll collects a single variable across LIMIT/OFFSET pages.
-func (e *Extractor) pageAll(c endpoint.Client, q, v string, page int) ([]string, error) {
+// streamRows runs one query as a stream and folds every row through fn,
+// never holding more than the row in flight.
+func (e *Extractor) streamRows(ctx context.Context, c endpoint.Client, q string, fn func(sparqlBinding)) error {
+	rs, err := endpoint.Stream(ctx, c, q)
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
+	for row := range rs.All() {
+		fn(row)
+	}
+	return rs.Err()
+}
+
+// pageAll collects a single variable across LIMIT/OFFSET pages, consuming
+// each page incrementally.
+func (e *Extractor) pageAll(ctx context.Context, c endpoint.Client, q, v string, page int) ([]string, error) {
 	var out []string
 	offset := 0
 	for {
-		res, err := c.Query(fmt.Sprintf("%s LIMIT %d OFFSET %d", q, page, offset))
+		got := 0
+		err := e.streamRows(ctx, c, fmt.Sprintf("%s LIMIT %d OFFSET %d", q, page, offset), func(row sparqlBinding) {
+			out = append(out, row[v].Value)
+			got++
+		})
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range res.Rows {
-			out = append(out, row[v].Value)
-		}
-		if len(res.Rows) < page {
+		if got < page {
 			return out, nil
 		}
 		offset += page
@@ -414,16 +458,19 @@ func (e *Extractor) pageAll(c endpoint.Client, q, v string, page int) ([]string,
 }
 
 // pageCount counts result rows across pages without materializing them.
-func (e *Extractor) pageCount(c endpoint.Client, q string, page int) (int, error) {
+func (e *Extractor) pageCount(ctx context.Context, c endpoint.Client, q string, page int) (int, error) {
 	n := 0
 	offset := 0
 	for {
-		res, err := c.Query(fmt.Sprintf("%s LIMIT %d OFFSET %d", q, page, offset))
+		got := 0
+		err := e.streamRows(ctx, c, fmt.Sprintf("%s LIMIT %d OFFSET %d", q, page, offset), func(sparqlBinding) {
+			got++
+		})
 		if err != nil {
 			return 0, err
 		}
-		n += len(res.Rows)
-		if len(res.Rows) < page {
+		n += got
+		if got < page {
 			return n, nil
 		}
 		offset += page

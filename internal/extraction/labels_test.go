@@ -1,6 +1,7 @@
 package extraction
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,7 +28,7 @@ ex:c1 a ex:Unlabeled .
 }
 
 func TestLabelsFromOntology(t *testing.T) {
-	ix, err := New().Extract(endpoint.LocalClient{Store: labeledStore(t)}, "x", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: labeledStore(t)}, "x", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestLabelsBestEffortOnBrokenLabelQuery(t *testing.T) {
 	// mid-extraction must not fail the whole index: simulate by using a
 	// store without labels — extraction succeeds with local names
 	st := smallStore(t)
-	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "x", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "x", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestLabelsAppliedOnAllStrategies(t *testing.T) {
 	st := labeledStore(t)
 	for _, quirks := range []*endpoint.Quirks{endpoint.ProfileNoGroupBy, endpoint.ProfileNoAgg} {
 		r := endpoint.NewRemote("x", "x", st, quirks, nil, nil)
-		ix, err := New().Extract(r, "x", time.Now())
+		ix, err := New().Extract(context.Background(), r, "x", time.Now())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package extraction
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 func TestExtractMixedStrategy(t *testing.T) {
 	st := smallStore(t)
 	r := endpoint.NewRemote("nogroup", "sim://nogroup", st, endpoint.ProfileNoGroupBy, nil, nil)
-	ix, err := New().Extract(r, "sim://nogroup", time.Now())
+	ix, err := New().Extract(context.Background(), r, "sim://nogroup", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,11 +27,12 @@ func TestMixedAgreesWithAggregate(t *testing.T) {
 		Name: "mixed", Classes: 6, Instances: 300, ObjectProps: 10,
 		DataProps: 8, LinkFactor: 1, Seed: 13,
 	})
-	agg, err := New().Extract(endpoint.LocalClient{Store: st}, "a", time.Now())
+	agg, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "a", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
 	mixed, err := New().Extract(
+		context.Background(),
 		endpoint.NewRemote("x", "x", st, endpoint.ProfileNoGroupBy, nil, nil), "b", time.Now())
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +81,7 @@ func TestStrategyLadderOrder(t *testing.T) {
 		} else {
 			client = endpoint.NewRemote("x", "x", st, c.quirks, nil, nil)
 		}
-		ix, err := New().Extract(client, "x", time.Now())
+		ix, err := New().Extract(context.Background(), client, "x", time.Now())
 		if err != nil {
 			t.Fatalf("%v: %v", c.quirks, err)
 		}

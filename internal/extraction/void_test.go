@@ -1,6 +1,7 @@
 package extraction
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ import (
 
 func TestVoIDExport(t *testing.T) {
 	st := smallStore(t)
-	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "http://small/sparql", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "http://small/sparql", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestVoIDExport(t *testing.T) {
 
 func TestVoIDIsValidTurtleAndQueryable(t *testing.T) {
 	st := smallStore(t)
-	ix, err := New().Extract(endpoint.LocalClient{Store: st}, "http://small/sparql", time.Now())
+	ix, err := New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "http://small/sparql", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestListing1TextMatchesPaper(t *testing.T) {
 func TestPortalClientAnswersListing1(t *testing.T) {
 	portals := BuildAll(synth.Corpus(6))
 	for _, p := range portals {
-		res, err := p.Client().Query(Listing1)
+		res, err := p.Client().Query(context.Background(), Listing1)
 		if err != nil {
 			t.Fatalf("portal %s: %v", p.Name, err)
 		}

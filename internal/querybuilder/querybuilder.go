@@ -7,6 +7,7 @@
 package querybuilder
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -194,11 +195,22 @@ func (q *Query) Variables() (map[string]string, error) {
 	return out, nil
 }
 
-// Run builds the query and executes it against the client.
-func (q *Query) Run(c endpoint.Client) (*sparql.Result, error) {
+// Run builds the query and executes it against the client, materializing
+// the result.
+func (q *Query) Run(ctx context.Context, c endpoint.Client) (*sparql.Result, error) {
 	text, err := q.Build()
 	if err != nil {
 		return nil, err
 	}
-	return c.Query(text)
+	return c.Query(ctx, text)
+}
+
+// Stream builds the query and executes it against the client as a row
+// stream — what the server's /api/query route serves as NDJSON.
+func (q *Query) Stream(ctx context.Context, c endpoint.Client) (*sparql.RowSeq, error) {
+	text, err := q.Build()
+	if err != nil {
+		return nil, err
+	}
+	return endpoint.Stream(ctx, c, text)
 }

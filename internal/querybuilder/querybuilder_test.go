@@ -1,6 +1,7 @@
 package querybuilder
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestBuildSimpleClassQuery(t *testing.T) {
 	if !strings.Contains(text, "?x a <http://ex/Author>") {
 		t.Fatalf("query = %s", text)
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestBuildWithAttributes(t *testing.T) {
 		Class:      "http://ex/Author",
 		Attributes: []string{"http://ex/name", "http://ex/age"},
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestBuildWithPath(t *testing.T) {
 			Attributes:  []string{"http://ex/title"},
 		}},
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestBuildInversePath(t *testing.T) {
 	if !strings.Contains(text, "?wrote <http://ex/wrote> ?x") {
 		t.Fatalf("inverse triple missing: %s", text)
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestBuildOptionalPath(t *testing.T) {
 			Property: "http://ex/published", Inverse: true, Optional: true,
 		}},
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestBuildFilters(t *testing.T) {
 			{Var: "age", Op: ">", Value: "40", Numeric: true},
 		},
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestBuildRegexFilter(t *testing.T) {
 		Attributes: []string{"http://ex/name"},
 		Filters:    []Filter{{Var: "name", Op: "regex", Value: "^A"}},
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestBuildRegexFilter(t *testing.T) {
 
 func TestBuildCountOnly(t *testing.T) {
 	q := &Query{Class: "http://ex/Book", CountOnly: true}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestBuildDistinctAndLimit(t *testing.T) {
 	if !strings.Contains(text, "SELECT DISTINCT") || !strings.Contains(text, "LIMIT 1") {
 		t.Fatalf("query = %s", text)
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: bookStore(t)})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: bookStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestRunOnScholarly(t *testing.T) {
 		}},
 		Limit: 50,
 	}
-	res, err := q.Run(endpoint.LocalClient{Store: st})
+	res, err := q.Run(context.Background(), endpoint.LocalClient{Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -12,7 +13,7 @@ import (
 func scholarlySummary(t testing.TB) *Summary {
 	t.Helper()
 	st := synth.Scholarly(1)
-	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "scholarly", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}

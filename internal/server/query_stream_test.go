@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/sparql"
+	"repro/internal/synth"
+)
+
+// TestQueryStreamNDJSON runs raw SPARQL through the streaming query API
+// and checks the NDJSON contract: a head line, one binding per line,
+// rows matching a direct evaluation.
+func TestQueryStreamNDJSON(t *testing.T) {
+	srv := testServer(t)
+	q := `SELECT ?s WHERE { ?s a <` + synth.ScholarlyNS + `Event> } ORDER BY ?s LIMIT 5`
+	resp, err := http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&sparql=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %s", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no head line")
+	}
+	var head struct {
+		Vars []string `json:"vars"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+		t.Fatalf("head line: %v", err)
+	}
+	if len(head.Vars) != 1 || head.Vars[0] != "s" {
+		t.Fatalf("vars = %v", head.Vars)
+	}
+	rows := 0
+	for sc.Scan() {
+		var b sparql.Binding
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			t.Fatalf("row %d: %v (%s)", rows, err, sc.Text())
+		}
+		if _, ok := b["s"]; !ok {
+			t.Fatalf("row %d missing ?s: %s", rows, sc.Text())
+		}
+		rows++
+	}
+	if rows != 5 {
+		t.Fatalf("rows = %d, want 5", rows)
+	}
+}
+
+// TestQueryStreamFromBuilderModel posts a visual query model with a
+// dataset and expects execution, not just generated text.
+func TestQueryStreamFromBuilderModel(t *testing.T) {
+	srv := testServer(t)
+	model := `{"Class":"` + synth.ScholarlyNS + `Event","Attributes":["` + synth.ScholarlyNS + `label"],"Limit":3}`
+	resp, err := http.Post(srv.URL+"/api/query?dataset="+url.QueryEscape(dsURL),
+		"application/json", strings.NewReader(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %s", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 4 { // head + LIMIT 3 rows
+		t.Fatalf("lines = %d, want 4", lines)
+	}
+}
+
+// TestQueryStreamErrors covers the failure edges of the streaming route.
+func TestQueryStreamErrors(t *testing.T) {
+	srv := testServer(t)
+	// unknown dataset
+	resp, err := http.Get(srv.URL + "/api/query?dataset=http://nowhere/&sparql=" + url.QueryEscape(`ASK { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset status = %d", resp.StatusCode)
+	}
+	// missing query text
+	resp, err = http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing sparql status = %d", resp.StatusCode)
+	}
+	// bad timeout value
+	resp, err = http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&timeout=banana&sparql=" + url.QueryEscape(`ASK { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout status = %d", resp.StatusCode)
+	}
+	// unparsable SPARQL is the user's error, not the endpoint's
+	resp, err = http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&sparql=GARBAGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sparql status = %d", resp.StatusCode)
+	}
+	// CONSTRUCT has no row stream on this route
+	resp, err = http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&sparql=" + url.QueryEscape(`CONSTRUCT { ?s a <http://x/T> } WHERE { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("construct status = %d", resp.StatusCode)
+	}
+	// form POST with sparql in the query string (the documented shape)
+	resp, err = http.Post(srv.URL+"/api/query?dataset="+url.QueryEscape(dsURL)+"&sparql="+url.QueryEscape(`ASK { ?s ?p ?o }`),
+		"application/x-www-form-urlencoded", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query-string form POST status = %d", resp.StatusCode)
+	}
+}
+
+// TestQueryBuilderContractPreserved: the original build-only contract —
+// POST a model without a dataset — still returns the generated SPARQL.
+func TestQueryBuilderContractPreserved(t *testing.T) {
+	srv := testServer(t)
+	model := `{"Class":"` + synth.ScholarlyNS + `Event"}`
+	resp, err := http.Post(srv.URL+"/api/query", "application/json", strings.NewReader(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["sparql"], "SELECT") {
+		t.Fatalf("sparql = %q", out["sparql"])
+	}
+}
+
+// TestQueryStreamAsk: ASK over the streaming route yields a single
+// boolean line.
+func TestQueryStreamAsk(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&timeout=30s&sparql=" + url.QueryEscape(`ASK { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct{ Ask, Boolean bool }
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Ask || !out.Boolean {
+		t.Fatalf("ask line = %+v", out)
+	}
+}

@@ -1,8 +1,9 @@
 // Package server is H-BOLD's HTTP presentation layer: the dataset list,
 // the exploration API (class focus, iterative expansion with coverage
 // feedback), the visualization endpoints rendering the §3.5 layouts as
-// SVG, the visual query builder endpoint, and the §3.4 manual insertion
-// form. It is a thin adapter over internal/core.
+// SVG, the query API (visual query-builder models and raw SPARQL,
+// streamed as NDJSON rows over the request context), and the §3.4
+// manual insertion form. It is a thin adapter over internal/core.
 //
 // Dataset-derived responses (summary, cluster, class detail, layout
 // models, SVG views) are versioned by the dataset's extraction
@@ -14,17 +15,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html/template"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/endpoint"
 	"repro/internal/querybuilder"
 	"repro/internal/schema"
 	"repro/internal/snapcache"
+	"repro/internal/sparql"
 	"repro/internal/viz"
 )
 
@@ -395,25 +400,126 @@ func (s *Server) handleModel(kind string) http.HandlerFunc {
 	}
 }
 
-// handleQuery accepts a visual query model as JSON, generates SPARQL and
-// runs it against the dataset's endpoint if connected; with ?build=only
-// it returns just the generated text.
+// handleQuery is the query API. Three request shapes share the route:
+//
+//   - POST application/json (a visual query model) without a dataset, or
+//     with ?build=only: generate the SPARQL text and return it — the
+//     original query-builder contract.
+//   - POST application/json with ?dataset=: generate the SPARQL and run
+//     it against the dataset's connected endpoint, streaming rows.
+//   - GET or form POST with ?dataset= and ?sparql=: run raw SPARQL
+//     against the dataset's endpoint, streaming rows.
+//
+// Streamed responses are NDJSON (application/x-ndjson): a head line
+// {"vars": [...]}, then one SPARQL-JSON binding object per row, flushed
+// as they arrive, so a client reads row one while the endpoint is still
+// producing. The request context cancels the query when the client goes
+// away; ?timeout=30s adds a server-side deadline. A mid-stream failure
+// appends a final {"error": ...} line — the status code is long gone by
+// then, which is the streaming trade-off.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a query model", http.StatusMethodNotAllowed)
+	ctx := r.Context()
+	var text string
+	switch r.Method {
+	case http.MethodPost:
+		if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+			var q querybuilder.Query
+			if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			built, err := q.Build()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if s.dataset(r) == "" || r.URL.Query().Get("build") == "only" {
+				writeJSON(w, map[string]string{"sparql": built})
+				return
+			}
+			text = built
+		} else {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "bad form", http.StatusBadRequest)
+				return
+			}
+			// r.Form merges body and query string, so both documented
+			// placements of sparql= work
+			text = r.Form.Get("sparql")
+		}
+	case http.MethodGet:
+		text = r.URL.Query().Get("sparql")
+	default:
+		http.Error(w, "GET or POST a query", http.StatusMethodNotAllowed)
 		return
 	}
-	var q querybuilder.Query
-	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+	if text == "" {
+		http.Error(w, "missing sparql query", http.StatusBadRequest)
+		return
+	}
+	url := s.dataset(r)
+	if url == "" {
+		http.Error(w, "missing dataset parameter", http.StatusBadRequest)
+		return
+	}
+	// Syntax errors in the user's query are the user's problem (400),
+	// not the endpoint's (502) — and CONSTRUCT has no row stream to
+	// serve on this route, so reject it up front rather than answering
+	// with a convincingly empty SELECT.
+	if parsed, err := sparql.Parse(text); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	} else if parsed.Form == sparql.FormConstruct {
+		http.Error(w, "CONSTRUCT is not supported on the streaming query API; use SELECT or ASK", http.StatusBadRequest)
+		return
 	}
-	text, err := q.Build()
+	c, err := s.Tool.EndpointClient(url)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	writeJSON(w, map[string]string{"sparql": text})
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout", http.StatusBadRequest)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	rs, err := endpoint.Stream(ctx, c, text)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer rs.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if rs.Ask {
+		enc.Encode(map[string]bool{"ask": true, "boolean": rs.Boolean})
+		return
+	}
+	enc.Encode(map[string][]string{"vars": rs.Vars})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	// flush the first row as soon as it exists (first-row latency), then
+	// in batches — per-row flushing would cost a chunked write per row
+	n := 0
+	for row := range rs.All() {
+		if enc.Encode(row) != nil {
+			return // client went away; ctx unwinds the query
+		}
+		n++
+		if flusher != nil && (n == 1 || n%64 == 0) {
+			flusher.Flush()
+		}
+	}
+	if err := rs.Err(); err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+	}
 }
 
 // handleView serves one §3.5 visualization as rendered SVG. The render

@@ -91,12 +91,7 @@ func (q *Query) execLegacy(st *store.Store) (*Result, error) {
 		return &Result{Graph: q.execConstruct(sols)}, nil
 	}
 
-	needsGroup := len(q.GroupBy) > 0 || len(q.Having) > 0
-	for _, it := range q.Select {
-		if it.Expr != nil && HasAggregate(it.Expr) {
-			needsGroup = true
-		}
-	}
+	needsGroup := q.needsGrouping()
 
 	var vars []string
 	var rows []Binding

@@ -707,6 +707,51 @@ func (e *idExec) materializeProj(rb *rowbuf, vars []string, slots []int) []Bindi
 
 // --- query execution over the compiled plan ---
 
+// aliasProj is a compiled (expr AS ?var) projection element.
+type aliasProj struct {
+	expr Expression
+	vars []varslot
+	slot int
+}
+
+// freeze finalizes the slot table: no variable may be assigned a slot
+// after this.
+func (e *idExec) freeze(comp *compiler) {
+	e.nslots = comp.slots.count()
+	e.names = comp.slots.names
+	e.joinRow = make([]store.ID, e.nslots)
+}
+
+// resolveSelect resolves ORDER BY references and projection aliases,
+// freezes the slot table, and computes the projected variable list and
+// slots — the projection surface shared by the batch (execID) and
+// streaming (Stream) non-grouped SELECT paths, kept in one place so the
+// two cannot drift apart.
+func (q *Query) resolveSelect(comp *compiler, ex *idExec) (aliases []aliasProj, vars []string, projSlots []int, obVars [][]varslot) {
+	for _, c := range q.OrderBy {
+		obVars = append(obVars, comp.exprVars(c.Expr))
+	}
+	for _, it := range q.Select {
+		if it.Expr != nil {
+			aliases = append(aliases, aliasProj{expr: it.Expr, vars: comp.exprVars(it.Expr), slot: comp.slots.slot(it.Var)})
+		}
+	}
+	ex.freeze(comp)
+	if q.Star {
+		vars = q.starVars()
+	} else {
+		vars = make([]string, len(q.Select))
+		for i, it := range q.Select {
+			vars[i] = it.Var
+		}
+	}
+	projSlots = make([]int, len(vars))
+	for i, v := range vars {
+		projSlots[i] = comp.slots.lookup(v)
+	}
+	return aliases, vars, projSlots, obVars
+}
+
 // execID runs the query through the ID-space engine.
 func (q *Query) execID(st *store.Store) (*Result, error) {
 	ex := newIDExec(st)
@@ -716,35 +761,17 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 		return nil, err
 	}
 
-	needsGroup := len(q.GroupBy) > 0 || len(q.Having) > 0
-	for _, it := range q.Select {
-		if it.Expr != nil && HasAggregate(it.Expr) {
-			needsGroup = true
-		}
-	}
+	needsGroup := q.needsGrouping()
 
-	// Resolve slots for projection aliases and ORDER BY references before
-	// the slot count freezes.
-	type alias struct {
-		expr Expression
-		vars []varslot
-		slot int
-	}
-	var aliases []alias
+	var aliases []aliasProj
+	var vars []string
+	var projSlots []int
 	var obVars [][]varslot
 	if q.Form == FormSelect && !needsGroup {
-		for _, c := range q.OrderBy {
-			obVars = append(obVars, comp.exprVars(c.Expr))
-		}
-		for _, it := range q.Select {
-			if it.Expr != nil {
-				aliases = append(aliases, alias{expr: it.Expr, vars: comp.exprVars(it.Expr), slot: comp.slots.slot(it.Var)})
-			}
-		}
+		aliases, vars, projSlots, obVars = q.resolveSelect(comp, ex)
+	} else {
+		ex.freeze(comp)
 	}
-	ex.nslots = comp.slots.count()
-	ex.names = comp.slots.names
-	ex.joinRow = make([]store.ID, ex.nslots)
 
 	// LIMIT pushdown for modifier-free evaluation: nothing downstream can
 	// reorder or drop rows, so the final join may stop early.
@@ -818,19 +845,6 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 		ex.sortRows(rows, q.OrderBy, obVars)
 	}
 
-	var vars []string
-	if q.Star {
-		vars = q.starVars()
-	} else {
-		vars = make([]string, len(q.Select))
-		for i, it := range q.Select {
-			vars[i] = it.Var
-		}
-	}
-	projSlots := make([]int, len(vars))
-	for i, v := range vars {
-		projSlots[i] = comp.slots.lookup(v)
-	}
 	if q.Distinct || q.Reduced {
 		rows = ex.distinctRows(rows, projSlots)
 	}

@@ -1,0 +1,596 @@
+package sparql
+
+// Streaming query execution. A RowSeq is the incremental counterpart of
+// Result: rows are produced one at a time, straight out of the ID-space
+// executor's join pipeline, so a consumer that stops early (LIMIT, a
+// canceled context, an abandoned HTTP connection) costs only the rows it
+// actually pulled and memory stays O(row) instead of O(result).
+//
+// The streaming executor reuses the compiled plan of exec.go but drives
+// it depth-first: instead of extending a whole row buffer pattern by
+// pattern, each row travels the entire pipeline alone, yielding at the
+// end. Solution modifiers that inherently need the full solution set
+// (ORDER BY, GROUP BY/aggregates) and the non-SELECT forms fall back to
+// materialized execution and stream from the finished Result, so every
+// query streams — just not every query streams incrementally.
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// RowSeq is a streaming SELECT result: the head (projected variables) is
+// known up front, rows arrive incrementally. The zero value is an empty
+// stream.
+//
+// Contract: iterate with Next or All; after the stream is exhausted (or
+// abandoned) check Err for the reason it stopped early, and call Close
+// when abandoning a stream before exhaustion so the producer can release
+// its resources (an HTTP body, a store snapshot). Close is idempotent
+// and safe after exhaustion. A RowSeq is single-consumer and not safe
+// for concurrent use.
+type RowSeq struct {
+	// Vars is the projected variable list, in projection order.
+	Vars []string
+	// Ask and Boolean are set for ASK queries; the stream yields no rows.
+	Ask     bool
+	Boolean bool
+	// Graph carries a CONSTRUCT result through the streaming interface
+	// (such queries have no row stream to speak of).
+	Graph *rdf.Graph
+
+	next    func() (Binding, bool)
+	stop    func()
+	onClose func()
+	errp    *error
+	done    bool
+}
+
+// OnClose registers fn to run exactly once when the stream ends — by
+// exhaustion or by Close — so producers can release resources (an HTTP
+// body, a file) even if the consumer abandons the stream before pulling
+// a single row.
+func (rs *RowSeq) OnClose(fn func()) {
+	rs.onClose = fn
+}
+
+// NewRowSeq builds a RowSeq over a push iterator. The producer reports a
+// mid-stream failure by setting *errp before returning; errp may be nil
+// for infallible producers. The producer runs on the consumer's
+// goroutine (via iter.Pull), so no synchronization is needed around errp.
+func NewRowSeq(vars []string, seq iter.Seq[Binding], errp *error) *RowSeq {
+	next, stop := iter.Pull(seq)
+	return &RowSeq{Vars: vars, next: next, stop: stop, errp: errp}
+}
+
+// ResultSeq adapts a materialized Result to the streaming interface.
+func ResultSeq(res *Result) *RowSeq {
+	i := 0
+	return &RowSeq{
+		Vars: res.Vars, Ask: res.Ask, Boolean: res.Boolean, Graph: res.Graph,
+		next: func() (Binding, bool) {
+			if i >= len(res.Rows) {
+				return nil, false
+			}
+			b := res.Rows[i]
+			i++
+			return b, true
+		},
+	}
+}
+
+// resultSeqCtx streams a materialized Result but honors ctx between
+// rows, so even fallback streams cancel within one row boundary.
+func resultSeqCtx(ctx context.Context, res *Result) *RowSeq {
+	var err error
+	i := 0
+	return &RowSeq{
+		Vars: res.Vars, Ask: res.Ask, Boolean: res.Boolean, Graph: res.Graph,
+		errp: &err,
+		next: func() (Binding, bool) {
+			if err = ctx.Err(); err != nil {
+				return nil, false
+			}
+			if i >= len(res.Rows) {
+				return nil, false
+			}
+			b := res.Rows[i]
+			i++
+			return b, true
+		},
+	}
+}
+
+// Next pulls the next row. ok is false once the stream is exhausted,
+// failed (see Err) or closed.
+func (rs *RowSeq) Next() (Binding, bool) {
+	if rs.done || rs.next == nil {
+		return nil, false
+	}
+	b, ok := rs.next()
+	if !ok {
+		rs.done = true
+		if rs.stop != nil {
+			rs.stop()
+		}
+		if rs.onClose != nil {
+			rs.onClose()
+			rs.onClose = nil
+		}
+	}
+	return b, ok
+}
+
+// All returns the remaining rows as a range-over-func iterator. Breaking
+// out of the range leaves the stream open; call Close to release it.
+func (rs *RowSeq) All() iter.Seq[Binding] {
+	return func(yield func(Binding) bool) {
+		for {
+			b, ok := rs.Next()
+			if !ok {
+				return
+			}
+			if !yield(b) {
+				return
+			}
+		}
+	}
+}
+
+// Err reports why the stream stopped: nil after a complete, successful
+// iteration (or when iteration has not finished), the producer's error
+// otherwise. Check it after the loop, like bufio.Scanner.
+func (rs *RowSeq) Err() error {
+	if rs.errp != nil {
+		return *rs.errp
+	}
+	return nil
+}
+
+// Close releases the stream's resources. It is idempotent and safe to
+// call at any point; rows cannot be pulled afterwards.
+func (rs *RowSeq) Close() {
+	if rs.done {
+		return
+	}
+	rs.done = true
+	if rs.stop != nil {
+		rs.stop()
+	}
+	if rs.onClose != nil {
+		rs.onClose()
+		rs.onClose = nil
+	}
+}
+
+// Collect drains the stream into a materialized Result, closing it.
+func (rs *RowSeq) Collect() (*Result, error) {
+	defer rs.Close()
+	if rs.Ask {
+		return &Result{Ask: true, Boolean: rs.Boolean}, rs.Err()
+	}
+	res := &Result{Vars: rs.Vars, Graph: rs.Graph}
+	for {
+		b, ok := rs.Next()
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, b)
+	}
+	if err := rs.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Limit returns a stream that yields at most n rows of rs, then stops
+// cleanly — the streaming counterpart of an endpoint's silent result cap.
+func (rs *RowSeq) Limit(n int) *RowSeq {
+	out := &RowSeq{Vars: rs.Vars, Ask: rs.Ask, Boolean: rs.Boolean, Graph: rs.Graph, errp: rs.errp}
+	left := n
+	out.next = func() (Binding, bool) {
+		if left <= 0 {
+			rs.Close()
+			return nil, false
+		}
+		left--
+		return rs.Next()
+	}
+	out.stop = rs.Close
+	return out
+}
+
+// Tap returns a stream identical to rs that additionally calls fn for
+// every row pulled through it; the endpoint simulation uses it to charge
+// per-row virtual cost at the moment a row crosses the wire.
+func (rs *RowSeq) Tap(fn func(Binding)) *RowSeq {
+	out := &RowSeq{Vars: rs.Vars, Ask: rs.Ask, Boolean: rs.Boolean, Graph: rs.Graph, errp: rs.errp}
+	out.next = func() (Binding, bool) {
+		b, ok := rs.Next()
+		if ok {
+			fn(b)
+		}
+		return b, ok
+	}
+	out.stop = rs.Close
+	return out
+}
+
+// StreamExec parses the query and streams it against st.
+func StreamExec(ctx context.Context, st *store.Store, query string) (*RowSeq, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Stream(ctx, st)
+}
+
+// needsGrouping reports whether the query requires the grouping/
+// aggregation machinery (which needs the full solution set).
+func (q *Query) needsGrouping() bool {
+	if len(q.GroupBy) > 0 || len(q.Having) > 0 {
+		return true
+	}
+	for _, it := range q.Select {
+		if it.Expr != nil && HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stream executes the parsed query incrementally against st. SELECT
+// queries without ORDER BY or aggregation run on the streaming ID-space
+// pipeline and yield each solution as it is produced; everything else
+// (ASK, CONSTRUCT, grouped or ordered queries, plans only the legacy
+// evaluator supports) executes materialized and streams from the
+// finished Result. Either way the returned stream honors ctx between
+// rows, and the rows are identical to Exec's up to order.
+func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q.Form != FormSelect || q.needsGrouping() || len(q.OrderBy) > 0 {
+		res, err := q.Exec(st)
+		if err != nil {
+			return nil, err
+		}
+		return resultSeqCtx(ctx, res), nil
+	}
+
+	ex := newIDExec(st)
+	comp := &compiler{ex: ex, slots: newSlotmap()}
+	root, err := comp.group(q.Where)
+	if err != nil {
+		if errors.Is(err, errUnsupportedPlan) {
+			res, lerr := q.execLegacy(st)
+			if lerr != nil {
+				return nil, lerr
+			}
+			return resultSeqCtx(ctx, res), nil
+		}
+		return nil, err
+	}
+
+	// Resolve the projection surface through the same helper as the
+	// batch path (the stream executor has no ORDER BY, so the resolved
+	// condition vars are unused).
+	aliases, vars, projSlots, _ := q.resolveSelect(comp, ex)
+
+	se := &streamExec{ctx: ctx, ex: ex, orders: map[*cBGP][]int{}, minus: map[*cMinus]*rowbuf{}}
+	var streamErr error
+	aliasTmp := make([]store.ID, len(aliases))
+	var seen map[string]struct{}
+	if q.Distinct || q.Reduced {
+		seen = make(map[string]struct{})
+	}
+	seq := func(yield func(Binding) bool) {
+		emitted, skipped := 0, 0
+		var keyBuf []byte
+		start := make([]store.ID, ex.nslots)
+		se.streamGroup(root, start, 0, func(r []store.ID, _ int) bool {
+			if err := ctx.Err(); err != nil {
+				se.err = err
+				return false
+			}
+			// projection aliases see the pre-alias row and cannot see
+			// each other, matching the batch path
+			if len(aliases) > 0 {
+				for j, a := range aliases {
+					aliasTmp[j] = store.NoID
+					if t, err := evalExpr(a.expr, ex.bindScratch(a.vars, r)); err == nil {
+						aliasTmp[j] = ex.intern(t)
+					}
+				}
+				for j, a := range aliases {
+					if aliasTmp[j] != store.NoID {
+						r[a.slot] = aliasTmp[j]
+					}
+				}
+			}
+			if seen != nil {
+				keyBuf = packIDKey(keyBuf[:0], r, projSlots)
+				if _, dup := seen[string(keyBuf)]; dup {
+					return true
+				}
+				seen[string(keyBuf)] = struct{}{}
+			}
+			if skipped < q.Offset {
+				skipped++
+				return true
+			}
+			if q.Limit >= 0 && emitted >= q.Limit {
+				return false
+			}
+			var b Binding
+			if q.Star {
+				b = make(Binding, ex.nslots)
+				for s, v := range r {
+					if v != store.NoID {
+						b[ex.names[s]] = ex.term(v)
+					}
+				}
+			} else {
+				b = make(Binding, len(vars))
+				for j, s := range projSlots {
+					if s >= 0 && r[s] != store.NoID {
+						b[vars[j]] = ex.term(r[s])
+					}
+				}
+			}
+			if !yield(b) {
+				return false
+			}
+			emitted++
+			return q.Limit < 0 || emitted < q.Limit
+		})
+		if streamErr == nil {
+			streamErr = se.err
+		}
+	}
+	return NewRowSeq(vars, seq, &streamErr), nil
+}
+
+// streamYield receives one pipeline row plus the first scratch level the
+// continuation may use (levels below it belong to live ancestor frames).
+type streamYield func(r []store.ID, free int) bool
+
+// streamExec drives a compiled plan depth-first, one row at a time. Row
+// copies live in a per-level scratch stack: a frame at level d only ever
+// writes levels ≥ d, so a parent's row is stable while its descendants
+// iterate.
+type streamExec struct {
+	ctx    context.Context
+	ex     *idExec
+	levels [][]store.ID
+	orders map[*cBGP][]int
+	minus  map[*cMinus]*rowbuf
+	tick   int
+	err    error
+}
+
+// scratch returns the reusable row buffer for scratch level d.
+func (s *streamExec) scratch(d int) []store.ID {
+	for len(s.levels) <= d {
+		s.levels = append(s.levels, make([]store.ID, s.ex.nslots))
+	}
+	return s.levels[d]
+}
+
+// tickOK samples the context during index scans so a cancellation is
+// noticed even while no row is reaching the consumer.
+func (s *streamExec) tickOK() bool {
+	s.tick++
+	if s.tick&255 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	return true
+}
+
+func (s *streamExec) streamGroup(g *cgroup, row []store.ID, free int, yield streamYield) bool {
+	return s.streamElems(g, 0, row, free, yield)
+}
+
+func (s *streamExec) streamElems(g *cgroup, i int, row []store.ID, free int, yield streamYield) bool {
+	if s.err != nil {
+		return false
+	}
+	if i == len(g.elems) {
+		for _, f := range g.filters {
+			ok, err := evalBool(f.expr, s.ex.bindScratch(f.vars, row))
+			if err != nil || !ok {
+				return true // row filtered out; keep streaming
+			}
+		}
+		return yield(row, free)
+	}
+	return s.streamNode(g.elems[i], row, free, func(r []store.ID, f int) bool {
+		return s.streamElems(g, i+1, r, f, yield)
+	})
+}
+
+func (s *streamExec) streamNode(n cnode, row []store.ID, free int, yield streamYield) bool {
+	switch x := n.(type) {
+	case *cBGP:
+		return s.streamPatterns(x, s.bgpOrder(x, row), 0, row, free, yield)
+	case *cgroup:
+		return s.streamGroup(x, row, free, yield)
+	case *cOptional:
+		matched := false
+		if !s.streamGroup(x.inner, row, free, func(r []store.ID, f int) bool {
+			matched = true
+			return yield(r, f)
+		}) {
+			return false
+		}
+		if !matched {
+			return yield(row, free)
+		}
+		return true
+	case *cUnion:
+		if !s.streamGroup(x.left, row, free, yield) {
+			return false
+		}
+		return s.streamGroup(x.right, row, free, yield)
+	case *cMinus:
+		right := s.minusRight(x)
+		for j := 0; j < right.n; j++ {
+			rr := right.row(j)
+			shared, equal := false, true
+			for sl := range row {
+				if row[sl] != store.NoID && rr[sl] != store.NoID {
+					shared = true
+					if row[sl] != rr[sl] {
+						equal = false
+						break
+					}
+				}
+			}
+			if shared && equal {
+				return true // row removed; keep streaming
+			}
+		}
+		return yield(row, free)
+	case *cBind:
+		nr := s.scratch(free)
+		copy(nr, row)
+		if t, err := evalExpr(x.expr, s.ex.bindScratch(x.vars, row)); err == nil {
+			nr[x.slot] = s.ex.intern(t)
+		}
+		return yield(nr, free+1)
+	case *cValues:
+		for _, vr := range x.rows {
+			nr := s.scratch(free)
+			copy(nr, row)
+			ok := true
+			for j, slot := range x.slots {
+				v := vr[j]
+				if v == store.NoID {
+					continue // UNDEF
+				}
+				if cur := nr[slot]; cur != store.NoID {
+					if cur != v {
+						ok = false
+						break
+					}
+				} else {
+					nr[slot] = v
+				}
+			}
+			if ok && !yield(nr, free+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// bgpOrder computes (once per node) the greedy join order, seeded with
+// the bound slots of the first row to reach the node — the same
+// heuristic the batch executor applies per buffer.
+func (s *streamExec) bgpOrder(b *cBGP, row []store.ID) []int {
+	if o, ok := s.orders[b]; ok {
+		return o
+	}
+	bound := make([]bool, s.ex.nslots)
+	for sl, v := range row {
+		if v != store.NoID {
+			bound[sl] = true
+		}
+	}
+	n := len(b.pats)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		first := len(order) == 0
+		best, bestCard, bestConn := -1, 0, false
+		for i := range b.pats {
+			if used[i] {
+				continue
+			}
+			p := &b.pats[i]
+			conn := first
+			for _, sl := range p.slots {
+				if bound[sl] {
+					conn = true
+					break
+				}
+			}
+			card := s.ex.estimate(p, bound)
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && card < bestCard) {
+				best, bestCard, bestConn = i, card, conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, sl := range b.pats[best].slots {
+			bound[sl] = true
+		}
+	}
+	s.orders[b] = order
+	return order
+}
+
+// streamPatterns is the depth-first index nested-loop join: pattern k
+// extends the row with each of its matches and recurses into k+1, so a
+// complete solution reaches the consumer as soon as the last pattern
+// matches — the early-exit path LIMIT and cancellation ride on.
+func (s *streamExec) streamPatterns(b *cBGP, order []int, k int, row []store.ID, free int, yield streamYield) bool {
+	if k == len(order) {
+		return yield(row, free)
+	}
+	p := &b.pats[order[k]]
+	var pat store.IDPattern
+	sConc := resolvePos(p.s, row, &pat.S)
+	pConc := resolvePos(p.p, row, &pat.P)
+	oConc := resolvePos(p.o, row, &pat.O)
+	if pat.S > s.ex.maxStore || pat.P > s.ex.maxStore || pat.O > s.ex.maxStore {
+		return true // locally-interned term: cannot match the store
+	}
+	if sConc && pConc && oConc {
+		if !s.tickOK() {
+			return false
+		}
+		if s.ex.rd.HasID(pat.S, pat.P, pat.O) {
+			return s.streamPatterns(b, order, k+1, row, free, yield)
+		}
+		return true
+	}
+	cont := true
+	s.ex.rd.MatchIDs(pat, func(ms, mp, mo store.ID) bool {
+		if !s.tickOK() {
+			cont = false
+			return false
+		}
+		nr := s.scratch(free)
+		copy(nr, row)
+		if bindPos(p.s, ms, nr) && bindPos(p.p, mp, nr) && bindPos(p.o, mo, nr) {
+			if !s.streamPatterns(b, order, k+1, nr, free+1, yield) {
+				cont = false
+				return false
+			}
+		}
+		return true
+	})
+	return cont
+}
+
+// minusRight materializes (once per node) the right side of a MINUS with
+// the batch evaluator, mirroring its uncorrelated evaluation semantics.
+func (s *streamExec) minusRight(x *cMinus) *rowbuf {
+	if r, ok := s.minus[x]; ok {
+		return r
+	}
+	empty := &rowbuf{stride: s.ex.nslots, data: make([]store.ID, s.ex.nslots), n: 1}
+	r := s.ex.evalGroup(x.inner, empty, -1)
+	s.minus[x] = r
+	return r
+}

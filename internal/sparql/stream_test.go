@@ -1,0 +1,316 @@
+package sparql_test
+
+// Stream-vs-materialized differential harness plus unit coverage for the
+// RowSeq contract and the incremental JSON results codec. The
+// differential runs the full fixed corpus and randomized synth queries
+// through Query.Stream and Query.Exec and asserts identical results (up
+// to row order, which SPARQL leaves undefined without ORDER BY). CI runs
+// this under -race like the engine differential.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// assertStreamAgreement executes the query materialized and streamed and
+// fails on any observable difference, using the same comparison rules as
+// the engine differential (assertEngineAgreement).
+func assertStreamAgreement(t *testing.T, st *store.Store, query string) {
+	t.Helper()
+	q, err := sparql.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	exRes, exErr := q.Exec(st)
+	rs, stErr := q.Stream(context.Background(), st)
+	var stRes *sparql.Result
+	if stErr == nil {
+		stRes, stErr = rs.Collect()
+	}
+	if (exErr == nil) != (stErr == nil) {
+		t.Fatalf("query %q: errors disagree: exec=%v stream=%v", query, exErr, stErr)
+	}
+	if exErr != nil {
+		return
+	}
+	if exRes.Ask != stRes.Ask || exRes.Boolean != stRes.Boolean {
+		t.Fatalf("query %q: ASK disagreement: exec=%+v stream=%+v", query, exRes, stRes)
+	}
+	if exRes.Ask {
+		return
+	}
+	if exRes.Graph != nil || stRes.Graph != nil {
+		ek, _ := graphKey(exRes.Graph)
+		sk, _ := graphKey(stRes.Graph)
+		if ek != sk {
+			t.Fatalf("query %q: graphs differ\nexec:\n%s\nstream:\n%s", query, ek, sk)
+		}
+		return
+	}
+	if fmt.Sprint(exRes.Vars) != fmt.Sprint(stRes.Vars) {
+		t.Fatalf("query %q: vars differ: %v vs %v", query, exRes.Vars, stRes.Vars)
+	}
+	if (q.Limit >= 0 || q.Offset > 0) && len(q.OrderBy) == 0 {
+		// without a total order each path may keep a different window;
+		// only the count is comparable
+		if len(exRes.Rows) != len(stRes.Rows) {
+			t.Fatalf("query %q: row counts differ: %d vs %d", query, len(exRes.Rows), len(stRes.Rows))
+		}
+		return
+	}
+	if len(q.OrderBy) > 0 {
+		// the streamed fallback materializes through the same executor,
+		// so even the exact sequence must match
+		ek, sk := rowKeysInOrder(exRes), rowKeysInOrder(stRes)
+		if strings.Join(ek, "\n") != strings.Join(sk, "\n") {
+			t.Fatalf("query %q: ordered rows differ\nexec:   %q\nstream: %q", query, ek, sk)
+		}
+		return
+	}
+	ek, sk := rowKeys(exRes), rowKeys(stRes)
+	if len(ek) != len(sk) {
+		t.Fatalf("query %q: row counts differ: %d vs %d", query, len(ek), len(sk))
+	}
+	for i := range ek {
+		if ek[i] != sk[i] {
+			t.Fatalf("query %q: row %d differs:\nexec:   %q\nstream: %q", query, i, ek[i], sk[i])
+		}
+	}
+}
+
+func TestStreamDifferentialFixedCorpus(t *testing.T) {
+	st := diffStore(t)
+	for _, q := range diffCorpus {
+		assertStreamAgreement(t, st, q)
+	}
+}
+
+func TestStreamDifferentialRandomized(t *testing.T) {
+	stores := []*store.Store{
+		synth.Generate(synth.Spec{Name: "sdiffa", Classes: 8, Instances: 300, ObjectProps: 12, DataProps: 6, LinkFactor: 2, CommunitySeeds: 3, Seed: 7}),
+		synth.Generate(synth.Spec{Name: "sdiffb", Classes: 4, Instances: 120, ObjectProps: 6, DataProps: 4, LinkFactor: 1, Seed: 11}),
+	}
+	const perStore = 60
+	for si, st := range stores {
+		gen := newQueryGen(st, int64(500+si))
+		for i := 0; i < perStore; i++ {
+			assertStreamAgreement(t, st, gen.query())
+		}
+	}
+}
+
+func TestStreamCancelMidStream(t *testing.T) {
+	st := synth.Generate(synth.Spec{Name: "cancel", Classes: 6, Instances: 800, ObjectProps: 8, DataProps: 4, LinkFactor: 2, Seed: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rs, err := sparql.StreamExec(ctx, st, `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	got := 0
+	for range rs.All() {
+		got++
+		if got == 3 {
+			cancel()
+		}
+		if got > 4 {
+			t.Fatalf("stream kept producing after cancel: %d rows", got)
+		}
+	}
+	if got < 3 {
+		t.Fatalf("stream ended after %d rows, before the cancel", got)
+	}
+	if err := rs.Err(); err != context.Canceled {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestStreamLimitStopsEarly(t *testing.T) {
+	st := synth.Generate(synth.Spec{Name: "limit", Classes: 6, Instances: 800, ObjectProps: 8, DataProps: 4, LinkFactor: 2, Seed: 4})
+	rs, err := sparql.StreamExec(context.Background(), st, `SELECT ?s WHERE { ?s ?p ?o } LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rs.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("LIMIT 5 streamed %d rows", len(res.Rows))
+	}
+	// LIMIT 0 must yield nothing, not one row
+	rs, err = sparql.StreamExec(context.Background(), st, `SELECT ?s WHERE { ?s ?p ?o } LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := rs.Collect(); err != nil || len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0 = %d rows, err %v", len(res.Rows), err)
+	}
+}
+
+func TestRowSeqLimitAndTap(t *testing.T) {
+	res := &sparql.Result{Vars: []string{"x"}}
+	for i := 0; i < 10; i++ {
+		res.Rows = append(res.Rows, sparql.Binding{})
+	}
+	tapped := 0
+	rs := sparql.ResultSeq(res).Tap(func(sparql.Binding) { tapped++ }).Limit(4)
+	out, err := rs.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 4 || tapped != 4 {
+		t.Fatalf("rows = %d, tapped = %d, want 4/4", len(out.Rows), tapped)
+	}
+}
+
+func TestRowSeqCloseIdempotent(t *testing.T) {
+	closed := 0
+	rs := sparql.ResultSeq(&sparql.Result{Vars: []string{"x"}})
+	rs.OnClose(func() { closed++ })
+	rs.Close()
+	rs.Close()
+	if _, ok := rs.Next(); ok {
+		t.Fatal("Next after Close yielded a row")
+	}
+	if closed != 1 {
+		t.Fatalf("OnClose ran %d times", closed)
+	}
+}
+
+// --- incremental JSON results codec ---
+
+func streamDoc(t *testing.T, query string) string {
+	t.Helper()
+	st := diffStore(t)
+	rs, err := sparql.StreamExec(context.Background(), st, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	jw := sparql.NewJSONRowWriter(&sb, rs.Vars)
+	for row := range rs.All() {
+		if err := jw.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestJSONRowRoundtrip(t *testing.T) {
+	query := `PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> SELECT ?p ?l WHERE { ?p rdfs:label ?l }`
+	doc := streamDoc(t, query)
+
+	// the incremental writer's document must parse with the materialized
+	// decoder...
+	var res sparql.Result
+	if err := res.UnmarshalJSON([]byte(doc)); err != nil {
+		t.Fatalf("materialized decode of streamed doc: %v\n%s", err, doc)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+
+	// ...and with the incremental reader
+	rr, err := sparql.NewJSONRowReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rr.Vars()) != "[p l]" {
+		t.Fatalf("vars = %v", rr.Vars())
+	}
+	var keys []string
+	for {
+		b, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, b["p"].String()+" "+b["l"].String())
+	}
+	if len(keys) != 5 {
+		t.Fatalf("incremental rows = %d, want 5", len(keys))
+	}
+	want := rowKeys(&res)
+	sort.Strings(keys)
+	if len(want) != len(keys) {
+		t.Fatalf("row count mismatch: %d vs %d", len(want), len(keys))
+	}
+}
+
+func TestJSONRowReaderAsk(t *testing.T) {
+	var sb strings.Builder
+	if err := sparql.WriteAskJSON(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sparql.NewJSONRowReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val, ok := rr.Ask(); !ok || !val {
+		t.Fatalf("Ask() = %v, %v", val, ok)
+	}
+	if _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("Next on ASK = %v, want EOF", err)
+	}
+}
+
+func TestJSONRowReaderTruncated(t *testing.T) {
+	doc := streamDoc(t, `PREFIX ex: <http://ex/> SELECT ?p WHERE { ?p a ex:Person }`)
+	// cut the document at various points: every prefix must fail with an
+	// error, never report a clean end with fewer rows
+	for _, cut := range []int{len(doc) - 1, len(doc) - 3, len(doc) / 2} {
+		rr, err := sparql.NewJSONRowReader(strings.NewReader(doc[:cut]))
+		if err != nil {
+			continue // truncated inside the prologue: also an error, fine
+		}
+		for {
+			_, err = rr.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatalf("cut at %d: reader reported a clean end of a truncated document", cut)
+		}
+	}
+}
+
+func TestJSONRowReaderGarbage(t *testing.T) {
+	for _, doc := range []string{
+		`{"head":{"vars":["s"]},"results":{"bindings":[{"s":{"type":"uri","value":"x"}} garbage`,
+		`{"head":{"vars":["s"]},"results":{"bindings":[{"s":{"type":"wat","value":"x"}}]}}`,
+		`not json at all`,
+	} {
+		rr, err := sparql.NewJSONRowReader(strings.NewReader(doc))
+		if err != nil {
+			continue
+		}
+		for {
+			_, err = rr.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatalf("malformed document read cleanly: %s", doc)
+		}
+	}
+}

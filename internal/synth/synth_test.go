@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -183,7 +184,7 @@ func TestBuildRemoteDeadNeverAnswers(t *testing.T) {
 	for _, d := range c {
 		if d.Dead {
 			r := BuildRemote(d, nil, 1)
-			if _, err := r.Query("ASK { ?s ?p ?o }"); err == nil {
+			if _, err := r.Query(context.Background(), "ASK { ?s ?p ?o }"); err == nil {
 				t.Fatalf("dead endpoint %s answered", d.Name)
 			}
 			return
@@ -197,7 +198,7 @@ func TestBuildRemoteIndexableAnswers(t *testing.T) {
 	for _, d := range c {
 		if d.Indexable && d.OutageProb == 0 {
 			r := BuildRemote(d, nil, 1)
-			res, err := r.Query("ASK { ?s ?p ?o }")
+			res, err := r.Query(context.Background(), "ASK { ?s ?p ?o }")
 			if err != nil {
 				t.Fatal(err)
 			}

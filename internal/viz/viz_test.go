@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ import (
 func artifacts(t testing.TB) (*cluster.Schema, *schema.Summary) {
 	t.Helper()
 	st := synth.Scholarly(1)
-	ix, err := extraction.New().Extract(endpoint.LocalClient{Store: st}, "scholarly", time.Now())
+	ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "scholarly", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
