@@ -25,6 +25,7 @@ import (
 	"repro/internal/docstore"
 	"repro/internal/endpoint"
 	"repro/internal/extraction"
+	"repro/internal/federation"
 	"repro/internal/portal"
 	"repro/internal/rdf"
 	"repro/internal/registry"
@@ -848,4 +849,152 @@ func BenchmarkE15_CancelLatency(b *testing.B) {
 		cancel()
 	}
 	b.ReportMetric(cancelNs/float64(b.N), "ns/cancel-to-return")
+}
+
+// --- E16: federated fan-out vs a sequential same-query loop ---
+
+// E16 measures what the federation layer buys over querying N endpoints
+// one after the other. Four protocol servers each hold a quarter of the
+// corpus behind a simulated WAN delay (e16Latency per request — public
+// endpoints answer in tens-to-hundreds of ms before the first byte).
+// The sequential loop streams and drains each endpoint in turn, so its
+// wall time stacks the four latencies plus the four evaluations; the
+// federated fan-out opens all four concurrently, so the latencies
+// overlap and — on multicore hardware — the evaluations do too (this
+// box has 1 CPU, making the measured speedup pure latency-hiding, the
+// floor of what real hardware sees). ns/first-row on the federated path
+// is the merge's first-row latency: one WAN delay plus one row, not a
+// full drain.
+
+var (
+	e16Once    sync.Once
+	e16Servers []*httptest.Server
+	e16Rows    int
+)
+
+const (
+	e16Query   = `SELECT ?s ?c WHERE { ?s a ?c }`
+	e16Latency = 60 * time.Millisecond
+)
+
+// e16Endpoints serves four partitions of the E15 corpus as SPARQL
+// protocol servers with a per-request WAN delay (started once; they live
+// for the whole bench binary, like the E13/E15 fixtures).
+func e16Endpoints() ([]*httptest.Server, int) {
+	e16Once.Do(func() {
+		parts := synth.Partition(e15Store(), 4)
+		for _, p := range parts {
+			e16Rows += p.Count(store.Pattern{P: rdf.NewIRI(rdf.RDFType)})
+			h := &endpoint.Handler{Store: p}
+			e16Servers = append(e16Servers, httptest.NewServer(http.HandlerFunc(
+				func(w http.ResponseWriter, r *http.Request) {
+					time.Sleep(e16Latency) // connection + time-to-first-byte of a public endpoint
+					h.ServeHTTP(w, r)
+				})))
+		}
+	})
+	return e16Servers, e16Rows
+}
+
+func e16Sources(servers []*httptest.Server) []*endpoint.Source {
+	out := make([]*endpoint.Source, len(servers))
+	for i, srv := range servers {
+		out[i] = endpoint.NewSource(fmt.Sprintf("part%d", i), srv.URL, endpoint.NewHTTPClient(srv.URL))
+	}
+	return out
+}
+
+func BenchmarkE16_FederatedFanout(b *testing.B) {
+	servers, total := e16Endpoints()
+	fed := federation.New(e16Sources(servers)...)
+	ctx := context.Background()
+	if _, err := fed.Query(ctx, `ASK { ?s ?p ?o }`); err != nil { // warm transports
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var firstRowNs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rs, err := fed.Stream(ctx, e16Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for range rs.All() {
+			if rows == 0 {
+				firstRowNs += float64(time.Since(start).Nanoseconds())
+			}
+			rows++
+		}
+		if rs.Err() != nil {
+			b.Fatal(rs.Err())
+		}
+		if rows != total {
+			b.Fatalf("merged %d rows, partitions hold %d", rows, total)
+		}
+	}
+	b.ReportMetric(firstRowNs/float64(b.N), "ns/first-row")
+}
+
+func BenchmarkE16_SequentialLoop(b *testing.B) {
+	servers, total := e16Endpoints()
+	clients := make([]*endpoint.HTTPClient, len(servers))
+	ctx := context.Background()
+	for i, srv := range servers {
+		clients[i] = endpoint.NewHTTPClient(srv.URL)
+		if _, err := clients[i].Query(ctx, `ASK { ?s ?p ?o }`); err != nil { // warm transports
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var firstRowNs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rows := 0
+		for _, c := range clients {
+			rs, err := c.Stream(ctx, e16Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for range rs.All() {
+				if rows == 0 {
+					firstRowNs += float64(time.Since(start).Nanoseconds())
+				}
+				rows++
+			}
+			if rs.Err() != nil {
+				b.Fatal(rs.Err())
+			}
+		}
+		if rows != total {
+			b.Fatalf("drained %d rows, partitions hold %d", rows, total)
+		}
+	}
+	b.ReportMetric(firstRowNs/float64(b.N), "ns/first-row")
+}
+
+// BenchmarkE16_FirstRowCancel: open the federated stream, take one row,
+// close — the cost of "peek at a federation", which is what a UI's
+// first-page fetch over ?sources=all&limit=N does.
+func BenchmarkE16_FirstRowCancel(b *testing.B) {
+	servers, _ := e16Endpoints()
+	fed := federation.New(e16Sources(servers)...)
+	ctx := context.Background()
+	if _, err := fed.Query(ctx, `ASK { ?s ?p ?o }`); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := fed.Stream(ctx, e16Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := rs.Next(); !ok {
+			b.Fatal("no first row")
+		}
+		rs.Close()
+	}
 }

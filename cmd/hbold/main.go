@@ -12,12 +12,18 @@
 //	hbold render <file.ttl> <outdir>
 //	hbold crawl
 //	hbold query [-timeout 0] [-stream] <file.ttl> <sparql-query>
+//	hbold query [-timeout 0] [-stream] [-policy all] -endpoint URL [-endpoint URL ...] <sparql-query>
+//	hbold sparqld [-addr :8081] <file.ttl>
 //
 // query runs through the same context-aware client API the rest of the
 // tool uses: -timeout bounds the query with a context deadline, and
 // -stream prints rows as NDJSON the moment the engine produces them
 // (a head line {"vars": [...]}, then one binding object per row)
-// instead of collecting the result into an aligned table.
+// instead of collecting the result into an aligned table. Repeating
+// -endpoint federates the query over several live SPARQL endpoints: all
+// of them evaluate concurrently and the row streams are merged
+// incrementally (internal/federation), with DISTINCT deduplicated on
+// the merge; -policy cost opens the cheapest source first.
 //
 // Both server modes keep a versioned snapshot cache in front of the
 // presentation read path (-cache sets its budget in MiB; 0 disables
@@ -48,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +64,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/docstore"
 	"repro/internal/endpoint"
+	"repro/internal/federation"
 	"repro/internal/portal"
 	"repro/internal/registry"
 	"repro/internal/sched"
@@ -87,9 +95,27 @@ func main() {
 		cmdCrawl()
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "sparqld":
+		cmdSparqld(os.Args[2:])
 	default:
 		usage()
 	}
+}
+
+// cmdSparqld serves a Turtle file as a plain SPARQL protocol endpoint —
+// the counterpart of query's -endpoint flag, so a federation can be
+// assembled entirely from the CLI: run one sparqld per file, then
+// `hbold query -endpoint ... -endpoint ...` across them.
+func cmdSparqld(args []string) {
+	fs := flag.NewFlagSet("sparqld", flag.ExitOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	st := loadTurtle(fs.Arg(0))
+	log.Printf("hbold: serving %s (%d triples) as a SPARQL endpoint on %s", fs.Arg(0), st.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, &endpoint.Handler{Store: st}))
 }
 
 func usage() {
@@ -106,7 +132,12 @@ func usage() {
   hbold query [-timeout 0] [-stream] <file.ttl> <sparql>
                                             run a SPARQL query over a Turtle file
                                             (-timeout: context deadline; -stream: NDJSON
-                                            rows as they arrive instead of a table)`)
+                                            rows as they arrive instead of a table)
+  hbold query -endpoint URL [-endpoint URL ...] [-policy all|prune|cost] <sparql>
+                                            federate the query over several live endpoints,
+                                            merging the row streams incrementally
+  hbold sparqld [-addr :8081] <file.ttl>    serve a Turtle file as a SPARQL protocol endpoint
+                                            (a federation member for query -endpoint)`)
 	os.Exit(2)
 }
 
@@ -336,22 +367,58 @@ func cmdCrawl() {
 	fmt.Printf("endpoints listed after crawl:  %d (+%d)\n", rep.ListedAfter, rep.TotalAdded())
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	stream := fs.Bool("stream", false, "print rows as NDJSON as they arrive instead of a table")
+	policy := fs.String("policy", "all", "federated source selection: all, prune, or cost")
+	var endpoints multiFlag
+	fs.Var(&endpoints, "endpoint", "SPARQL endpoint URL; repeat to federate over several (replaces the <file.ttl> argument)")
 	fs.Parse(args)
 	args = fs.Args()
-	if len(args) != 2 {
-		usage()
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	c := endpoint.LocalClient{Store: loadTurtle(args[0])}
+	var c endpoint.Client
+	switch {
+	case len(endpoints) > 0:
+		if len(args) != 1 {
+			usage()
+		}
+		pol, err := federation.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatalf("hbold: %v", err)
+		}
+		sources := make([]*endpoint.Source, 0, len(endpoints))
+		for _, u := range endpoints {
+			src := endpoint.NewSource(u, u, endpoint.NewHTTPClient(u))
+			src.Cost = endpoint.DefaultCost
+			sources = append(sources, src)
+		}
+		fed := federation.New(sources...)
+		// no local index store to prune by, and the CLI has no per-source
+		// cost data: prune and cost both degenerate to fanning out in
+		// configuration order
+		fed.Policy = pol
+		c = fed
+		args = []string{"", args[0]}
+	case len(args) == 2:
+		c = endpoint.LocalClient{Store: loadTurtle(args[0])}
+	default:
+		usage()
+	}
 	if !*stream {
 		res, err := c.Query(ctx, args[1])
 		if err != nil {
@@ -360,7 +427,7 @@ func cmdQuery(args []string) {
 		fmt.Print(res.Table())
 		return
 	}
-	rs, err := c.Stream(ctx, args[1])
+	rs, err := endpoint.Stream(ctx, c, args[1])
 	if err != nil {
 		log.Fatalf("hbold: %v", err)
 	}

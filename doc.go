@@ -32,6 +32,15 @@
 // builder and the server's streaming /api/query route all consume rows
 // without ever materializing a full result.
 //
+// The federation layer (internal/federation over endpoint.Source) makes
+// N endpoints answer as one: FederatedClient implements the same
+// Client/Streamer surface, fans each query out under per-branch
+// contexts, k-way-merges the row streams with bounded per-branch
+// buffering (DISTINCT deduplicated on the merge, first fatal error
+// canceling every branch), and selects sources before fan-out by the
+// extracted indexes — endpoints whose index provably cannot answer the
+// query's required predicates and classes are never contacted.
+//
 // See README.md for the quickstart and HTTP API, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 // The benchmarks in bench_test.go regenerate every figure and

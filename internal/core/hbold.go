@@ -20,6 +20,7 @@ import (
 	"repro/internal/docstore"
 	"repro/internal/endpoint"
 	"repro/internal/extraction"
+	"repro/internal/federation"
 	"repro/internal/notify"
 	"repro/internal/portal"
 	"repro/internal/registry"
@@ -382,6 +383,54 @@ func (h *HBOLD) CrawlPortals(ctx context.Context, portals []*portal.Portal) (*cr
 // the server's streaming /api/query route and the query builder UI.
 func (h *HBOLD) EndpointClient(url string) (endpoint.Client, error) {
 	return h.client(url)
+}
+
+// Federation builds a federated client over the connected endpoints: one
+// endpoint.Source per URL (every connected endpoint when urls is empty),
+// carrying the dataset's current extraction generation so the
+// federation's index pruning knows which sources have a usable index,
+// with index lookups answered from this instance's document store. The
+// returned client implements endpoint.Client/Streamer like any single
+// endpoint; unavailable members are routed around rather than failing
+// the whole query. Build a fresh federation per request or hold one —
+// it is safe for concurrent queries, but source metadata (generations)
+// is a snapshot of construction time.
+func (h *HBOLD) Federation(urls []string, policy federation.Policy) (*federation.Client, error) {
+	if len(urls) == 0 {
+		h.mu.RLock()
+		for u := range h.clients {
+			urls = append(urls, u)
+		}
+		h.mu.RUnlock()
+		sort.Strings(urls)
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("core: no endpoints connected to federate over")
+	}
+	sources := make([]*endpoint.Source, 0, len(urls))
+	for _, u := range urls {
+		c, err := h.client(u)
+		if err != nil {
+			return nil, err
+		}
+		src := endpoint.NewSource(u, u, c)
+		src.Cost = endpoint.DefaultCost
+		src.Generation = h.Generation(u)
+		if r, ok := c.(*endpoint.Remote); ok {
+			src.Name, src.Cost, src.Up = r.Name, r.Cost, r.Up
+		}
+		// the registry title is the curated display name; it outranks
+		// the simulation-layer name when both exist
+		if e, ok := h.Registry.Get(u); ok && e.Title != "" {
+			src.Name = e.Title
+		}
+		sources = append(sources, src)
+	}
+	f := federation.New(sources...)
+	f.Policy = policy
+	f.SkipUnavailable = true
+	f.Lookup = h.Index
+	return f, nil
 }
 
 // SubmitEndpoint implements the §3.4 manual insertion: the user provides

@@ -1,0 +1,66 @@
+package extraction
+
+// Vocabulary is the queryable surface an extraction index advertises for
+// its endpoint: the instantiated classes and the properties observed on
+// their instances. Federated source selection consults it to prune
+// endpoints that provably cannot answer a query — within the index's
+// semantics, which describe typed instances; an index is the tool's only
+// knowledge of a remote source, so "not advertised" is as provable as
+// absence gets without querying the endpoint itself.
+type Vocabulary struct {
+	// Classes is the set of instantiated class IRIs.
+	Classes map[string]struct{}
+	// Predicates is the set of property IRIs observed on typed instances,
+	// data and object properties pooled (a query pattern does not say
+	// which kind it wants).
+	Predicates map[string]struct{}
+}
+
+// Vocabulary derives the advertised vocabulary from the index.
+func (ix *Index) Vocabulary() Vocabulary {
+	v := Vocabulary{
+		Classes:    make(map[string]struct{}, len(ix.Classes)),
+		Predicates: map[string]struct{}{},
+	}
+	for i := range ix.Classes {
+		ci := &ix.Classes[i]
+		v.Classes[ci.IRI] = struct{}{}
+		for _, p := range ci.DataProperties {
+			v.Predicates[p.IRI] = struct{}{}
+		}
+		for _, p := range ci.ObjectProperties {
+			v.Predicates[p.IRI] = struct{}{}
+		}
+	}
+	return v
+}
+
+// HasClass reports whether the endpoint advertises instances of the class.
+func (v Vocabulary) HasClass(iri string) bool {
+	_, ok := v.Classes[iri]
+	return ok
+}
+
+// HasPredicate reports whether the endpoint advertises the property.
+func (v Vocabulary) HasPredicate(iri string) bool {
+	_, ok := v.Predicates[iri]
+	return ok
+}
+
+// CanAnswer reports whether a query requiring all the given predicates
+// and classes could produce a row at this endpoint: false as soon as one
+// required term is missing from the vocabulary. Empty requirement lists
+// are trivially answerable — an all-variable query matches anything.
+func (v Vocabulary) CanAnswer(predicates, classes []string) bool {
+	for _, p := range predicates {
+		if !v.HasPredicate(p) {
+			return false
+		}
+	}
+	for _, c := range classes {
+		if !v.HasClass(c) {
+			return false
+		}
+	}
+	return true
+}

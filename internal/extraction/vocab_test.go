@@ -1,0 +1,36 @@
+package extraction
+
+import "testing"
+
+func TestVocabularyAdvertisesAndAnswers(t *testing.T) {
+	ix := &Index{Classes: []ClassIndex{
+		{
+			IRI:              "http://ex/Person",
+			DataProperties:   []PropertyCount{{IRI: "http://ex/name", Count: 3}},
+			ObjectProperties: []LinkCount{{IRI: "http://ex/knows", Target: "http://ex/Person", Count: 2}},
+		},
+		{IRI: "http://ex/City"},
+	}}
+	v := ix.Vocabulary()
+	if !v.HasClass("http://ex/Person") || !v.HasClass("http://ex/City") {
+		t.Fatal("classes not advertised")
+	}
+	if !v.HasPredicate("http://ex/name") || !v.HasPredicate("http://ex/knows") {
+		t.Fatal("properties not advertised")
+	}
+	if v.HasClass("http://ex/Country") || v.HasPredicate("http://ex/age") {
+		t.Fatal("vocabulary advertises terms the index lacks")
+	}
+	if !v.CanAnswer(nil, nil) {
+		t.Fatal("empty requirement must be answerable")
+	}
+	if !v.CanAnswer([]string{"http://ex/name"}, []string{"http://ex/Person"}) {
+		t.Fatal("fully-advertised requirement rejected")
+	}
+	if v.CanAnswer([]string{"http://ex/age"}, nil) {
+		t.Fatal("missing predicate accepted")
+	}
+	if v.CanAnswer(nil, []string{"http://ex/Country"}) {
+		t.Fatal("missing class accepted")
+	}
+}

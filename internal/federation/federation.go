@@ -1,0 +1,568 @@
+// Package federation turns N SPARQL endpoints into one: a Client that
+// implements the same endpoint.Client/endpoint.Streamer surface as a
+// single endpoint, fanning each query out to its member sources and
+// merging the resulting row streams incrementally (paper §1: the hybrid
+// landscape is many independent endpoints; the extracted indexes are what
+// lets a tool route queries instead of blind-broadcasting them).
+//
+// The merge is a k-way interleave over bounded per-branch buffers: every
+// member evaluates concurrently under its own context derived from the
+// caller's, rows surface in completion order, and the whole fan-out is
+// torn down — all branch contexts canceled, all goroutines joined — on
+// the first fatal branch error, on consumer Close, or when a merged
+// LIMIT is satisfied. DISTINCT queries deduplicate on the merge with the
+// same binding key the engines use, so a federated DISTINCT equals a
+// single-endpoint DISTINCT over the union corpus row-for-row.
+//
+// Source selection runs before fan-out: under IndexPrune (and
+// CostOrdered, which additionally opens cheap sources first) the client
+// consults each source's extracted index and skips sources that provably
+// cannot contribute — their vocabulary lacks a predicate or class every
+// solution must match (sparql.Footprint). Sources without a usable index
+// deterministically fall back to being queried, so pruning can only
+// remove provable non-contributors, never answers.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/sparql"
+)
+
+// Policy selects how the federation chooses sources for a query.
+type Policy int
+
+const (
+	// All fans out to every available source.
+	All Policy = iota
+	// IndexPrune skips sources whose extracted index proves they cannot
+	// contribute rows to the query.
+	IndexPrune
+	// CostOrdered prunes like IndexPrune and additionally opens sources
+	// in ascending cost-model order, so first rows tend to come from the
+	// cheapest source.
+	CostOrdered
+)
+
+// String returns the policy's wire name (the server's policy= values).
+func (p Policy) String() string {
+	switch p {
+	case IndexPrune:
+		return "prune"
+	case CostOrdered:
+		return "cost"
+	default:
+		return "all"
+	}
+}
+
+// ParsePolicy parses a wire name back into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "all":
+		return All, nil
+	case "prune":
+		return IndexPrune, nil
+	case "cost":
+		return CostOrdered, nil
+	}
+	return All, fmt.Errorf("federation: unknown policy %q (want all, prune, or cost)", s)
+}
+
+// IndexFunc looks up the extracted index describing the endpoint at url.
+// Returning an error (or a nil index) means "no usable index": the source
+// is kept in the fan-out rather than pruned.
+type IndexFunc func(url string) (*extraction.Index, error)
+
+// DefaultBuffer is the per-branch row buffer of the merge: deep enough
+// that a momentarily slow consumer does not stall every producer, small
+// enough that abandoning the stream wastes at most this many rows per
+// branch.
+const DefaultBuffer = 16
+
+// SourceStats is the per-source accounting one federation accumulates.
+type SourceStats struct {
+	// Queries counts fan-outs that actually reached the source.
+	Queries int `json:"queries"`
+	// Rows counts rows the source delivered into the merge.
+	Rows int64 `json:"rows"`
+	// Errors counts fatal branch failures attributed to the source.
+	Errors int `json:"errors"`
+	// Unavailable counts openings skipped because the source was down.
+	Unavailable int `json:"unavailable"`
+	// Pruned counts queries source selection proved the source could not
+	// contribute to.
+	Pruned int `json:"pruned"`
+	// FirstRow is the open-to-first-row latency of the most recent query.
+	FirstRow time.Duration `json:"firstRowNs"`
+	// Elapsed is the cumulative wall time spent streaming from the source.
+	Elapsed time.Duration `json:"elapsedNs"`
+}
+
+// Client federates queries over a set of sources. It implements
+// endpoint.Client and endpoint.Streamer, so anything that can point at
+// one endpoint — core, the HTTP query API, the CLI, extraction — can
+// point at N through it unchanged. The zero value is unusable; construct
+// with New. Fields must be configured before the first query and not
+// mutated afterwards; queries themselves may run concurrently.
+type Client struct {
+	// Policy selects sources per query; default All.
+	Policy Policy
+	// Lookup resolves extracted indexes for IndexPrune/CostOrdered; nil
+	// disables pruning (every available source is queried).
+	Lookup IndexFunc
+	// Buffer is the per-branch row buffer; 0 means DefaultBuffer.
+	Buffer int
+	// SkipUnavailable routes around sources that report
+	// endpoint.ErrUnavailable when the stream opens, instead of failing
+	// the whole federated query. Sources with an Up probe are skipped
+	// before fan-out either way.
+	SkipUnavailable bool
+	// DistinctOnMerge forces merge-level deduplication even for queries
+	// that do not ask for DISTINCT; DISTINCT/REDUCED queries always
+	// deduplicate on the merge.
+	DistinctOnMerge bool
+
+	sources []*endpoint.Source
+
+	mu    sync.Mutex
+	stats map[string]*SourceStats
+	vocab map[string]vocabEntry
+}
+
+type vocabEntry struct {
+	gen uint64
+	v   extraction.Vocabulary
+}
+
+// New builds a federated client over the given sources.
+func New(sources ...*endpoint.Source) *Client {
+	return &Client{
+		sources: sources,
+		stats:   make(map[string]*SourceStats, len(sources)),
+		vocab:   make(map[string]vocabEntry, len(sources)),
+	}
+}
+
+// Sources returns the member sources, in configuration order.
+func (f *Client) Sources() []*endpoint.Source {
+	out := make([]*endpoint.Source, len(f.sources))
+	copy(out, f.sources)
+	return out
+}
+
+// Stats returns a snapshot of the per-source accounting, keyed by source
+// URL. Sources never touched by any query are absent.
+func (f *Client) Stats() map[string]SourceStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]SourceStats, len(f.stats))
+	for url, st := range f.stats {
+		out[url] = *st
+	}
+	return out
+}
+
+func (f *Client) bump(src *endpoint.Source, fn func(*SourceStats)) {
+	f.mu.Lock()
+	st, ok := f.stats[src.URL]
+	if !ok {
+		st = &SourceStats{}
+		f.stats[src.URL] = st
+	}
+	fn(st)
+	f.mu.Unlock()
+}
+
+// vocabulary returns the source's advertised vocabulary at its current
+// generation, memoized so repeated queries do not re-derive it from the
+// index. ok is false when the source has no usable index.
+func (f *Client) vocabulary(src *endpoint.Source) (extraction.Vocabulary, bool) {
+	if f.Lookup == nil || src.Generation == 0 {
+		// never extracted (or no index access): nothing to prune by
+		return extraction.Vocabulary{}, false
+	}
+	f.mu.Lock()
+	if e, hit := f.vocab[src.URL]; hit && e.gen == src.Generation {
+		f.mu.Unlock()
+		return e.v, true
+	}
+	f.mu.Unlock()
+	ix, err := f.Lookup(src.URL)
+	if err != nil || ix == nil {
+		return extraction.Vocabulary{}, false
+	}
+	v := ix.Vocabulary()
+	f.mu.Lock()
+	f.vocab[src.URL] = vocabEntry{gen: src.Generation, v: v}
+	f.mu.Unlock()
+	return v, true
+}
+
+// selectSources applies the availability probe and the selection policy.
+func (f *Client) selectSources(q *sparql.Query) []*endpoint.Source {
+	var preds, classes []string
+	if f.Policy != All {
+		preds, classes = sparql.Footprint(q)
+	}
+	selected := make([]*endpoint.Source, 0, len(f.sources))
+	for _, src := range f.sources {
+		if !src.Available() {
+			f.bump(src, func(st *SourceStats) { st.Unavailable++ })
+			continue
+		}
+		if f.Policy != All && len(preds)+len(classes) > 0 {
+			if v, ok := f.vocabulary(src); ok && !v.CanAnswer(preds, classes) {
+				f.bump(src, func(st *SourceStats) { st.Pruned++ })
+				continue
+			}
+		}
+		selected = append(selected, src)
+	}
+	if f.Policy == CostOrdered {
+		sort.SliceStable(selected, func(i, j int) bool {
+			return selected[i].Cost.BaseLatency < selected[j].Cost.BaseLatency
+		})
+	}
+	return selected
+}
+
+// Query implements endpoint.Client by collecting the merged stream.
+func (f *Client) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	rs, err := f.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+// projVars returns the projected variable names a parsed SELECT promises,
+// used to head an empty merged stream when every source was pruned.
+func projVars(q *sparql.Query) []string {
+	if q.Star {
+		return nil
+	}
+	vars := make([]string, 0, len(q.Select))
+	for _, it := range q.Select {
+		vars = append(vars, it.Var)
+	}
+	return vars
+}
+
+// Stream implements endpoint.Streamer: it selects sources, fans the
+// query out to each under a per-branch context derived from ctx, and
+// returns the merged row stream. Member results arrive interleaved in
+// completion order — ORDER BY is honored within each branch but not
+// re-established across them — and LIMIT is re-applied on the merge (each
+// source also applies it locally, bounding per-branch work). The merged
+// stream fails, with every branch canceled, on the first fatal branch
+// error; it ends cleanly when all branches are exhausted.
+func (f *Client) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	if len(f.sources) == 0 {
+		return nil, errors.New("federation: no sources configured")
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form == sparql.FormConstruct {
+		return nil, errors.New("federation: CONSTRUCT is not supported over a federation; query a single source")
+	}
+	// An aggregate fanned out unchanged would make every member
+	// aggregate its own partition and the merge interleave the partial
+	// results — silently wrong numbers. Refuse until decomposed
+	// execution (ROADMAP) can combine partials correctly.
+	if q.NeedsGrouping() {
+		return nil, errors.New("federation: GROUP BY/aggregate queries are not supported over a federation (members would aggregate their partitions independently); query a single source or aggregate client-side")
+	}
+	selected := f.selectSources(q)
+	if len(selected) == 0 {
+		if down := f.allDown(); down {
+			return nil, fmt.Errorf("federation: all %d sources unavailable: %w", len(f.sources), endpoint.ErrUnavailable)
+		}
+		// every source was provably pruned: the federated answer is empty
+		return sparql.ResultSeq(&sparql.Result{Vars: projVars(q)}), nil
+	}
+	if q.Form == sparql.FormAsk {
+		return f.fanAsk(ctx, query, selected)
+	}
+	return f.fanSelect(ctx, q, query, selected)
+}
+
+func (f *Client) allDown() bool {
+	for _, src := range f.sources {
+		if src.Available() {
+			return false
+		}
+	}
+	return true
+}
+
+// fanAsk answers a federated ASK: true iff any source answers true. All
+// sources are asked concurrently; the first fatal error cancels the rest.
+func (f *Client) fanAsk(ctx context.Context, query string, selected []*endpoint.Source) (*sparql.RowSeq, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		boolean  bool
+		fatal    error
+		answered int
+		wg       sync.WaitGroup
+	)
+	for _, src := range selected {
+		wg.Add(1)
+		go func(src *endpoint.Source) {
+			defer wg.Done()
+			start := time.Now()
+			res, err := src.Client.Query(actx, query)
+			elapsed := time.Since(start)
+			if err != nil {
+				// stats mirror runBranch: teardown is nobody's failure, a
+				// skipped outage is Unavailable, anything else reached the
+				// source and errored
+				switch {
+				case actx.Err() != nil:
+				case f.SkipUnavailable && errors.Is(err, endpoint.ErrUnavailable):
+					f.bump(src, func(st *SourceStats) { st.Unavailable++ })
+				default:
+					f.bump(src, func(st *SourceStats) { st.Queries++; st.Errors++; st.Elapsed += elapsed })
+					mu.Lock()
+					if fatal == nil {
+						fatal = fmt.Errorf("federation: source %s: %w", src.Label(), err)
+						cancel()
+					}
+					mu.Unlock()
+				}
+				return
+			}
+			f.bump(src, func(st *SourceStats) { st.Queries++; st.Elapsed += elapsed })
+			mu.Lock()
+			answered++
+			if res.Ask && res.Boolean {
+				boolean = true
+			}
+			mu.Unlock()
+		}(src)
+	}
+	wg.Wait()
+	if fatal != nil {
+		return nil, fatal
+	}
+	// a dead caller context makes every branch fail with its error and
+	// the fatal guard skip them all — that is a cancellation, not an
+	// outage of the sources
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("federation: all %d selected sources unavailable: %w", len(selected), endpoint.ErrUnavailable)
+	}
+	return sparql.ResultSeq(&sparql.Result{Ask: true, Boolean: boolean}), nil
+}
+
+// branch is one source's leg of a fan-out. The producer goroutine owns
+// every field until it closes ch; the merge loop reads err/skipped only
+// after the close, so no lock is needed.
+type branch struct {
+	src     *endpoint.Source
+	ch      chan sparql.Binding
+	vars    []string
+	opened  bool
+	skipped bool
+	err     error
+}
+
+// fanSelect runs the streaming k-way merge for SELECT queries.
+func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, selected []*endpoint.Source) (*sparql.RowSeq, error) {
+	buffer := f.Buffer
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	mctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	branches := make([]*branch, len(selected))
+	openCh := make(chan *branch, len(selected))
+	for i, src := range selected {
+		b := &branch{src: src, ch: make(chan sparql.Binding, buffer)}
+		branches[i] = b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(b.ch)
+			f.runBranch(mctx, b, query, openCh)
+		}()
+	}
+
+	// Wait for the first branch to open so the stream's head (Vars) is
+	// known; its rows buffer meanwhile, and the remaining branches keep
+	// opening in the background — their failures surface through the
+	// merge loop, not here. A fatal open failure before any branch
+	// opened fails the whole stream immediately, branches canceled.
+	var vars []string
+	varsKnown := false
+	reported := 0
+	var openErr error
+	for reported < len(branches) && !varsKnown && openErr == nil {
+		select {
+		case b := <-openCh:
+			reported++
+			switch {
+			case b.opened:
+				vars, varsKnown = b.vars, true
+			case b.err != nil:
+				openErr = b.err
+			}
+		case <-ctx.Done():
+			openErr = ctx.Err()
+		}
+	}
+	if openErr != nil {
+		cancel()
+		wg.Wait()
+		return nil, openErr
+	}
+	if !varsKnown {
+		// every branch reported without opening: all skipped as unavailable
+		cancel()
+		wg.Wait()
+		return nil, fmt.Errorf("federation: all %d selected sources unavailable: %w", len(selected), endpoint.ErrUnavailable)
+	}
+
+	dedupe := q.Distinct || q.Reduced || f.DistinctOnMerge
+	limit := q.Limit
+	var streamErr error
+	seq := func(yield func(sparql.Binding) bool) {
+		open := make([]*branch, len(branches))
+		copy(open, branches)
+		var seen map[string]struct{}
+		if dedupe {
+			seen = map[string]struct{}{}
+		}
+		// One select case per open branch plus the caller's ctx last;
+		// reflect.Select picks uniformly among ready branches, which is
+		// the k-way interleave. Cases are rebuilt only when a branch ends.
+		var cases []reflect.SelectCase
+		rebuild := func() {
+			cases = cases[:0]
+			for _, b := range open {
+				cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(b.ch)})
+			}
+			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ctx.Done())})
+		}
+		rebuild()
+		emitted := 0
+		for len(open) > 0 {
+			i, v, ok := reflect.Select(cases)
+			if i == len(open) { // caller's ctx died
+				streamErr = ctx.Err()
+				return
+			}
+			if !ok { // branch ended; err/skipped published by the close
+				if b := open[i]; b.err != nil {
+					streamErr = b.err
+					return
+				}
+				open = append(open[:i], open[i+1:]...)
+				rebuild()
+				continue
+			}
+			row := v.Interface().(sparql.Binding)
+			if seen != nil {
+				k := sparql.BindingKey(row, vars)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+			}
+			// cap before yielding, so the merge-level LIMIT holds even
+			// against a member that ignores its local LIMIT (quirky
+			// engines do) and for LIMIT 0
+			if limit >= 0 && emitted >= limit {
+				return
+			}
+			if !yield(row) {
+				return
+			}
+			emitted++
+		}
+	}
+	out := sparql.NewRowSeq(vars, seq, &streamErr)
+	// Exhaustion, a fatal branch error, a satisfied LIMIT, and consumer
+	// Close all funnel through OnClose: cancel every branch context and
+	// join the producers, so no goroutine outlives the stream and the
+	// stats are final when Close returns.
+	out.OnClose(func() {
+		cancel()
+		wg.Wait()
+	})
+	return out, nil
+}
+
+// runBranch opens one source's stream under the merge context and pumps
+// its rows into the branch buffer. It reports on openCh exactly once,
+// after the open attempt, and sets err/skipped before returning — the
+// deferred channel close in the caller publishes them to the merge loop.
+func (f *Client) runBranch(mctx context.Context, b *branch, query string, openCh chan<- *branch) {
+	src := b.src
+	start := time.Now()
+	rs, err := endpoint.Stream(mctx, src.Client, query)
+	if err != nil {
+		switch {
+		case mctx.Err() != nil:
+			// the merge tore down (consumer Close, satisfied LIMIT, a
+			// sibling's fatal error) while this branch was still opening:
+			// not this source's failure, and not worth an error stat
+			b.skipped = true
+		case f.SkipUnavailable && errors.Is(err, endpoint.ErrUnavailable):
+			b.skipped = true
+			f.bump(src, func(st *SourceStats) { st.Unavailable++ })
+		default:
+			b.err = fmt.Errorf("federation: source %s: %w", src.Label(), err)
+			f.bump(src, func(st *SourceStats) { st.Queries++; st.Errors++ })
+		}
+		openCh <- b
+		return
+	}
+	b.opened, b.vars = true, rs.Vars
+	f.bump(src, func(st *SourceStats) { st.Queries++ })
+	openCh <- b
+	defer rs.Close()
+	var rows int64
+	defer func() {
+		f.bump(src, func(st *SourceStats) {
+			st.Rows += rows
+			st.Elapsed += time.Since(start)
+		})
+	}()
+	for {
+		row, ok := rs.Next()
+		if !ok {
+			// a failure caused by the merge's own teardown is not the
+			// source's error
+			if err := rs.Err(); err != nil && mctx.Err() == nil {
+				b.err = fmt.Errorf("federation: source %s: %w", src.Label(), err)
+				f.bump(src, func(st *SourceStats) { st.Errors++ })
+			}
+			return
+		}
+		if rows == 0 {
+			d := time.Since(start)
+			f.bump(src, func(st *SourceStats) { st.FirstRow = d })
+		}
+		select {
+		case b.ch <- row:
+			rows++
+		case <-mctx.Done():
+			return
+		}
+	}
+}

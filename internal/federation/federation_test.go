@@ -1,0 +1,717 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// unionAndParts builds the shared differential fixture: one corpus, one
+// endpoint holding all of it, and k endpoints holding a partition each.
+func unionAndParts(k int) (*store.Store, []*store.Store) {
+	union := synth.Generate(synth.Spec{
+		Name: "fedtest", Classes: 8, Instances: 900, ObjectProps: 10,
+		DataProps: 6, LinkFactor: 2, CommunitySeeds: 2, Seed: 42,
+	})
+	return union, synth.Partition(union, k)
+}
+
+func localSources(parts []*store.Store) []*endpoint.Source {
+	out := make([]*endpoint.Source, len(parts))
+	for i, p := range parts {
+		url := fmt.Sprintf("http://part%d.example.org/sparql", i)
+		out[i] = endpoint.NewSource(fmt.Sprintf("part%d", i), url, endpoint.LocalClient{Store: p})
+	}
+	return out
+}
+
+// sortedKeysOf canonicalizes a result for order-insensitive comparison.
+func sortedKeysOf(t *testing.T, res *sparql.Result) []string {
+	t.Helper()
+	rows := res.SortedRows()
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = sparql.BindingKey(r, res.Vars)
+	}
+	return keys
+}
+
+var differentialQueries = []string{
+	`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`,
+	`SELECT ?s ?c WHERE { ?s a ?c }`,
+	`SELECT DISTINCT ?c WHERE { ?s a ?c }`,
+	`SELECT ?s ?o WHERE { ?s a ?c . ?s ?p ?o }`,
+	`SELECT ?s WHERE { ?s ?p ?o FILTER isLiteral(?o) }`,
+	`SELECT DISTINCT ?p WHERE { ?s ?p ?o }`,
+}
+
+// TestFederatedEqualsUnion is the differential acceptance test: a query
+// federated over the partitions yields exactly the union endpoint's
+// solution multiset (same rows up to order; identical sets under
+// DISTINCT).
+func TestFederatedEqualsUnion(t *testing.T) {
+	union, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	single := endpoint.LocalClient{Store: union}
+	ctx := context.Background()
+	for _, q := range differentialQueries {
+		want, err := single.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: union: %v", q, err)
+		}
+		got, err := fed.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: federated: %v", q, err)
+		}
+		wk, gk := sortedKeysOf(t, want), sortedKeysOf(t, got)
+		if len(wk) != len(gk) {
+			t.Fatalf("%s: federated %d rows, union %d rows", q, len(gk), len(wk))
+		}
+		for i := range wk {
+			if wk[i] != gk[i] {
+				t.Fatalf("%s: row %d differs:\n  fed   %q\n  union %q", q, i, gk[i], wk[i])
+			}
+		}
+	}
+}
+
+// TestFederatedStreamIncremental drains the merged stream row by row and
+// checks rows arrive from more than one branch (the merge interleaves
+// rather than concatenating a materialized fan-out).
+func TestFederatedStreamIncremental(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	rs, err := fed.Stream(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	n := 0
+	for range rs.All() {
+		n++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if n != total {
+		t.Fatalf("merged %d rows, partitions hold %d triples", n, total)
+	}
+	stats := fed.Stats()
+	contributing := 0
+	for url, st := range stats {
+		if st.Rows > 0 {
+			contributing++
+		}
+		if st.Queries != 1 {
+			t.Fatalf("%s: %d queries, want 1", url, st.Queries)
+		}
+		if st.Rows > 0 && (st.FirstRow <= 0 || st.Elapsed <= 0) {
+			t.Fatalf("%s: latency stats not recorded: %+v", url, st)
+		}
+	}
+	if contributing < 2 {
+		t.Fatalf("only %d sources contributed rows; fixture too lopsided", contributing)
+	}
+}
+
+// TestFederatedAsk: ASK is true iff any member holds a matching triple.
+func TestFederatedAsk(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	res, err := fed.Query(context.Background(), `ASK { ?s a ?c }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ask || !res.Boolean {
+		t.Fatalf("ASK = %+v, want true", res)
+	}
+	res, err = fed.Query(context.Background(), `ASK { ?s <http://nowhere.example.org/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Boolean {
+		t.Fatal("ASK over absent predicate answered true")
+	}
+}
+
+// failingClient streams okRows rows of its store, then fails.
+type failingClient struct {
+	st     *store.Store
+	okRows int
+	// closed observes downstream teardown: incremented when the failing
+	// stream's OnClose runs.
+	closed *atomic.Int32
+}
+
+var errInjected = errors.New("injected mid-stream failure")
+
+func (f failingClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	rs, err := f.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+func (f failingClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	inner, err := endpoint.LocalClient{Store: f.st}.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	var streamErr error
+	n := 0
+	seq := func(yield func(sparql.Binding) bool) {
+		defer inner.Close()
+		for row := range inner.All() {
+			if n >= f.okRows {
+				streamErr = errInjected
+				return
+			}
+			n++
+			if !yield(row) {
+				return
+			}
+		}
+		streamErr = inner.Err()
+	}
+	out := sparql.NewRowSeq(inner.Vars, seq, &streamErr)
+	if f.closed != nil {
+		out.OnClose(func() { f.closed.Add(1) })
+	}
+	return out, nil
+}
+
+// slowClient delays each row, so a fast-failing sibling branch dies
+// while this branch still has rows in flight — exercising cancellation
+// of healthy branches.
+type slowClient struct {
+	st    *store.Store
+	delay time.Duration
+}
+
+func (s slowClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	rs, err := s.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+func (s slowClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	inner, err := endpoint.LocalClient{Store: s.st}.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return inner.Tap(func(sparql.Binding) { time.Sleep(s.delay) }), nil
+}
+
+// TestFederatedBranchFailureSurfaces is the mid-stream failure variant:
+// one member fails after a few rows; the merged stream reports the error
+// through Err() and every other branch is canceled and joined.
+func TestFederatedBranchFailureSurfaces(t *testing.T) {
+	_, parts := unionAndParts(3)
+	var closed atomic.Int32
+	sources := []*endpoint.Source{
+		endpoint.NewSource("ok0", "http://ok0/sparql", slowClient{st: parts[0], delay: 100 * time.Microsecond}),
+		endpoint.NewSource("bad", "http://bad/sparql", failingClient{st: parts[1], okRows: 5, closed: &closed}),
+		endpoint.NewSource("ok1", "http://ok1/sparql", slowClient{st: parts[2], delay: 100 * time.Microsecond}),
+	}
+	fed := New(sources...)
+	rs, err := fed.Stream(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range rs.All() {
+		n++
+	}
+	err = rs.Err()
+	if err == nil {
+		t.Fatalf("merged stream ended cleanly after %d rows; want injected failure", n)
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Err() = %v, want wrapped errInjected", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error does not name the failing source: %v", err)
+	}
+	// exhaustion ran OnClose, which joins every branch goroutine; Close
+	// again must be safe and the failing stream must have been torn down
+	rs.Close()
+	if got := closed.Load(); got != 1 {
+		t.Fatalf("failing branch closed %d times, want 1", got)
+	}
+	if st := fed.Stats()["http://bad/sparql"]; st.Errors != 1 {
+		t.Fatalf("failing source stats = %+v, want Errors=1", st)
+	}
+}
+
+// TestFederatedConsumerCloseCancelsBranches: abandoning the merged
+// stream early tears every branch down (Close returns only after all
+// branch goroutines joined — run under -race this also proves no
+// goroutine outlives the stream).
+func TestFederatedConsumerCloseCancelsBranches(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	rs, err := fed.Stream(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := rs.Next(); !ok {
+			t.Fatal("stream ended early")
+		}
+	}
+	rs.Close()
+	rs.Close() // double-Close must be safe
+	if _, ok := rs.Next(); ok {
+		t.Fatal("Next after Close yielded a row")
+	}
+}
+
+// TestFederatedCallerCancel: canceling the caller's context mid-stream
+// surfaces context.Canceled via Err().
+func TestFederatedCallerCancel(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rs, err := fed.Stream(ctx, `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rows := 0
+	for range rs.All() {
+		rows++
+		if rows == 10 {
+			cancel()
+		}
+	}
+	if !errors.Is(rs.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", rs.Err())
+	}
+}
+
+// TestFederatedAskCanceledContext: a dead caller context surfaces as
+// the context's error, not as "all sources unavailable".
+func TestFederatedAskCanceledContext(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := fed.Query(ctx, `ASK { ?s a ?c }`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, endpoint.ErrUnavailable) {
+		t.Fatalf("cancellation misreported as unavailability: %v", err)
+	}
+}
+
+// TestFederatedEarlyCloseRecordsNoSourceErrors: tearing the merge down
+// while branches are still opening must not count as source failures.
+func TestFederatedEarlyCloseRecordsNoSourceErrors(t *testing.T) {
+	_, parts := unionAndParts(3)
+	srcs := localSources(parts[:2])
+	// one branch that opens slowly, so Close races its open
+	srcs = append(srcs, endpoint.NewSource("slowopen", "http://slowopen/sparql",
+		slowOpenClient{st: parts[2], delay: 20 * time.Millisecond}))
+	fed := New(srcs...)
+	rs, err := fed.Stream(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.Next(); !ok {
+		t.Fatal("no first row")
+	}
+	rs.Close() // joins all branches, including the still-opening one
+	for url, st := range fed.Stats() {
+		if st.Errors != 0 {
+			t.Fatalf("%s: Errors = %d after consumer Close, want 0 (%+v)", url, st.Errors, st)
+		}
+	}
+}
+
+// slowOpenClient delays the stream open, not the rows.
+type slowOpenClient struct {
+	st    *store.Store
+	delay time.Duration
+}
+
+func (s slowOpenClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	rs, err := s.Stream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Collect()
+}
+
+func (s slowOpenClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return endpoint.LocalClient{Store: s.st}.Stream(ctx, query)
+}
+
+// countingClient counts how many requests actually reach a source.
+type countingClient struct {
+	inner endpoint.Client
+	calls *atomic.Int32
+}
+
+func (c countingClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	c.calls.Add(1)
+	return c.inner.Query(ctx, query)
+}
+
+func (c countingClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	c.calls.Add(1)
+	return endpoint.Stream(ctx, c.inner, query)
+}
+
+// indexOf runs real extraction against a store so the pruning test uses
+// the same indexes production builds.
+func indexOf(t *testing.T, st *store.Store, url string) *extraction.Index {
+	t.Helper()
+	ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, url, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestIndexPruneSkipsIrrelevantSource is the source-selection acceptance
+// test: under IndexPrune, a source whose extracted index lacks the
+// queried predicate/class receives zero requests, while the same query
+// under All reaches every source.
+func TestIndexPruneSkipsIrrelevantSource(t *testing.T) {
+	union, _ := unionAndParts(1)
+	parts := synth.PartitionByClass(union, 3)
+	indexes := map[string]*extraction.Index{}
+	var calls [3]atomic.Int32
+	sources := make([]*endpoint.Source, 3)
+	for i, p := range parts {
+		url := fmt.Sprintf("http://cls%d.example.org/sparql", i)
+		indexes[url] = indexOf(t, p, url)
+		sources[i] = endpoint.NewSource(fmt.Sprintf("cls%d", i), url,
+			countingClient{inner: endpoint.LocalClient{Store: p}, calls: &calls[i]})
+		sources[i].Generation = 1
+	}
+	fed := New(sources...)
+	fed.Policy = IndexPrune
+	fed.Lookup = func(url string) (*extraction.Index, error) {
+		ix, ok := indexes[url]
+		if !ok {
+			return nil, errors.New("no index")
+		}
+		return ix, nil
+	}
+
+	// pick a class that lives in exactly one partition
+	var homeIdx int
+	var classIRI string
+	for i, p := range parts {
+		for _, cs := range p.Classes() {
+			only := true
+			for j, q := range parts {
+				if j != i && q.CountInstances(cs.Class) > 0 {
+					only = false
+					break
+				}
+			}
+			if only && cs.Instances > 0 {
+				homeIdx, classIRI = i, cs.Class.Value
+				break
+			}
+		}
+		if classIRI != "" {
+			break
+		}
+	}
+	if classIRI == "" {
+		t.Fatal("fixture has no partition-exclusive class")
+	}
+
+	query := fmt.Sprintf(`SELECT ?s WHERE { ?s a <%s> }`, classIRI)
+	res, err := fed.Query(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("pruned federation returned no rows for a present class")
+	}
+	for i := range calls {
+		want := int32(0)
+		if i == homeIdx {
+			want = 1
+		}
+		if got := calls[i].Load(); got != want {
+			t.Fatalf("source %d received %d requests, want %d (home=%d)", i, got, want, homeIdx)
+		}
+	}
+	for i, src := range sources {
+		st := fed.Stats()[src.URL]
+		if i != homeIdx && st.Pruned != 1 {
+			t.Fatalf("source %d stats = %+v, want Pruned=1", i, st)
+		}
+	}
+
+	// same query under All reaches everyone
+	fedAll := New(sources...)
+	if _, err := fedAll.Query(context.Background(), query); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		want := int32(1)
+		if i == homeIdx {
+			want = 2
+		}
+		if got := calls[i].Load(); got != want {
+			t.Fatalf("under All, source %d total calls = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestIndexPruneFallsBackWithoutIndex: a source with no usable index
+// (Generation 0 or failing lookup) is never pruned.
+func TestIndexPruneFallsBackWithoutIndex(t *testing.T) {
+	_, parts := unionAndParts(2)
+	var calls [2]atomic.Int32
+	sources := make([]*endpoint.Source, 2)
+	for i, p := range parts {
+		url := fmt.Sprintf("http://noix%d.example.org/sparql", i)
+		sources[i] = endpoint.NewSource("", url,
+			countingClient{inner: endpoint.LocalClient{Store: p}, calls: &calls[i]})
+		// Generation stays 0: never extracted
+	}
+	fed := New(sources...)
+	fed.Policy = IndexPrune
+	fed.Lookup = func(string) (*extraction.Index, error) { return nil, errors.New("no index") }
+	if _, err := fed.Query(context.Background(), `SELECT ?s WHERE { ?s <http://nowhere.example.org/p> ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if calls[i].Load() != 1 {
+			t.Fatalf("source %d calls = %d, want 1 (fallback to fan-out)", i, calls[i].Load())
+		}
+	}
+}
+
+// TestAllPrunedYieldsEmptyResult: when the indexes prove no source can
+// answer, the federated result is empty, and no source is contacted.
+func TestAllPrunedYieldsEmptyResult(t *testing.T) {
+	_, parts := unionAndParts(2)
+	var calls [2]atomic.Int32
+	indexes := map[string]*extraction.Index{}
+	sources := make([]*endpoint.Source, 2)
+	for i, p := range parts {
+		url := fmt.Sprintf("http://pruned%d.example.org/sparql", i)
+		indexes[url] = indexOf(t, p, url)
+		sources[i] = endpoint.NewSource("", url,
+			countingClient{inner: endpoint.LocalClient{Store: p}, calls: &calls[i]})
+		sources[i].Generation = 1
+	}
+	fed := New(sources...)
+	fed.Policy = IndexPrune
+	fed.Lookup = func(url string) (*extraction.Index, error) { return indexes[url], nil }
+	res, err := fed.Query(context.Background(), `SELECT ?s WHERE { ?s <http://nowhere.example.org/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("got %d rows, want 0", len(res.Rows))
+	}
+	if calls[0].Load()+calls[1].Load() != 0 {
+		t.Fatal("pruned sources were still contacted")
+	}
+}
+
+// TestSkipUnavailableRoutesAround: with SkipUnavailable, a down member
+// is skipped and the rest answer; without it, the down member is fatal.
+func TestSkipUnavailableRoutesAround(t *testing.T) {
+	_, parts := unionAndParts(3)
+	mk := func() []*endpoint.Source {
+		srcs := localSources(parts[:2])
+		down := endpoint.NewRemote("down", "http://down/sparql", parts[2], nil, endpoint.AlwaysDown(), nil)
+		srcs = append(srcs, &endpoint.Source{Name: "down", URL: "http://down/sparql", Client: down})
+		return srcs
+	}
+	fed := New(mk()...)
+	fed.SkipUnavailable = true
+	res, err := fed.Query(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := parts[0].Len() + parts[1].Len(); len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d from the two live members", len(res.Rows), want)
+	}
+	if st := fed.Stats()["http://down/sparql"]; st.Unavailable != 1 {
+		t.Fatalf("down source stats = %+v, want Unavailable=1", st)
+	}
+
+	strict := New(mk()...)
+	rs, err := strict.Stream(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err == nil {
+		// the failure may surface at open or through the stream,
+		// depending on which branch opens first
+		for range rs.All() {
+		}
+		err = rs.Err()
+		rs.Close()
+	}
+	if !errors.Is(err, endpoint.ErrUnavailable) {
+		t.Fatalf("strict federation err = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestSourceUpProbeSkipsBeforeFanout: a Source.Up probe returning false
+// keeps the query from ever reaching the member's client.
+func TestSourceUpProbeSkipsBeforeFanout(t *testing.T) {
+	_, parts := unionAndParts(2)
+	var calls atomic.Int32
+	srcs := localSources(parts[:1])
+	srcs = append(srcs, &endpoint.Source{
+		Name: "probed", URL: "http://probed/sparql",
+		Client: countingClient{inner: endpoint.LocalClient{Store: parts[1]}, calls: &calls},
+		Up:     func() bool { return false },
+	})
+	fed := New(srcs...)
+	if _, err := fed.Query(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("down-probed source received %d requests, want 0", calls.Load())
+	}
+}
+
+// TestFederatedLimitMerged: LIMIT caps the merged stream, not just each
+// branch, and satisfying it tears the fan-out down.
+func TestFederatedLimitMerged(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	res, err := fed.Query(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(res.Rows))
+	}
+}
+
+// TestCostOrderedOpensCheapestFirst: cost ordering is deterministic by
+// the cost model, checked through the selection order.
+func TestCostOrderedOpensCheapestFirst(t *testing.T) {
+	_, parts := unionAndParts(3)
+	srcs := localSources(parts)
+	srcs[0].Cost = endpoint.CostModel{BaseLatency: 300 * time.Millisecond}
+	srcs[1].Cost = endpoint.CostModel{BaseLatency: 10 * time.Millisecond}
+	srcs[2].Cost = endpoint.CostModel{BaseLatency: 100 * time.Millisecond}
+	fed := New(srcs...)
+	fed.Policy = CostOrdered
+	q, err := sparql.Parse(`SELECT ?s WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := fed.selectSources(q)
+	if len(sel) != 3 || sel[0] != srcs[1] || sel[1] != srcs[2] || sel[2] != srcs[0] {
+		names := make([]string, len(sel))
+		for i, s := range sel {
+			names[i] = s.Name
+		}
+		t.Fatalf("selection order = %v, want cheapest first", names)
+	}
+}
+
+// TestFederatedConcurrentQueries: one federation, many concurrent
+// queries — stats and vocab caches are shared state under -race.
+func TestFederatedConcurrentQueries(t *testing.T) {
+	_, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := fed.Query(context.Background(), `SELECT DISTINCT ?c WHERE { ?s a ?c }`)
+			if err != nil || len(res.Rows) == 0 {
+				t.Errorf("concurrent query: %d rows, err %v", len(res.Rows), err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFederationRejectsConstruct and empty-federation errors.
+func TestFederationErrors(t *testing.T) {
+	if _, err := New().Stream(context.Background(), `SELECT ?s WHERE { ?s ?p ?o }`); err == nil {
+		t.Fatal("empty federation did not error")
+	}
+	_, parts := unionAndParts(1)
+	fed := New(localSources(parts)...)
+	if _, err := fed.Stream(context.Background(), `CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`); err == nil {
+		t.Fatal("CONSTRUCT did not error")
+	}
+	if _, err := fed.Stream(context.Background(), `SELECT ?s WHERE {`); err == nil {
+		t.Fatal("syntax error did not surface")
+	}
+	// fanned-out aggregates would present per-partition partials as
+	// answers; the federation must refuse, not mislead
+	for _, q := range []string{
+		`SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }`,
+		`SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c`,
+	} {
+		if _, err := fed.Stream(context.Background(), q); err == nil {
+			t.Fatalf("aggregate query was fanned out: %s", q)
+		}
+	}
+}
+
+// limitIgnoringClient answers every query with the same fixed rows,
+// modeling a quirky engine that ignores the LIMIT it was sent.
+type limitIgnoringClient struct{ rows int }
+
+func (l limitIgnoringClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	res := &sparql.Result{Vars: []string{"s"}}
+	for i := 0; i < l.rows; i++ {
+		res.Rows = append(res.Rows, sparql.Binding{"s": rdf.NewIRI(fmt.Sprintf("http://ex/i%d", i))})
+	}
+	return res, nil
+}
+
+// TestFederatedLimitHoldsAgainstQuirkyMember: the merge-level LIMIT is
+// self-sufficient — a member over-delivering past its local cap cannot
+// push the merged stream past it, including LIMIT 0.
+func TestFederatedLimitHoldsAgainstQuirkyMember(t *testing.T) {
+	fed := New(
+		endpoint.NewSource("quirk0", "http://quirk0/sparql", limitIgnoringClient{rows: 10}),
+		endpoint.NewSource("quirk1", "http://quirk1/sparql", limitIgnoringClient{rows: 10}),
+	)
+	for _, tc := range []struct{ limit, want int }{{0, 0}, {3, 3}, {50, 20}} {
+		res, err := fed.Query(context.Background(), fmt.Sprintf(`SELECT ?s WHERE { ?s ?p ?o } LIMIT %d`, tc.limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != tc.want {
+			t.Fatalf("LIMIT %d: merged %d rows, want %d", tc.limit, len(res.Rows), tc.want)
+		}
+	}
+}

@@ -21,11 +21,13 @@ import (
 	"html/template"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/endpoint"
+	"repro/internal/federation"
 	"repro/internal/querybuilder"
 	"repro/internal/schema"
 	"repro/internal/snapcache"
@@ -402,21 +404,30 @@ func (s *Server) handleModel(kind string) http.HandlerFunc {
 
 // handleQuery is the query API. Three request shapes share the route:
 //
-//   - POST application/json (a visual query model) without a dataset, or
-//     with ?build=only: generate the SPARQL text and return it — the
-//     original query-builder contract.
-//   - POST application/json with ?dataset=: generate the SPARQL and run
-//     it against the dataset's connected endpoint, streaming rows.
-//   - GET or form POST with ?dataset= and ?sparql=: run raw SPARQL
-//     against the dataset's endpoint, streaming rows.
+//   - POST application/json (a visual query model) without a dataset or
+//     sources, or with ?build=only: generate the SPARQL text and return
+//     it — the original query-builder contract.
+//   - POST application/json with ?dataset= or ?sources=: generate the
+//     SPARQL and run it, streaming rows.
+//   - GET or form POST with ?sparql= and ?dataset= or ?sources=: run raw
+//     SPARQL, streaming rows.
+//
+// The target is either one endpoint (?dataset=URL) or a federation:
+// ?sources=URL,URL,... fans the query out to the named endpoints
+// (?sources=all federates over every connected endpoint) and streams the
+// merged rows; ?policy=all|prune|cost selects the federation's source
+// selection (default prune: endpoints whose extracted index proves they
+// cannot contribute are not contacted).
 //
 // Streamed responses are NDJSON (application/x-ndjson): a head line
 // {"vars": [...]}, then one SPARQL-JSON binding object per row, flushed
 // as they arrive, so a client reads row one while the endpoint is still
 // producing. The request context cancels the query when the client goes
-// away; ?timeout=30s adds a server-side deadline. A mid-stream failure
-// appends a final {"error": ...} line — the status code is long gone by
-// then, which is the streaming trade-off.
+// away; ?timeout=30s adds a server-side deadline, and ?limit=N caps the
+// response at N rows — the stream ends cleanly and evaluation is
+// canceled through the same context path as a client hang-up. A
+// mid-stream failure appends a final {"error": ...} line — the status
+// code is long gone by then, which is the streaming trade-off.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var text string
@@ -433,7 +444,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			if s.dataset(r) == "" || r.URL.Query().Get("build") == "only" {
+			if (s.dataset(r) == "" && r.URL.Query().Get("sources") == "") || r.URL.Query().Get("build") == "only" {
 				writeJSON(w, map[string]string{"sparql": built})
 				return
 			}
@@ -457,26 +468,71 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing sparql query", http.StatusBadRequest)
 		return
 	}
-	url := s.dataset(r)
-	if url == "" {
-		http.Error(w, "missing dataset parameter", http.StatusBadRequest)
-		return
-	}
 	// Syntax errors in the user's query are the user's problem (400),
 	// not the endpoint's (502) — and CONSTRUCT has no row stream to
 	// serve on this route, so reject it up front rather than answering
 	// with a convincingly empty SELECT.
-	if parsed, err := sparql.Parse(text); err != nil {
+	parsed, err := sparql.Parse(text)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
-	} else if parsed.Form == sparql.FormConstruct {
+	}
+	if parsed.Form == sparql.FormConstruct {
 		http.Error(w, "CONSTRUCT is not supported on the streaming query API; use SELECT or ASK", http.StatusBadRequest)
 		return
 	}
-	c, err := s.Tool.EndpointClient(url)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
+	var c endpoint.Client
+	if sel := r.URL.Query().Get("sources"); sel != "" {
+		// fanned-out aggregates would interleave per-source partials;
+		// the federation layer refuses them, so answer 400 here instead
+		// of a 502 from the open
+		if parsed.NeedsGrouping() {
+			http.Error(w, "GROUP BY/aggregate queries are not supported over sources=; query a single dataset", http.StatusBadRequest)
+			return
+		}
+		policy, err := federation.ParsePolicy(r.URL.Query().Get("policy"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("policy") == "" {
+			policy = federation.IndexPrune
+		}
+		var urls []string
+		if sel != "all" && sel != "*" {
+			for _, u := range strings.Split(sel, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					urls = append(urls, u)
+				}
+			}
+		}
+		fed, err := s.Tool.Federation(urls, policy)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		c = fed
+	} else {
+		url := s.dataset(r)
+		if url == "" {
+			http.Error(w, "missing dataset or sources parameter", http.StatusBadRequest)
+			return
+		}
+		single, err := s.Tool.EndpointClient(url)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		c = single
+	}
+	limit := -1
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
 	}
 	if t := r.URL.Query().Get("timeout"); t != "" {
 		d, err := time.ParseDuration(t)
@@ -488,12 +544,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	// Every evaluation under this handler hangs off this context: a
+	// satisfied ?limit= cancels it on the way out, stopping in-flight
+	// branches exactly like a client hang-up would.
+	ctx, cancelQuery := context.WithCancel(ctx)
+	defer cancelQuery()
 	rs, err := endpoint.Stream(ctx, c, text)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	defer rs.Close()
+	if limit >= 0 && !rs.Ask {
+		// cap the row stream: Limit closes the underlying stream when the
+		// cap is reached, and the deferred cancel unwinds anything still
+		// evaluating behind it
+		rs = rs.Limit(limit)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)

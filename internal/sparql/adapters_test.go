@@ -1,0 +1,138 @@
+package sparql_test
+
+// RowSeq adapter error paths: a mid-stream producer failure must stay
+// visible through every adapter (Collect, Limit, Tap) and never be
+// laundered into a clean-looking short result, and Close must be safe
+// to call twice at any point in an adapter chain.
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+var errMidStream = errors.New("producer failed mid-stream")
+
+// failingSeq yields ok rows and then fails.
+func failingSeq(ok int) *sparql.RowSeq {
+	var streamErr error
+	seq := func(yield func(sparql.Binding) bool) {
+		for i := 0; i < ok; i++ {
+			if !yield(sparql.Binding{}) {
+				return
+			}
+		}
+		streamErr = errMidStream
+	}
+	return sparql.NewRowSeq([]string{"x"}, iter.Seq[sparql.Binding](seq), &streamErr)
+}
+
+func TestCollectPropagatesMidStreamError(t *testing.T) {
+	res, err := failingSeq(3).Collect()
+	if !errors.Is(err, errMidStream) {
+		t.Fatalf("Collect err = %v, want errMidStream", err)
+	}
+	if res != nil {
+		t.Fatalf("Collect returned a result (%d rows) alongside the error", len(res.Rows))
+	}
+}
+
+func TestLimitPropagatesMidStreamError(t *testing.T) {
+	// failure before the cap: the limited stream must report it
+	rs := failingSeq(3).Limit(10)
+	n := 0
+	for range rs.All() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("rows before failure = %d, want 3", n)
+	}
+	if !errors.Is(rs.Err(), errMidStream) {
+		t.Fatalf("Limit Err = %v, want errMidStream", rs.Err())
+	}
+
+	// cap before the failure: the limited stream ends cleanly
+	rs = failingSeq(3).Limit(2)
+	n = 0
+	for range rs.All() {
+		n++
+	}
+	if n != 2 || rs.Err() != nil {
+		t.Fatalf("rows = %d, err = %v; want 2 rows, nil error", n, rs.Err())
+	}
+}
+
+func TestTapPropagatesMidStreamError(t *testing.T) {
+	tapped := 0
+	rs := failingSeq(3).Tap(func(sparql.Binding) { tapped++ })
+	for range rs.All() {
+	}
+	if tapped != 3 {
+		t.Fatalf("tapped %d rows, want 3", tapped)
+	}
+	if !errors.Is(rs.Err(), errMidStream) {
+		t.Fatalf("Tap Err = %v, want errMidStream", rs.Err())
+	}
+}
+
+func TestAdapterChainPropagatesMidStreamError(t *testing.T) {
+	// the full chain: failure travels Tap → Limit → Collect
+	rs := failingSeq(5).Tap(func(sparql.Binding) {}).Limit(10)
+	if _, err := rs.Collect(); !errors.Is(err, errMidStream) {
+		t.Fatalf("chained Collect err = %v, want errMidStream", err)
+	}
+}
+
+// TestAdapterDoubleCloseSafe: Close twice, at several points in the
+// consumption, for each adapter — no panic, no further rows, and the
+// producer's OnClose fires exactly once.
+func TestAdapterDoubleCloseSafe(t *testing.T) {
+	shapes := map[string]func(*sparql.RowSeq) *sparql.RowSeq{
+		"plain": func(rs *sparql.RowSeq) *sparql.RowSeq { return rs },
+		"limit": func(rs *sparql.RowSeq) *sparql.RowSeq { return rs.Limit(5) },
+		"tap":   func(rs *sparql.RowSeq) *sparql.RowSeq { return rs.Tap(func(sparql.Binding) {}) },
+		"chain": func(rs *sparql.RowSeq) *sparql.RowSeq {
+			return rs.Tap(func(sparql.Binding) {}).Limit(5)
+		},
+	}
+	for name, wrap := range shapes {
+		for _, pulls := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s/pulls=%d", name, pulls), func(t *testing.T) {
+				inner := failingSeq(10)
+				closed := 0
+				inner.OnClose(func() { closed++ })
+				rs := wrap(inner)
+				for i := 0; i < pulls; i++ {
+					if _, ok := rs.Next(); !ok {
+						t.Fatal("stream ended early")
+					}
+				}
+				rs.Close()
+				rs.Close()
+				if _, ok := rs.Next(); ok {
+					t.Fatal("Next after Close yielded a row")
+				}
+				if closed != 1 {
+					t.Fatalf("producer OnClose ran %d times, want 1", closed)
+				}
+			})
+		}
+	}
+}
+
+// TestCollectAfterCloseIsEmpty: a closed stream collects to an empty
+// result, not a hang or panic.
+func TestCollectAfterCloseIsEmpty(t *testing.T) {
+	rs := failingSeq(10)
+	rs.Close()
+	res, err := rs.Collect()
+	if err != nil {
+		t.Fatalf("Collect after Close err = %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("Collect after Close returned %d rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,78 @@
+package sparql
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Query footprint extraction for federated source selection: which
+// concrete predicate and class IRIs must an endpoint hold for the query
+// to possibly produce a row there? Only *required* positions count — a
+// triple pattern inside OPTIONAL, UNION, or MINUS can be absent from a
+// source without silencing it, so those subtrees contribute nothing to
+// the footprint and the pruning stays conservative.
+
+// Footprint returns the concrete predicate IRIs and the concrete class
+// IRIs (objects of rdf:type patterns) that every solution of the query
+// must match. An endpoint whose extracted index advertises neither a
+// required predicate nor a required class provably cannot contribute
+// rows. rdf:type itself is not reported as a predicate — any endpoint
+// with typed instances holds rdf:type triples, so it never discriminates.
+// Both slices are deduplicated and sorted; empty slices mean the query
+// requires nothing provable (e.g. all-variable patterns) and no source
+// can be pruned.
+func Footprint(q *Query) (predicates, classes []string) {
+	if q == nil || q.Where == nil {
+		return nil, nil
+	}
+	preds := map[string]struct{}{}
+	cls := map[string]struct{}{}
+	footprintGroup(q.Where, preds, cls)
+	return sortedKeys(preds), sortedKeys(cls)
+}
+
+func footprintGroup(g *GroupPattern, preds, cls map[string]struct{}) {
+	for _, el := range g.Elems {
+		switch x := el.(type) {
+		case *BGP:
+			for _, tp := range x.Patterns {
+				if tp.P.IsVar() || tp.P.Term.Kind != rdf.KindIRI {
+					continue
+				}
+				p := tp.P.Term.Value
+				if p == rdf.RDFType {
+					if !tp.O.IsVar() && tp.O.Term.Kind == rdf.KindIRI {
+						cls[tp.O.Term.Value] = struct{}{}
+					}
+					continue
+				}
+				preds[p] = struct{}{}
+			}
+		case *GroupPattern:
+			footprintGroup(x, preds, cls)
+			// OPTIONAL / UNION / MINUS / BIND / VALUES: nothing required
+		}
+	}
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BindingKey returns the canonical string key of a binding restricted to
+// vars — equal keys iff the bindings agree on every listed variable. The
+// federated merge uses it for DISTINCT-on-merge deduplication across
+// sources; it is the same key the engines use for DISTINCT, so a merged
+// federated DISTINCT equals a single-endpoint DISTINCT row-for-row.
+func BindingKey(b Binding, vars []string) string {
+	return bindingKey(b, vars)
+}

@@ -1,0 +1,72 @@
+package sparql_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func footprintOf(t *testing.T, query string) (preds, classes []string) {
+	t.Helper()
+	q, err := sparql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sparql.Footprint(q)
+}
+
+func TestFootprintRequiredTerms(t *testing.T) {
+	preds, classes := footprintOf(t,
+		`SELECT ?s WHERE { ?s a <http://ex/C> . ?s <http://ex/p> ?o . ?o <http://ex/q> ?v }`)
+	if want := []string{"http://ex/p", "http://ex/q"}; !reflect.DeepEqual(preds, want) {
+		t.Fatalf("preds = %v, want %v", preds, want)
+	}
+	if want := []string{"http://ex/C"}; !reflect.DeepEqual(classes, want) {
+		t.Fatalf("classes = %v, want %v", classes, want)
+	}
+}
+
+func TestFootprintIgnoresOptionalBranches(t *testing.T) {
+	// OPTIONAL, UNION and MINUS contents are not required: a source
+	// missing those terms can still contribute rows
+	preds, classes := footprintOf(t, `SELECT ?s WHERE {
+		?s <http://ex/req> ?x .
+		OPTIONAL { ?s <http://ex/opt> ?y }
+		{ ?s <http://ex/u1> ?a } UNION { ?s <http://ex/u2> ?b }
+		MINUS { ?s <http://ex/m> ?c }
+	}`)
+	if want := []string{"http://ex/req"}; !reflect.DeepEqual(preds, want) {
+		t.Fatalf("preds = %v, want only the required one (%v)", preds, want)
+	}
+	if classes != nil {
+		t.Fatalf("classes = %v, want none", classes)
+	}
+}
+
+func TestFootprintVariablePredicateRequiresNothing(t *testing.T) {
+	preds, classes := footprintOf(t, `SELECT ?s WHERE { ?s ?p ?o }`)
+	if preds != nil || classes != nil {
+		t.Fatalf("footprint = %v / %v, want empty", preds, classes)
+	}
+	// rdf:type with a variable class pins no class and no predicate
+	preds, classes = footprintOf(t, `SELECT ?s WHERE { ?s a ?c }`)
+	if preds != nil || classes != nil {
+		t.Fatalf("typed footprint = %v / %v, want empty", preds, classes)
+	}
+}
+
+func TestBindingKeyDistinguishesAndMatches(t *testing.T) {
+	iri := rdf.NewIRI
+	b1 := sparql.Binding{"x": iri("http://ex/a"), "y": iri("http://ex/b")}
+	b2 := sparql.Binding{"y": iri("http://ex/b"), "x": iri("http://ex/a")}
+	b3 := sparql.Binding{"x": iri("http://ex/a")}
+	vars := []string{"x", "y"}
+	if sparql.BindingKey(b1, vars) != sparql.BindingKey(b2, vars) {
+		t.Fatal("equal bindings produced different keys")
+	}
+	if sparql.BindingKey(b1, vars) == sparql.BindingKey(b3, vars) {
+		t.Fatal("distinct bindings produced the same key")
+	}
+}

@@ -229,6 +229,13 @@ func StreamExec(ctx context.Context, st *store.Store, query string) (*RowSeq, er
 	return q.Stream(ctx, st)
 }
 
+// NeedsGrouping reports whether the query requires the grouping/
+// aggregation machinery (which needs the full solution set). The
+// federation layer uses it to reject fan-out of aggregates — each
+// member would aggregate its own partition and the merge would
+// interleave partial results, not combine them.
+func (q *Query) NeedsGrouping() bool { return q.needsGrouping() }
+
 // needsGrouping reports whether the query requires the grouping/
 // aggregation machinery (which needs the full solution set).
 func (q *Query) needsGrouping() bool {
