@@ -2,6 +2,7 @@ package extraction
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -110,6 +111,14 @@ func TestStrategiesAgree(t *testing.T) {
 			agg.Instances, agg.NumClasses(), agg.Triples,
 			enum.Instances, enum.NumClasses(), enum.Triples)
 	}
+	if len(agg.Predicates) == 0 || len(agg.Predicates) != len(enum.Predicates) {
+		t.Fatalf("predicate partitions disagree: agg=%d enum=%d", len(agg.Predicates), len(enum.Predicates))
+	}
+	for i := range agg.Predicates {
+		if agg.Predicates[i] != enum.Predicates[i] {
+			t.Fatalf("predicate %d differs: %+v vs %+v", i, agg.Predicates[i], enum.Predicates[i])
+		}
+	}
 	for i := range agg.Classes {
 		a, b := agg.Classes[i], enum.Classes[i]
 		if a.IRI != b.IRI || a.Instances != b.Instances {
@@ -190,6 +199,68 @@ func TestEmptyEndpoint(t *testing.T) {
 	}
 	if ix.NumClasses() != 0 || ix.Instances != 0 || ix.Triples != 0 {
 		t.Fatalf("empty index = %+v", ix)
+	}
+	if ix.Predicates == nil || len(ix.Predicates) != 0 {
+		t.Fatalf("empty corpus predicates = %v, want non-nil empty (complete)", ix.Predicates)
+	}
+}
+
+// TestPredicatesIncludeUntypedSubjects: the full-corpus predicate scan
+// must see predicates that occur only on untyped subjects — the class
+// property lists cannot, and pruning soundness hangs on the difference.
+// Every strategy must agree, and the JSON round trip (the docstore path)
+// must preserve completeness.
+func TestPredicatesIncludeUntypedSubjects(t *testing.T) {
+	g, err := turtle.Parse(`
+@prefix ex: <http://ex/> .
+ex:a1 a ex:Author ; ex:name "A1" .
+ex:orphan1 ex:shadowProp "only on untyped subjects" .
+ex:orphan2 ex:shadowProp "again" .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.FromGraph(g)
+	const shadow = "http://ex/shadowProp"
+	for name, c := range map[string]endpoint.Client{
+		"aggregate": endpoint.LocalClient{Store: st},
+		"mixed":     endpoint.NewRemote("nogroup", "sim://nogroup", st, endpoint.ProfileNoGroupBy, nil, nil),
+		"enumerate": endpoint.NewRemote("noagg", "sim://noagg", st, endpoint.ProfileNoAgg, nil, nil),
+	} {
+		ix, err := New().Extract(context.Background(), c, "x", time.Now())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v := ix.Vocabulary()
+		if !v.PredicatesComplete {
+			t.Fatalf("%s: vocabulary not predicate-complete", name)
+		}
+		if !v.HasPredicate(shadow) {
+			t.Fatalf("%s: untyped-subject predicate missing from %+v", name, ix.Predicates)
+		}
+		if !v.CanAnswer([]string{shadow}, nil) {
+			t.Fatalf("%s: CanAnswer rejects a predicate the corpus holds", name)
+		}
+		var n int
+		for _, p := range ix.Predicates {
+			if p.IRI == shadow {
+				n = p.Count
+			}
+		}
+		if n != 2 {
+			t.Fatalf("%s: shadowProp count = %d, want 2", name, n)
+		}
+		blob, err := json.Marshal(ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Index
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if bv := back.Vocabulary(); !bv.PredicatesComplete || !bv.HasPredicate(shadow) {
+			t.Fatalf("%s: JSON round trip lost predicate completeness", name)
+		}
 	}
 }
 

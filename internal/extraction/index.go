@@ -51,6 +51,15 @@ type Index struct {
 	// Classes lists every instantiated class with its statistics, sorted
 	// by descending instance count.
 	Classes []ClassIndex `json:"classes"`
+	// Predicates lists every distinct predicate in the corpus with its
+	// occurrence count, sorted by IRI — observed over all triples, typed
+	// and untyped subjects alike. The per-class property lists above only
+	// see properties of typed instances, so this full-corpus set is what
+	// makes predicate-based source pruning sound: a predicate absent here
+	// is provably absent from the endpoint. nil means the index predates
+	// the full scan (a legacy document); an empty non-nil slice means the
+	// corpus holds no triples.
+	Predicates []PropertyCount `json:"predicates"`
 }
 
 // NumClasses returns the number of instantiated classes.
@@ -196,6 +205,23 @@ func (e *Extractor) extractMixed(ctx context.Context, c endpoint.Client, ix *Ind
 	}
 	ix.Triples = intResult(res, "n")
 
+	// full-corpus predicates: DISTINCT enumeration + one ungrouped COUNT
+	// each, matching the strategy's capability profile
+	preds, err := e.pageAll(ctx, c,
+		`SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p`, "p", page)
+	if err != nil {
+		return err
+	}
+	ix.Predicates = make([]PropertyCount, 0, len(preds))
+	for _, p := range preds {
+		res, err := c.Query(ctx, fmt.Sprintf(
+			`SELECT (COUNT(?o) AS ?n) WHERE { ?s <%s> ?o }`, p))
+		if err != nil {
+			return err
+		}
+		ix.Predicates = append(ix.Predicates, PropertyCount{IRI: p, Count: intResult(res, "n")})
+	}
+
 	classIRIs, err := e.pageAll(ctx, c,
 		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY ?c`, "c", page)
 	if err != nil {
@@ -265,6 +291,19 @@ func (e *Extractor) extractAggregate(ctx context.Context, c endpoint.Client, ix 
 		return err
 	}
 	ix.Triples = intResult(res, "n")
+
+	// full-corpus predicate partition: unlike the per-class property
+	// queries below, ?s is untyped here, so predicates occurring only on
+	// untyped subjects are captured too
+	ix.Predicates = []PropertyCount{}
+	err = e.streamRows(ctx, c, `SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p`,
+		func(row sparqlBinding) {
+			ix.Predicates = append(ix.Predicates, PropertyCount{IRI: row["p"].Value, Count: bindingInt(row, "n")})
+		})
+	if err != nil {
+		return err
+	}
+	sortPredicates(ix.Predicates)
 
 	err = e.streamRows(ctx, c, `SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n)`,
 		func(row sparqlBinding) {
@@ -336,12 +375,33 @@ func (e *Extractor) extractEnumerate(ctx context.Context, c endpoint.Client, ix 
 	ix.Instances = 0
 	ix.Triples = 0
 
-	// total triples by paging subjects of all statements
-	n, err := e.pageCount(ctx, c, `SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o`, page)
-	if err != nil {
-		return err
+	// total triples and full-corpus predicate counts off one paged scan
+	// of all statements — every triple passes through here, so the
+	// predicate set is complete regardless of subject typing
+	predCounts := map[string]int{}
+	off := 0
+	for {
+		got := 0
+		err := e.streamRows(ctx, c, fmt.Sprintf(
+			`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o LIMIT %d OFFSET %d`, page, off),
+			func(row sparqlBinding) {
+				got++
+				predCounts[row["p"].Value]++
+			})
+		if err != nil {
+			return err
+		}
+		ix.Triples += got
+		if got < page {
+			break
+		}
+		off += page
 	}
-	ix.Triples = n
+	ix.Predicates = make([]PropertyCount, 0, len(predCounts))
+	for p, n := range predCounts {
+		ix.Predicates = append(ix.Predicates, PropertyCount{IRI: p, Count: n})
+	}
+	sortPredicates(ix.Predicates)
 
 	for _, cls := range classIRIs {
 		t := rdf.NewIRI(cls)
@@ -475,6 +535,10 @@ func (e *Extractor) pageCount(ctx context.Context, c endpoint.Client, q string, 
 		}
 		offset += page
 	}
+}
+
+func sortPredicates(ps []PropertyCount) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].IRI < ps[j].IRI })
 }
 
 func sortClasses(cs []ClassIndex) {

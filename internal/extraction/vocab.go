@@ -1,19 +1,31 @@
 package extraction
 
 // Vocabulary is the queryable surface an extraction index advertises for
-// its endpoint: the instantiated classes and the properties observed on
-// their instances. Federated source selection consults it to prune
-// endpoints that provably cannot answer a query — within the index's
-// semantics, which describe typed instances; an index is the tool's only
-// knowledge of a remote source, so "not advertised" is as provable as
-// absence gets without querying the endpoint itself.
+// its endpoint. Federated source selection consults it to prune
+// endpoints that provably cannot answer a query, so its semantics must
+// be exact about what "not advertised" proves:
+//
+//   - Classes come from enumerating `?s a ?c`, which sees every rdf:type
+//     statement — a class absent here is provably uninstantiated at the
+//     endpoint, whatever else the corpus holds.
+//   - Predicates are complete only when the index carries the
+//     full-corpus predicate scan (Index.Predicates). The per-class
+//     property lists see typed instances only; a predicate occurring
+//     solely on untyped subjects never appears there, so a legacy index
+//     without the full scan cannot prove a predicate absent and
+//     CanAnswer must not prune on it.
 type Vocabulary struct {
 	// Classes is the set of instantiated class IRIs.
 	Classes map[string]struct{}
-	// Predicates is the set of property IRIs observed on typed instances,
-	// data and object properties pooled (a query pattern does not say
-	// which kind it wants).
+	// Predicates is the set of advertised property IRIs, data and object
+	// properties pooled (a query pattern does not say which kind it
+	// wants).
 	Predicates map[string]struct{}
+	// PredicatesComplete reports whether Predicates covers every triple
+	// of the corpus, typed or not. False for an index extracted before
+	// the full-corpus predicate scan existed: such a vocabulary can still
+	// prune by class, but a missing predicate proves nothing.
+	PredicatesComplete bool
 }
 
 // Vocabulary derives the advertised vocabulary from the index.
@@ -29,6 +41,12 @@ func (ix *Index) Vocabulary() Vocabulary {
 			v.Predicates[p.IRI] = struct{}{}
 		}
 		for _, p := range ci.ObjectProperties {
+			v.Predicates[p.IRI] = struct{}{}
+		}
+	}
+	if ix.Predicates != nil {
+		v.PredicatesComplete = true
+		for _, p := range ix.Predicates {
 			v.Predicates[p.IRI] = struct{}{}
 		}
 	}
@@ -49,12 +67,18 @@ func (v Vocabulary) HasPredicate(iri string) bool {
 
 // CanAnswer reports whether a query requiring all the given predicates
 // and classes could produce a row at this endpoint: false as soon as one
-// required term is missing from the vocabulary. Empty requirement lists
-// are trivially answerable — an all-variable query matches anything.
+// required term is provably missing. Classes are always provable; a
+// missing predicate counts only when the predicate set is complete —
+// otherwise the predicate might sit on untyped subjects the index never
+// saw, and claiming "cannot answer" would silently drop that source's
+// rows from a federated result. Empty requirement lists are trivially
+// answerable — an all-variable query matches anything.
 func (v Vocabulary) CanAnswer(predicates, classes []string) bool {
-	for _, p := range predicates {
-		if !v.HasPredicate(p) {
-			return false
+	if v.PredicatesComplete {
+		for _, p := range predicates {
+			if !v.HasPredicate(p) {
+				return false
+			}
 		}
 	}
 	for _, c := range classes {

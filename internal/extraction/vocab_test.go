@@ -3,14 +3,23 @@ package extraction
 import "testing"
 
 func TestVocabularyAdvertisesAndAnswers(t *testing.T) {
-	ix := &Index{Classes: []ClassIndex{
-		{
-			IRI:              "http://ex/Person",
-			DataProperties:   []PropertyCount{{IRI: "http://ex/name", Count: 3}},
-			ObjectProperties: []LinkCount{{IRI: "http://ex/knows", Target: "http://ex/Person", Count: 2}},
+	ix := &Index{
+		Classes: []ClassIndex{
+			{
+				IRI:              "http://ex/Person",
+				DataProperties:   []PropertyCount{{IRI: "http://ex/name", Count: 3}},
+				ObjectProperties: []LinkCount{{IRI: "http://ex/knows", Target: "http://ex/Person", Count: 2}},
+			},
+			{IRI: "http://ex/City"},
 		},
-		{IRI: "http://ex/City"},
-	}}
+		// the full-corpus scan also saw a predicate that occurs only on
+		// untyped subjects, which the class lists cannot
+		Predicates: []PropertyCount{
+			{IRI: "http://ex/name", Count: 3},
+			{IRI: "http://ex/knows", Count: 2},
+			{IRI: "http://ex/untypedOnly", Count: 1},
+		},
+	}
 	v := ix.Vocabulary()
 	if !v.HasClass("http://ex/Person") || !v.HasClass("http://ex/City") {
 		t.Fatal("classes not advertised")
@@ -18,8 +27,14 @@ func TestVocabularyAdvertisesAndAnswers(t *testing.T) {
 	if !v.HasPredicate("http://ex/name") || !v.HasPredicate("http://ex/knows") {
 		t.Fatal("properties not advertised")
 	}
+	if !v.HasPredicate("http://ex/untypedOnly") {
+		t.Fatal("full-scan predicate on untyped subjects not advertised")
+	}
 	if v.HasClass("http://ex/Country") || v.HasPredicate("http://ex/age") {
 		t.Fatal("vocabulary advertises terms the index lacks")
+	}
+	if !v.PredicatesComplete {
+		t.Fatal("index with full predicate scan not marked complete")
 	}
 	if !v.CanAnswer(nil, nil) {
 		t.Fatal("empty requirement must be answerable")
@@ -27,10 +42,36 @@ func TestVocabularyAdvertisesAndAnswers(t *testing.T) {
 	if !v.CanAnswer([]string{"http://ex/name"}, []string{"http://ex/Person"}) {
 		t.Fatal("fully-advertised requirement rejected")
 	}
+	if !v.CanAnswer([]string{"http://ex/untypedOnly"}, nil) {
+		t.Fatal("untyped-subject predicate rejected despite full scan")
+	}
 	if v.CanAnswer([]string{"http://ex/age"}, nil) {
-		t.Fatal("missing predicate accepted")
+		t.Fatal("predicate provably missing from the complete set accepted")
 	}
 	if v.CanAnswer(nil, []string{"http://ex/Country"}) {
 		t.Fatal("missing class accepted")
+	}
+}
+
+// TestVocabularyLegacyIndexNeverPrunesPredicates: an index without the
+// full-corpus predicate scan (Predicates nil — e.g. a persisted document
+// from before the scan existed) only describes typed instances. A
+// predicate missing from it may still occur on untyped subjects, so
+// CanAnswer must not prune on predicates — only classes, whose
+// enumeration is complete either way, stay provable.
+func TestVocabularyLegacyIndexNeverPrunesPredicates(t *testing.T) {
+	ix := &Index{Classes: []ClassIndex{{
+		IRI:            "http://ex/Person",
+		DataProperties: []PropertyCount{{IRI: "http://ex/name", Count: 3}},
+	}}}
+	v := ix.Vocabulary()
+	if v.PredicatesComplete {
+		t.Fatal("legacy index marked predicate-complete")
+	}
+	if !v.CanAnswer([]string{"http://ex/age"}, nil) {
+		t.Fatal("legacy vocabulary pruned on a predicate it cannot disprove")
+	}
+	if v.CanAnswer(nil, []string{"http://ex/Country"}) {
+		t.Fatal("class pruning must stay sound for legacy indexes")
 	}
 }

@@ -8,8 +8,10 @@ import (
 
 // VoID renders the extraction index as a VoID dataset description — the
 // vocabulary LODeX/H-BOLD's lineage uses to expose dataset statistics.
-// The graph contains the dataset node with triple/entity counts and one
-// void:classPartition per instantiated class.
+// The graph contains the dataset node with triple/entity counts, one
+// void:classPartition per instantiated class, and (when the index
+// carries the full-corpus predicate scan) one void:propertyPartition per
+// distinct predicate.
 func VoID(ix *Index) *rdf.Graph {
 	g := rdf.NewGraph()
 	ds := rdf.NewIRI(ix.Endpoint + "#dataset")
@@ -27,6 +29,15 @@ func VoID(ix *Index) *rdf.Graph {
 		g.AddSPO(part, rdf.NewIRI(rdf.VoIDEntities), rdf.NewInteger(int64(c.Instances)))
 		props := int64(len(c.DataProperties) + len(c.ObjectProperties))
 		g.AddSPO(part, rdf.NewIRI(rdf.VOIDNS+"properties"), rdf.NewInteger(props))
+	}
+	if ix.Predicates != nil {
+		g.AddSPO(ds, rdf.NewIRI(rdf.VOIDNS+"properties"), rdf.NewInteger(int64(len(ix.Predicates))))
+		for i, p := range ix.Predicates {
+			part := rdf.NewIRI(fmt.Sprintf("%s#propertyPartition-%d", ix.Endpoint, i))
+			g.AddSPO(ds, rdf.NewIRI(rdf.VOIDNS+"propertyPartition"), part)
+			g.AddSPO(part, rdf.NewIRI(rdf.VOIDNS+"property"), rdf.NewIRI(p.IRI))
+			g.AddSPO(part, rdf.NewIRI(rdf.VoIDTriples), rdf.NewInteger(int64(p.Count)))
+		}
 	}
 	return g
 }

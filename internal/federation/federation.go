@@ -12,18 +12,33 @@
 // the first fatal branch error, on consumer Close, or when a merged
 // LIMIT is satisfied. DISTINCT queries deduplicate on the merge with the
 // same binding key the engines use, so a federated DISTINCT equals a
-// single-endpoint DISTINCT over the union corpus row-for-row.
+// single-endpoint DISTINCT over the union corpus row-for-row. ORDER BY
+// queries switch the merge to an ordered k-way heap merge: each branch
+// is locally sorted by the member engine, so popping the least head row
+// re-establishes the global order — and makes ORDER BY + LIMIT return
+// the true global top-N rather than the first N rows to complete.
+// Queries fan-out cannot answer faithfully are refused up front:
+// GROUP BY/aggregates (members would aggregate their partitions
+// independently), OFFSET (each member would skip rows independently),
+// and ORDER BY on variables the SELECT list drops (the merge orders by
+// projected rows only).
 //
 // Source selection runs before fan-out: under IndexPrune (and
 // CostOrdered, which additionally opens cheap sources first) the client
 // consults each source's extracted index and skips sources that provably
 // cannot contribute — their vocabulary lacks a predicate or class every
-// solution must match (sparql.Footprint). Sources without a usable index
-// deterministically fall back to being queried, so pruning can only
-// remove provable non-contributors, never answers.
+// solution must match (sparql.Footprint). A missing class is always
+// provable (class enumeration sees every rdf:type statement); a missing
+// predicate is provable only when the index carries the full-corpus
+// predicate scan, so vocabularies without it (extraction.Vocabulary's
+// PredicatesComplete is false) never prune on predicates — a source
+// whose only matches sit on untyped subjects keeps its rows. Sources
+// without a usable index deterministically fall back to being queried,
+// so pruning can only remove provable non-contributors, never answers.
 package federation
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -259,12 +274,15 @@ func projVars(q *sparql.Query) []string {
 
 // Stream implements endpoint.Streamer: it selects sources, fans the
 // query out to each under a per-branch context derived from ctx, and
-// returns the merged row stream. Member results arrive interleaved in
-// completion order — ORDER BY is honored within each branch but not
-// re-established across them — and LIMIT is re-applied on the merge (each
-// source also applies it locally, bounding per-branch work). The merged
-// stream fails, with every branch canceled, on the first fatal branch
-// error; it ends cleanly when all branches are exhausted.
+// returns the merged row stream. Without ORDER BY, member results arrive
+// interleaved in completion order; with ORDER BY, the merge is an
+// ordered k-way heap merge over the locally-sorted branches, so the
+// merged stream preserves the global order and ORDER BY + LIMIT yields
+// the same top-N a single endpoint over the union corpus would. LIMIT is
+// re-applied on the merge either way (each source also applies it
+// locally, bounding per-branch work). The merged stream fails, with
+// every branch canceled, on the first fatal branch error; it ends
+// cleanly when all branches are exhausted.
 func (f *Client) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
 	if len(f.sources) == 0 {
 		return nil, errors.New("federation: no sources configured")
@@ -282,6 +300,27 @@ func (f *Client) Stream(ctx context.Context, query string) (*sparql.RowSeq, erro
 	// execution (ROADMAP) can combine partials correctly.
 	if q.NeedsGrouping() {
 		return nil, errors.New("federation: GROUP BY/aggregate queries are not supported over a federation (members would aggregate their partitions independently); query a single source or aggregate client-side")
+	}
+	// OFFSET fanned out unchanged makes every member skip its own first
+	// N rows, so the merged result drops up to (k-1)*N answers a union
+	// endpoint would return. Refuse like aggregates rather than mislead.
+	if q.Offset > 0 {
+		return nil, errors.New("federation: OFFSET is not supported over a federation (each member would skip rows independently); query a single source or skip client-side")
+	}
+	// The ordered merge compares *projected* rows, so every ORDER BY
+	// variable must survive projection — a sort key outside the SELECT
+	// list is unbound on every merged row and the merge would silently
+	// degrade to branch concatenation (wrong row set under LIMIT).
+	if len(q.OrderBy) > 0 && !q.Star {
+		proj := map[string]bool{}
+		for _, v := range projVars(q) {
+			proj[v] = true
+		}
+		for _, v := range sparql.OrderByVars(q.OrderBy) {
+			if !proj[v] {
+				return nil, fmt.Errorf("federation: ORDER BY ?%s is not supported over a federation unless ?%s is projected (the merge orders by projected rows only); add it to the SELECT list or query a single source", v, v)
+			}
+		}
 	}
 	selected := f.selectSources(q)
 	if len(selected) == 0 {
@@ -402,22 +441,32 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 		}()
 	}
 
-	// Wait for the first branch to open so the stream's head (Vars) is
-	// known; its rows buffer meanwhile, and the remaining branches keep
-	// opening in the background — their failures surface through the
-	// merge loop, not here. A fatal open failure before any branch
-	// opened fails the whole stream immediately, branches canceled.
+	// The stream's head (Vars) comes from the parsed query when the
+	// SELECT list is explicit — deterministic no matter which branch
+	// opens first; only SELECT * falls back to the first branch to open,
+	// there being nothing else to derive it from. Either way, wait for
+	// one branch to open before returning: a fatal open failure before
+	// any branch opened fails the whole stream immediately (branches
+	// canceled), and every branch skipping as unavailable must surface
+	// as ErrUnavailable, not as an empty success.
+	explicit := !q.Star
 	var vars []string
-	varsKnown := false
+	if explicit {
+		vars = projVars(q)
+	}
+	opened := false
 	reported := 0
 	var openErr error
-	for reported < len(branches) && !varsKnown && openErr == nil {
+	for reported < len(branches) && !opened && openErr == nil {
 		select {
 		case b := <-openCh:
 			reported++
 			switch {
 			case b.opened:
-				vars, varsKnown = b.vars, true
+				opened = true
+				if !explicit {
+					vars = b.vars
+				}
 			case b.err != nil:
 				openErr = b.err
 			}
@@ -430,7 +479,7 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 		wg.Wait()
 		return nil, openErr
 	}
-	if !varsKnown {
+	if !opened {
 		// every branch reported without opening: all skipped as unavailable
 		cancel()
 		wg.Wait()
@@ -438,18 +487,46 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 	}
 
 	dedupe := q.Distinct || q.Reduced || f.DistinctOnMerge
-	limit := q.Limit
+	// Dedup keys are positional over the projected vars when explicit;
+	// SELECT * keys on all bound (name, value) pairs of each row —
+	// deterministic even when heterogeneous sources head their rows
+	// differently.
+	var keyVars []string
+	if explicit {
+		keyVars = vars
+	}
 	var streamErr error
-	seq := func(yield func(sparql.Binding) bool) {
+	var seq func(func(sparql.Binding) bool)
+	if len(q.OrderBy) > 0 {
+		seq = mergeOrdered(ctx, q, branches, dedupe, keyVars, &streamErr)
+	} else {
+		seq = mergeInterleave(ctx, q, branches, dedupe, keyVars, &streamErr)
+	}
+	out := sparql.NewRowSeq(vars, seq, &streamErr)
+	// Exhaustion, a fatal branch error, a satisfied LIMIT, and consumer
+	// Close all funnel through OnClose: cancel every branch context and
+	// join the producers, so no goroutine outlives the stream and the
+	// stats are final when Close returns.
+	out.OnClose(func() {
+		cancel()
+		wg.Wait()
+	})
+	return out, nil
+}
+
+// mergeInterleave is the unordered merge: one select case per open
+// branch plus the caller's ctx last; reflect.Select picks uniformly
+// among ready branches, which is the k-way interleave. Cases are rebuilt
+// only when a branch ends.
+func mergeInterleave(ctx context.Context, q *sparql.Query, branches []*branch, dedupe bool, keyVars []string, streamErr *error) func(func(sparql.Binding) bool) {
+	limit := q.Limit
+	return func(yield func(sparql.Binding) bool) {
 		open := make([]*branch, len(branches))
 		copy(open, branches)
 		var seen map[string]struct{}
 		if dedupe {
 			seen = map[string]struct{}{}
 		}
-		// One select case per open branch plus the caller's ctx last;
-		// reflect.Select picks uniformly among ready branches, which is
-		// the k-way interleave. Cases are rebuilt only when a branch ends.
 		var cases []reflect.SelectCase
 		rebuild := func() {
 			cases = cases[:0]
@@ -463,12 +540,12 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 		for len(open) > 0 {
 			i, v, ok := reflect.Select(cases)
 			if i == len(open) { // caller's ctx died
-				streamErr = ctx.Err()
+				*streamErr = ctx.Err()
 				return
 			}
 			if !ok { // branch ended; err/skipped published by the close
 				if b := open[i]; b.err != nil {
-					streamErr = b.err
+					*streamErr = b.err
 					return
 				}
 				open = append(open[:i], open[i+1:]...)
@@ -477,7 +554,7 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 			}
 			row := v.Interface().(sparql.Binding)
 			if seen != nil {
-				k := sparql.BindingKey(row, vars)
+				k := sparql.BindingKey(row, keyVars)
 				if _, dup := seen[k]; dup {
 					continue
 				}
@@ -495,16 +572,128 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 			emitted++
 		}
 	}
-	out := sparql.NewRowSeq(vars, seq, &streamErr)
-	// Exhaustion, a fatal branch error, a satisfied LIMIT, and consumer
-	// Close all funnel through OnClose: cancel every branch context and
-	// join the producers, so no goroutine outlives the stream and the
-	// stats are final when Close returns.
-	out.OnClose(func() {
-		cancel()
-		wg.Wait()
-	})
-	return out, nil
+}
+
+// orderedHead is one branch's current least row in the ordered merge.
+type orderedHead struct {
+	b   *branch
+	idx int // branch position, the deterministic tie-break
+	row sparql.Binding
+	key sparql.OrderKey
+}
+
+// headHeap is the ordered merge's min-heap: least ORDER BY key first,
+// ties broken by branch index so the merged order is deterministic given
+// the branch contents.
+type headHeap struct {
+	conds []sparql.OrderCond
+	hs    []orderedHead
+}
+
+func (h *headHeap) Len() int { return len(h.hs) }
+func (h *headHeap) Less(i, j int) bool {
+	if c := sparql.CompareOrderKeys(h.conds, h.hs[i].key, h.hs[j].key); c != 0 {
+		return c < 0
+	}
+	return h.hs[i].idx < h.hs[j].idx
+}
+func (h *headHeap) Swap(i, j int) { h.hs[i], h.hs[j] = h.hs[j], h.hs[i] }
+func (h *headHeap) Push(x any)    { h.hs = append(h.hs, x.(orderedHead)) }
+func (h *headHeap) Pop() any {
+	last := len(h.hs) - 1
+	x := h.hs[last]
+	h.hs[last] = orderedHead{}
+	h.hs = h.hs[:last]
+	return x
+}
+
+// mergeOrdered is the ordered k-way merge for ORDER BY queries. Each
+// member establishes the order locally (the engines materialize and sort
+// for ORDER BY), so the branch channels deliver sorted runs; a min-heap
+// over the branch heads yields the global order — and, with LIMIT, the
+// true global top-N, where completion-order interleaving would return
+// whichever N rows arrived first. The price is head-of-line fill: no row
+// can surface before every branch has delivered its first row or ended,
+// since any branch might still hold the least one.
+func mergeOrdered(ctx context.Context, q *sparql.Query, branches []*branch, dedupe bool, keyVars []string, streamErr *error) func(func(sparql.Binding) bool) {
+	conds := q.OrderBy
+	limit := q.Limit
+	return func(yield func(sparql.Binding) bool) {
+		// pull blocks for the branch's next row. ok is false when the
+		// branch ended (its err, if fatal, goes to streamErr) or the
+		// caller's ctx died; fatal==true means stop the whole merge.
+		pull := func(b *branch) (row sparql.Binding, ok, fatal bool) {
+			select {
+			case row, chOk := <-b.ch:
+				if !chOk {
+					if b.err != nil {
+						*streamErr = b.err
+						return nil, false, true
+					}
+					return nil, false, false
+				}
+				return row, true, false
+			case <-ctx.Done():
+				*streamErr = ctx.Err()
+				return nil, false, true
+			}
+		}
+		h := &headHeap{conds: conds, hs: make([]orderedHead, 0, len(branches))}
+		for i, b := range branches {
+			row, ok, fatal := pull(b)
+			if fatal {
+				return
+			}
+			if !ok { // empty or skipped branch
+				continue
+			}
+			heap.Push(h, orderedHead{b: b, idx: i, row: row, key: sparql.OrderKeyOf(conds, row)})
+		}
+		var seen map[string]struct{}
+		if dedupe {
+			seen = map[string]struct{}{}
+		}
+		emitted := 0
+		for h.Len() > 0 {
+			hd := h.hs[0]
+			// yield the current global minimum before blocking on its
+			// branch's next row: a member that trickles rows must not gate
+			// the row already known to be least
+			emit := true
+			if seen != nil {
+				k := sparql.BindingKey(hd.row, keyVars)
+				if _, dup := seen[k]; dup {
+					emit = false
+				} else {
+					seen[k] = struct{}{}
+				}
+			}
+			if emit {
+				if limit >= 0 && emitted >= limit {
+					return
+				}
+				if !yield(hd.row) {
+					return
+				}
+				emitted++
+				if limit >= 0 && emitted >= limit {
+					// satisfied LIMIT returns without pulling a surplus row
+					return
+				}
+			}
+			// advance the consumed branch in place (Fix beats Pop+Push)
+			row, ok, fatal := pull(hd.b)
+			if fatal {
+				return
+			}
+			if ok {
+				h.hs[0] = orderedHead{b: hd.b, idx: hd.idx, row: row, key: sparql.OrderKeyOf(conds, row)}
+				heap.Fix(h, 0)
+			} else {
+				heap.Pop(h)
+			}
+		}
+	}
 }
 
 // runBranch opens one source's stream under the merge context and pumps

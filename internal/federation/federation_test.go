@@ -685,6 +685,222 @@ func TestFederationErrors(t *testing.T) {
 	}
 }
 
+// TestIndexPruneKeepsUntypedSubjectPredicates is the pruning-soundness
+// differential: a predicate that occurs only on *untyped* subjects never
+// shows up in any per-class property list, and PartitionByClass routes
+// those subjects to partition 0 — exactly the shape that used to make
+// IndexPrune drop partition 0 and silently lose its rows. With the
+// full-corpus predicate scan, partition 0's index advertises the
+// predicate, the other partitions are still pruned, and the federated
+// result equals the union endpoint's row-for-row.
+func TestIndexPruneKeepsUntypedSubjectPredicates(t *testing.T) {
+	union, _ := unionAndParts(1)
+	const shadow = "http://ex/shadowProp"
+	for i := 0; i < 5; i++ {
+		union.Add(rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://ex/untyped%d", i)),
+			rdf.NewIRI(shadow),
+			rdf.NewLiteral(fmt.Sprintf("v%d", i))))
+	}
+	parts := synth.PartitionByClass(union, 3)
+	indexes := map[string]*extraction.Index{}
+	var calls [3]atomic.Int32
+	sources := make([]*endpoint.Source, 3)
+	for i, p := range parts {
+		url := fmt.Sprintf("http://untyped%d.example.org/sparql", i)
+		indexes[url] = indexOf(t, p, url)
+		sources[i] = endpoint.NewSource(fmt.Sprintf("untyped%d", i), url,
+			countingClient{inner: endpoint.LocalClient{Store: p}, calls: &calls[i]})
+		sources[i].Generation = 1
+	}
+	fed := New(sources...)
+	fed.Policy = IndexPrune
+	fed.Lookup = func(url string) (*extraction.Index, error) { return indexes[url], nil }
+
+	query := fmt.Sprintf(`SELECT ?s ?v WHERE { ?s <%s> ?v }`, shadow)
+	want, err := endpoint.LocalClient{Store: union}.Query(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fed.Query(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, gk := sortedKeysOf(t, want), sortedKeysOf(t, got)
+	if len(gk) != len(wk) || len(wk) != 5 {
+		t.Fatalf("federated %d rows, union %d rows, want 5 — pruning dropped untyped-subject answers", len(gk), len(wk))
+	}
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Fatalf("row %d differs: fed %q union %q", i, gk[i], wk[i])
+		}
+	}
+	// untyped subjects all live in partition 0; the others hold no
+	// shadowProp triples and their complete predicate sets prove it
+	if got := calls[0].Load(); got != 1 {
+		t.Fatalf("home partition received %d requests, want 1", got)
+	}
+	for i := 1; i < 3; i++ {
+		if got := calls[i].Load(); got != 0 {
+			t.Fatalf("partition %d received %d requests, want 0 (provably irrelevant)", i, got)
+		}
+		if st := fed.Stats()[sources[i].URL]; st.Pruned != 1 {
+			t.Fatalf("partition %d stats = %+v, want Pruned=1", i, st)
+		}
+	}
+}
+
+// TestFederatedOrderByEqualsUnion: ORDER BY queries — with and without
+// LIMIT — must reproduce the union endpoint's rows *in order*. The LIMIT
+// variants are the sharp edge: a completion-order merge returns the
+// first N rows to arrive, which is a wrong row set, not just a lost
+// ordering; the ordered k-way merge must return the global top-N.
+func TestFederatedOrderByEqualsUnion(t *testing.T) {
+	union, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	single := endpoint.LocalClient{Store: union}
+	for _, q := range []string{
+		`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o`,
+		`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o LIMIT 25`,
+		`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p ?o LIMIT 10`,
+		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY ?c`,
+		`SELECT DISTINCT ?c WHERE { ?s a ?c } ORDER BY DESC(?c) LIMIT 3`,
+	} {
+		want, err := single.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: union: %v", q, err)
+		}
+		got, err := fed.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: federated: %v", q, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: federated %d rows, union %d rows", q, len(got.Rows), len(want.Rows))
+		}
+		// compare in delivered order: the ordered merge must establish
+		// the same global order the union endpoint does
+		for i := range want.Rows {
+			wk := sparql.BindingKey(want.Rows[i], want.Vars)
+			gk := sparql.BindingKey(got.Rows[i], want.Vars)
+			if wk != gk {
+				t.Fatalf("%s: row %d out of order:\n  fed   %q\n  union %q", q, i, gk, wk)
+			}
+		}
+	}
+}
+
+// TestFederatedOrderByBranchFailure: the ordered merge propagates a
+// member's mid-stream failure through Err() like the unordered one.
+func TestFederatedOrderByBranchFailure(t *testing.T) {
+	_, parts := unionAndParts(3)
+	sources := []*endpoint.Source{
+		endpoint.NewSource("ok0", "http://ok0/sparql", endpoint.LocalClient{Store: parts[0]}),
+		endpoint.NewSource("bad", "http://bad/sparql", failingClient{st: parts[1], okRows: 5}),
+		endpoint.NewSource("ok1", "http://ok1/sparql", endpoint.LocalClient{Store: parts[2]}),
+	}
+	fed := New(sources...)
+	rs, err := fed.Stream(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range rs.All() {
+	}
+	if err := rs.Err(); !errors.Is(err, errInjected) {
+		t.Fatalf("ordered merge Err() = %v, want wrapped errInjected", err)
+	}
+	rs.Close()
+}
+
+// TestFederationRejectsOffset: OFFSET fanned out unchanged would make
+// every member skip rows independently, dropping answers; it must be
+// refused like aggregates, not silently mis-answered.
+func TestFederationRejectsOffset(t *testing.T) {
+	_, parts := unionAndParts(2)
+	fed := New(localSources(parts)...)
+	for _, q := range []string{
+		`SELECT ?s WHERE { ?s ?p ?o } OFFSET 2`,
+		`SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 5 OFFSET 5`,
+	} {
+		if _, err := fed.Stream(context.Background(), q); err == nil {
+			t.Fatalf("OFFSET query was fanned out: %s", q)
+		}
+	}
+}
+
+// TestFederationRejectsNonProjectedOrderBy: the ordered merge compares
+// projected rows, so ORDER BY on a variable the SELECT list drops would
+// evaluate as unbound on every merged row and silently degrade to
+// branch concatenation — a wrong row set under LIMIT. It must be
+// refused; projecting the sort variable (or SELECT *) is supported and
+// must still match the union endpoint.
+func TestFederationRejectsNonProjectedOrderBy(t *testing.T) {
+	union, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	if _, err := fed.Stream(context.Background(),
+		`SELECT ?s WHERE { ?s a ?c } ORDER BY ?c LIMIT 5`); err == nil {
+		t.Fatal("ORDER BY on a non-projected variable was fanned out")
+	}
+	// SELECT * keeps every variable in the rows: same query shape must
+	// work and reproduce the union endpoint's global order
+	q := `SELECT * WHERE { ?s a ?c } ORDER BY ?c ?s LIMIT 9`
+	want, err := endpoint.LocalClient{Store: union}.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fed.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("federated %d rows, union %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if sparql.BindingKey(got.Rows[i], []string{"c", "s"}) != sparql.BindingKey(want.Rows[i], []string{"c", "s"}) {
+			t.Fatalf("row %d out of order under SELECT *", i)
+		}
+	}
+}
+
+// reversedVarsClient answers with head vars in reversed order, modeling
+// a remote endpoint that heads its results differently than our engine.
+type reversedVarsClient struct{ st *store.Store }
+
+func (r reversedVarsClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
+	res, err := endpoint.LocalClient{Store: r.st}.Query(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	rev := make([]string, len(res.Vars))
+	for i, v := range res.Vars {
+		rev[len(rev)-1-i] = v
+	}
+	res.Vars = rev
+	return res, nil
+}
+
+// TestFederatedHeadVarsDeterministic: with an explicit SELECT list the
+// merged stream's head comes from the parsed query, not from whichever
+// branch happens to open first — so a member heading its rows oddly
+// cannot make the federated head (or the NDJSON head line) vary run to
+// run.
+func TestFederatedHeadVarsDeterministic(t *testing.T) {
+	_, parts := unionAndParts(2)
+	fed := New(
+		endpoint.NewSource("rev0", "http://rev0/sparql", reversedVarsClient{st: parts[0]}),
+		endpoint.NewSource("rev1", "http://rev1/sparql", reversedVarsClient{st: parts[1]}),
+	)
+	for i := 0; i < 10; i++ {
+		rs, err := fed.Stream(context.Background(), `SELECT ?s ?o WHERE { ?s ?p ?o }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Vars) != 2 || rs.Vars[0] != "s" || rs.Vars[1] != "o" {
+			t.Fatalf("merged head vars = %v, want [s o] from the query's SELECT list", rs.Vars)
+		}
+		rs.Close()
+	}
+}
+
 // limitIgnoringClient answers every query with the same fixed rows,
 // modeling a quirky engine that ignores the LIMIT it was sent.
 type limitIgnoringClient struct{ rows int }

@@ -221,6 +221,79 @@ func TestQuerySourcesRejectsAggregates(t *testing.T) {
 	}
 }
 
+// TestQuerySourcesRejectsOffset: OFFSET over a federation would drop
+// rows (each member skips independently); the route answers 400.
+func TestQuerySourcesRejectsOffset(t *testing.T) {
+	srv, urls, _ := fedServer(t)
+	q := url.QueryEscape(`SELECT ?s WHERE { ?s ?p ?o } OFFSET 3`)
+	code, body, _ := get(t, srv.URL+"/api/query?sources="+url.QueryEscape(strings.Join(urls, ","))+"&sparql="+q)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", code, body)
+	}
+	// the same OFFSET against a single dataset still works
+	resp, err := http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&sparql=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("single-dataset OFFSET status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestQuerySourcesRejectsNonProjectedOrderBy: ORDER BY on a variable
+// the SELECT list drops cannot be merged in order (the merge sees only
+// projected rows); the route answers 400 instead of concatenating.
+func TestQuerySourcesRejectsNonProjectedOrderBy(t *testing.T) {
+	srv, urls, _ := fedServer(t)
+	q := url.QueryEscape(`SELECT ?s WHERE { ?s a ?c } ORDER BY ?c LIMIT 5`)
+	code, body, _ := get(t, srv.URL+"/api/query?sources="+url.QueryEscape(strings.Join(urls, ","))+"&sparql="+q)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", code, body)
+	}
+	// the same query against a single dataset still works
+	resp, err := http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&sparql=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("single-dataset status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestQuerySourcesOrderByStreamsGlobalOrder: an ORDER BY query over
+// sources= streams rows in the query's global order — the ordered merge
+// re-establishes it across branches — and matches the union endpoint.
+func TestQuerySourcesOrderByStreamsGlobalOrder(t *testing.T) {
+	srv, urls, _ := fedServer(t)
+	q := url.QueryEscape(`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o LIMIT 40`)
+	resp, err := http.Get(srv.URL + "/api/query?sources=" + url.QueryEscape(strings.Join(urls, ",")) + "&sparql=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	vars, rows, streamErr := ndjsonRows(t, resp)
+	if streamErr != "" {
+		t.Fatalf("stream error: %s", streamErr)
+	}
+	resp2, err := http.Get(srv.URL + "/api/query?dataset=" + url.QueryEscape(dsURL) + "&sparql=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, single, _ := ndjsonRows(t, resp2)
+	if len(rows) != 40 || len(single) != 40 {
+		t.Fatalf("federated %d rows, union %d, want 40 each", len(rows), len(single))
+	}
+	for i := range single {
+		if sparql.BindingKey(rows[i], vars) != sparql.BindingKey(single[i], vars) {
+			t.Fatalf("row %d differs from the union endpoint's global top-40", i)
+		}
+	}
+}
+
 // TestQuerySourcesBadPolicy: unknown policy values are a 400.
 func TestQuerySourcesBadPolicy(t *testing.T) {
 	srv, urls, _ := fedServer(t)

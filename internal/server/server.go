@@ -415,9 +415,14 @@ func (s *Server) handleModel(kind string) http.HandlerFunc {
 // The target is either one endpoint (?dataset=URL) or a federation:
 // ?sources=URL,URL,... fans the query out to the named endpoints
 // (?sources=all federates over every connected endpoint) and streams the
-// merged rows; ?policy=all|prune|cost selects the federation's source
-// selection (default prune: endpoints whose extracted index proves they
-// cannot contribute are not contacted).
+// merged rows — in the query's global order for ORDER BY queries, which
+// the federation re-establishes with an ordered merge. ?policy=
+// all|prune|cost selects the federation's source selection (default
+// prune: endpoints whose extracted index proves they cannot contribute —
+// a missing class, or a missing predicate when the index carries the
+// full-corpus predicate scan — are not contacted). GROUP BY/aggregates
+// and OFFSET are refused over sources= because same-query fan-out cannot
+// answer them faithfully.
 //
 // Streamed responses are NDJSON (application/x-ndjson): a head line
 // {"vars": [...]}, then one SPARQL-JSON binding object per row, flushed
@@ -489,6 +494,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if parsed.NeedsGrouping() {
 			http.Error(w, "GROUP BY/aggregate queries are not supported over sources=; query a single dataset", http.StatusBadRequest)
 			return
+		}
+		// likewise OFFSET: each member would skip rows independently,
+		// dropping answers from the merged stream
+		if parsed.Offset > 0 {
+			http.Error(w, "OFFSET is not supported over sources=; query a single dataset", http.StatusBadRequest)
+			return
+		}
+		// and ORDER BY on a variable the SELECT list drops: the ordered
+		// merge compares projected rows, so the sort key must be projected
+		if len(parsed.OrderBy) > 0 && !parsed.Star {
+			proj := map[string]bool{}
+			for _, it := range parsed.Select {
+				proj[it.Var] = true
+			}
+			for _, v := range sparql.OrderByVars(parsed.OrderBy) {
+				if !proj[v] {
+					http.Error(w, fmt.Sprintf("ORDER BY ?%s over sources= requires ?%s in the SELECT list; project it or query a single dataset", v, v), http.StatusBadRequest)
+					return
+				}
+			}
 		}
 		policy, err := federation.ParsePolicy(r.URL.Query().Get("policy"))
 		if err != nil {

@@ -709,52 +709,19 @@ func collectVars(p GraphPattern, add func(string)) {
 
 func sortSolutions(rows []Binding, conds []OrderCond) {
 	// Precompute the sort keys once per row: evaluating expressions
-	// inside the comparator would cost O(n log n) evaluations.
+	// inside the comparator would cost O(n log n) evaluations. The
+	// comparison itself is CompareOrderKeys, shared with the federated
+	// ordered merge so both establish the same order.
 	type keyed struct {
-		row  Binding
-		keys []rdf.Term
-		errs []bool
+		row Binding
+		key OrderKey
 	}
 	ks := make([]keyed, len(rows))
 	for i, r := range rows {
-		k := keyed{row: r, keys: make([]rdf.Term, len(conds)), errs: make([]bool, len(conds))}
-		for ci, c := range conds {
-			t, err := evalExpr(c.Expr, r)
-			if err != nil {
-				k.errs[ci] = true
-			} else {
-				k.keys[ci] = t
-			}
-		}
-		ks[i] = k
+		ks[i] = keyed{row: r, key: OrderKeyOf(conds, r)}
 	}
 	sort.SliceStable(ks, func(i, j int) bool {
-		for ci, c := range conds {
-			ei, ej := ks[i].errs[ci], ks[j].errs[ci]
-			// unbound/error sorts first
-			if ei && ej {
-				continue
-			}
-			if ei {
-				return !c.Desc
-			}
-			if ej {
-				return c.Desc
-			}
-			ti, tj := ks[i].keys[ci], ks[j].keys[ci]
-			cmp, err := termOrder(ti, tj)
-			if err != nil {
-				cmp = ti.Compare(tj)
-			}
-			if cmp == 0 {
-				continue
-			}
-			if c.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
+		return CompareOrderKeys(conds, ks[i].key, ks[j].key) < 0
 	})
 	for i := range ks {
 		rows[i] = ks[i].row
@@ -775,16 +742,27 @@ func distinct(rows []Binding, vars []string) []Binding {
 }
 
 // bindingKey builds a canonical string key of a binding restricted to vars
-// (nil means all variables, sorted).
+// (nil means all bound variables, sorted). With an explicit vars list the
+// key is positional; with nil it carries the variable names too, so two
+// rows binding the same value under different variables — possible when
+// rows from heterogeneous sources meet in a federated merge, or under
+// OPTIONAL in COUNT(DISTINCT *) — do not collide.
 func bindingKey(b Binding, vars []string) string {
+	var sb strings.Builder
 	if vars == nil {
 		vars = make([]string, 0, len(b))
 		for v := range b {
 			vars = append(vars, v)
 		}
 		sort.Strings(vars)
+		for _, v := range vars {
+			sb.WriteString(v)
+			sb.WriteByte('\x01')
+			sb.WriteString(b[v].String())
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
 	}
-	var sb strings.Builder
 	for _, v := range vars {
 		if t, ok := b[v]; ok {
 			sb.WriteString(t.String())

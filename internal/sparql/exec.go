@@ -617,10 +617,14 @@ func packIDKey(buf []byte, r []store.ID, slots []int) []byte {
 
 // sortRows orders the rows by the ORDER BY conditions, materializing one
 // key term per (row, condition) — the boundary where terms are needed.
+// The flat key storage is viewed as one OrderKey per row so the
+// comparison is CompareOrderKeys, shared with sortSolutions and the
+// federated ordered merge — the three sorts cannot drift apart.
 func (e *idExec) sortRows(rb *rowbuf, conds []OrderCond, condVars [][]varslot) {
 	nc := len(conds)
 	keys := make([]rdf.Term, rb.n*nc)
 	errs := make([]bool, rb.n*nc)
+	oks := make([]OrderKey, rb.n)
 	for i := 0; i < rb.n; i++ {
 		r := rb.row(i)
 		for ci, c := range conds {
@@ -631,38 +635,14 @@ func (e *idExec) sortRows(rb *rowbuf, conds []OrderCond, condVars [][]varslot) {
 				keys[i*nc+ci] = t
 			}
 		}
+		oks[i] = OrderKey{keys: keys[i*nc : (i+1)*nc], errs: errs[i*nc : (i+1)*nc]}
 	}
 	idx := make([]int, rb.n)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		for ci, c := range conds {
-			ea, eb := errs[ia*nc+ci], errs[ib*nc+ci]
-			if ea && eb {
-				continue
-			}
-			if ea {
-				return !c.Desc // unbound/error sorts first
-			}
-			if eb {
-				return c.Desc
-			}
-			ta, tb := keys[ia*nc+ci], keys[ib*nc+ci]
-			cmp, err := termOrder(ta, tb)
-			if err != nil {
-				cmp = ta.Compare(tb)
-			}
-			if cmp == 0 {
-				continue
-			}
-			if c.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
+		return CompareOrderKeys(conds, oks[idx[a]], oks[idx[b]]) < 0
 	})
 	sorted := make([]store.ID, 0, rb.n*rb.stride)
 	for _, i := range idx {

@@ -69,10 +69,13 @@ func sortedKeys(m map[string]struct{}) []string {
 }
 
 // BindingKey returns the canonical string key of a binding restricted to
-// vars — equal keys iff the bindings agree on every listed variable. The
-// federated merge uses it for DISTINCT-on-merge deduplication across
-// sources; it is the same key the engines use for DISTINCT, so a merged
-// federated DISTINCT equals a single-endpoint DISTINCT row-for-row.
+// vars — equal keys iff the bindings agree on every listed variable. A
+// nil vars keys on all bound variables of the row, names included and
+// sorted, so rows binding the same value under different variables do
+// not collide. The federated merge uses it for DISTINCT-on-merge
+// deduplication across sources; it is the same key the engines use for
+// DISTINCT, so a merged federated DISTINCT equals a single-endpoint
+// DISTINCT row-for-row.
 func BindingKey(b Binding, vars []string) string {
 	return bindingKey(b, vars)
 }
