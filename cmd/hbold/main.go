@@ -6,14 +6,24 @@
 //
 // Usage:
 //
-//	hbold serve [-addr :8080] [-datasets N] [-cache 64]
-//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64]
+//	hbold serve [-addr :8080] [-datasets N] [-cache 64] [-slow-query 0]
+//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64] [-slow-query 0]
 //	hbold extract <file.ttl>
 //	hbold render <file.ttl> <outdir>
 //	hbold crawl
 //	hbold query [-timeout 0] [-stream] <file.ttl> <sparql-query>
 //	hbold query [-timeout 0] [-stream] [-policy all] -endpoint URL [-endpoint URL ...] <sparql-query>
-//	hbold sparqld [-addr :8081] <file.ttl>
+//	hbold sparqld [-addr :8081] [-quiet] <file.ttl>
+//
+// Both server modes expose the process metrics registry in the
+// Prometheus text format on GET /metrics (scheduler, snapshot cache,
+// federation, endpoint clients and the query engine all account into
+// it), per-source federation counters on GET /api/federation/stats, and
+// a query profile via /api/query?...&explain=1 — the compiled plan
+// annotated with per-stage row counts and timings instead of rows.
+// -slow-query 500ms logs every /api/query slower than the threshold as
+// a structured record (query hash, duration, rows); sparqld writes one
+// such record per request unless -quiet.
 //
 // query runs through the same context-aware client API the rest of the
 // tool uses: -timeout bounds the query with a context deadline, and
@@ -50,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -109,21 +120,36 @@ func main() {
 func cmdSparqld(args []string) {
 	fs := flag.NewFlagSet("sparqld", flag.ExitOnError)
 	addr := fs.String("addr", ":8081", "listen address")
+	quiet := fs.Bool("quiet", false, "disable the per-request access log")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	st := loadTurtle(fs.Arg(0))
+	h := &endpoint.Handler{Store: st}
+	if !*quiet {
+		// one structured record per request: method, query hash, rows
+		// streamed, duration, status
+		h.Log = newLogger()
+	}
 	log.Printf("hbold: serving %s (%d triples) as a SPARQL endpoint on %s", fs.Arg(0), st.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, &endpoint.Handler{Store: st}))
+	log.Fatal(http.ListenAndServe(*addr, h))
+}
+
+// newLogger builds the CLI's structured logger: text records on stderr,
+// so access and slow-query logs interleave with the plain log package's
+// startup lines without fighting over stdout.
+func newLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  hbold serve [-addr :8080] [-datasets N] [-cache 64]
+  hbold serve [-addr :8080] [-datasets N] [-cache 64] [-slow-query 0]
                                             start the presentation layer over a demo corpus
-                                            (-cache: snapshot cache budget in MiB, 0 disables)
-  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64]
+                                            (-cache: snapshot cache budget in MiB, 0 disables;
+                                            -slow-query: log /api/query slower than this)
+  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64] [-slow-query 0]
                                             serve plus the concurrent extraction scheduler on
                                             the clock-driven §3.1 refresh cycle
   hbold extract <file.ttl>                  run index extraction on a Turtle file
@@ -136,8 +162,10 @@ func usage() {
   hbold query -endpoint URL [-endpoint URL ...] [-policy all|prune|cost] <sparql>
                                             federate the query over several live endpoints,
                                             merging the row streams incrementally
-  hbold sparqld [-addr :8081] <file.ttl>    serve a Turtle file as a SPARQL protocol endpoint
-                                            (a federation member for query -endpoint)`)
+  hbold sparqld [-addr :8081] [-quiet] <file.ttl>
+                                            serve a Turtle file as a SPARQL protocol endpoint
+                                            (a federation member for query -endpoint; one
+                                            access-log record per request unless -quiet)`)
 	os.Exit(2)
 }
 
@@ -171,6 +199,7 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	n := fs.Int("datasets", 5, "number of demo datasets to index (plus the Scholarly LD)")
 	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
+	slowQuery := fs.Duration("slow-query", 0, "log /api/query requests at least this slow (0 disables)")
 	fs.Parse(args)
 
 	tool := core.New(docstore.MustOpenMem(), clock.Real{})
@@ -197,8 +226,13 @@ func cmdServe(args []string) {
 		}
 		count++
 	}
+	srv := server.New(tool)
+	if *slowQuery > 0 {
+		srv.Log = newLogger()
+		srv.SlowQuery = *slowQuery
+	}
 	log.Printf("hbold: serving %d datasets on %s", len(tool.Datasets()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(tool)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
 // cmdDaemon runs the server layer the way the deployed tool does:
@@ -214,6 +248,7 @@ func cmdDaemon(args []string) {
 	retries := fs.Int("retries", 3, "extraction attempts per job before waiting for the next retry day")
 	rate := fs.Float64("rate", 0, "per-endpoint job dispatch limit in jobs/sec (0 = unlimited)")
 	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
+	slowQuery := fs.Duration("slow-query", 0, "log /api/query requests at least this slow (0 disables)")
 	fs.Parse(args)
 
 	tool := core.New(docstore.MustOpenMem(), clock.Real{})
@@ -244,7 +279,12 @@ func cmdDaemon(args []string) {
 		count++
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(tool)}
+	handler := server.New(tool)
+	if *slowQuery > 0 {
+		handler.Log = newLogger()
+		handler.SlowQuery = *slowQuery
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("hbold: %v", err)

@@ -80,7 +80,7 @@ func main() {
 	// 5. Per-source accounting shows the pruning at work: shards whose
 	// index lacks the class record a prune, not a query.
 	for _, src := range fed.Sources() {
-		st := fed.Stats()[src.URL]
+		st := fed.Stats().Sources[src.URL]
 		fmt.Printf("  %-20s queries=%d rows=%-5d pruned=%d firstRow=%s\n",
 			src.Name, st.Queries, st.Rows, st.Pruned, st.FirstRow.Round(1000))
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/extraction"
 	"repro/internal/federation"
 	"repro/internal/notify"
+	"repro/internal/obs"
 	"repro/internal/portal"
 	"repro/internal/registry"
 	"repro/internal/sched"
@@ -68,6 +69,12 @@ type HBOLD struct {
 	// DefaultCacheBudget cache; replace it (before serving traffic) to
 	// resize, or set snapcache.New(0) to disable caching.
 	Cache *snapcache.Cache
+	// Metrics is the process-lifetime observability registry: the
+	// scheduler, the snapshot cache, federated queries, HTTP endpoint
+	// clients and the query engine all account into it, and the server
+	// renders it at GET /metrics. New installs one and registers the
+	// cache families; subsystems join as they are created.
+	Metrics *obs.Registry
 
 	mu      sync.RWMutex
 	clients map[string]endpoint.Client
@@ -88,16 +95,21 @@ func New(db *docstore.DB, ck clock.Clock) *HBOLD {
 	if ck == nil {
 		ck = clock.Real{}
 	}
-	return &HBOLD{
+	h := &HBOLD{
 		Registry:    registry.New(registry.DefaultPolicy),
 		DB:          db,
 		Extractor:   extraction.New(),
 		Outbox:      notify.NewOutbox(),
 		Clock:       ck,
 		Cache:       snapcache.New(DefaultCacheBudget),
+		Metrics:     obs.NewRegistry(),
 		clients:     make(map[string]endpoint.Client),
 		generations: make(map[string]uint64),
 	}
+	// read through h so a later Cache replacement is picked up by the
+	// same metric series
+	snapcache.Register(h.Metrics, func() snapcache.Stats { return h.Cache.Stats() })
+	return h
 }
 
 // Generation returns the dataset's extraction generation: 0 until the
@@ -128,6 +140,11 @@ func (h *HBOLD) snapKey(url, view, params string) snapcache.Key {
 // deployed tool this is the HTTP connection to the public endpoint; in
 // experiments it is a simulated remote.
 func (h *HBOLD) Connect(url string, c endpoint.Client) {
+	// HTTP clients join the process registry unless the caller already
+	// pointed them at one
+	if hc, ok := c.(*endpoint.HTTPClient); ok && hc.Metrics == nil {
+		hc.Metrics = h.Metrics
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.clients[url] = c
@@ -260,6 +277,9 @@ func (h *HBOLD) Scheduler() *sched.Scheduler {
 		cfg := h.SchedulerConfig
 		if cfg.Clock == nil {
 			cfg.Clock = h.Clock
+		}
+		if cfg.Metrics == nil {
+			cfg.Metrics = h.Metrics
 		}
 		if cfg.OnJobFailed == nil {
 			cfg.OnJobFailed = func(url string, err error) {
@@ -430,6 +450,10 @@ func (h *HBOLD) Federation(urls []string, policy federation.Policy) (*federation
 	f.Policy = policy
 	f.SkipUnavailable = true
 	f.Lookup = h.Index
+	// per-client SourceStats stay instance-local; the registry series
+	// they mirror into outlive any one federation
+	f.Metrics = h.Metrics
+	f.Clock = h.Clock
 	return f, nil
 }
 

@@ -1,0 +1,69 @@
+package endpoint
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestHandlerAccessLog: with a logger attached, every protocol request
+// leaves one structured record carrying the method, query hash, rows
+// streamed, duration and status.
+func TestHandlerAccessLog(t *testing.T) {
+	var buf strings.Builder
+	h := &Handler{Store: testStore(t), Log: slog.New(slog.NewTextHandler(&buf, nil))}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	query := `SELECT ?s WHERE { ?s a <http://ex/C> }`
+	resp, err := http.Get(srv.URL + "?query=" + url.QueryEscape(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	rec := buf.String()
+	for _, want := range []string{
+		"method=GET",
+		"query=" + QueryHash(query),
+		"rows=2",
+		"status=200",
+		"dur=",
+	} {
+		if !strings.Contains(rec, want) {
+			t.Errorf("access record lacks %q: %q", want, rec)
+		}
+	}
+	if n := strings.Count(rec, "method="); n != 1 {
+		t.Fatalf("expected exactly one record, got %d: %q", n, rec)
+	}
+}
+
+// TestHandlerAccessLogError: failed requests record their status too.
+func TestHandlerAccessLogError(t *testing.T) {
+	var buf strings.Builder
+	h := &Handler{Store: testStore(t), Log: slog.New(slog.NewTextHandler(&buf, nil))}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL) // no query parameter
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if rec := buf.String(); !strings.Contains(rec, "status=400") {
+		t.Fatalf("record lacks status=400: %q", rec)
+	}
+}

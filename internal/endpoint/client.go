@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sparql"
 )
 
@@ -68,6 +69,17 @@ type HTTPClient struct {
 	// Zero values get defaults of 250ms and 5s.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Metrics, when set, counts request attempts, transient failures,
+	// retries and backoff sleep per endpoint URL on the registry.
+	Metrics *obs.Registry
+}
+
+// obsCount bumps a per-endpoint counter family by v when metrics are on.
+func (c *HTTPClient) obsCount(name, help string, v float64) {
+	if c.Metrics == nil {
+		return
+	}
+	c.Metrics.CounterVec(name, help, "endpoint").With(c.URL).Add(v)
 }
 
 // NewHTTPClient returns a client for the endpoint at rawURL.
@@ -101,6 +113,7 @@ func (c *HTTPClient) backoff(ctx context.Context, attempt int) error {
 	// jitter in [d/2, 3d/2): desynchronizes the retry storms a shared
 	// outage would otherwise cause
 	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	c.obsCount("hbold_endpoint_backoff_seconds_total", "Time spent sleeping in retry backoff.", d.Seconds())
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -144,14 +157,17 @@ func retrying[T any](ctx context.Context, c *HTTPClient, attempt func(context.Co
 	var lastErr error
 	for n := 0; ; n++ {
 		if n > 0 {
+			c.obsCount("hbold_endpoint_retries_total", "Request attempts re-issued after a transient failure.", 1)
 			if err := c.backoff(ctx, n); err != nil {
 				return zero, err
 			}
 		}
+		c.obsCount("hbold_endpoint_attempts_total", "SPARQL protocol request attempts.", 1)
 		v, retry, err := attempt(ctx)
 		if err == nil {
 			return v, nil
 		}
+		c.obsCount("hbold_endpoint_errors_total", "Request attempts that failed.", 1)
 		lastErr = err
 		if !retry || permanent(ctx) || n >= c.Retries {
 			return zero, lastErr

@@ -38,6 +38,17 @@ type Streamer interface {
 	Stream(ctx context.Context, query string) (*sparql.RowSeq, error)
 }
 
+// Explainer is implemented by clients that can profile a query instead
+// of answering it: the query runs to completion, but what comes back is
+// the compiled plan annotated with per-stage row counts and timings.
+// Only in-process clients can explain — the SPARQL protocol has no
+// EXPLAIN verb, so remote clients do not implement this.
+type Explainer interface {
+	// Explain executes the query with profiling and returns the
+	// annotated plan instead of rows.
+	Explain(ctx context.Context, query string) (*sparql.Explain, error)
+}
+
 // Stream returns a row stream from any client: natively when c
 // implements Streamer, otherwise by materializing the result and
 // streaming from it (still honoring ctx between rows).
@@ -227,4 +238,18 @@ func (c LocalClient) Query(ctx context.Context, query string) (*sparql.Result, e
 // Stream implements Streamer straight off the engine's row pipeline.
 func (c LocalClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
 	return sparql.StreamExec(ctx, c.Store, query)
+}
+
+// Explain implements Explainer: the query executes against the local
+// store with the profiler attached and the annotated plan comes back
+// instead of rows.
+func (c LocalClient) Explain(ctx context.Context, query string) (*sparql.Explain, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Explain(c.Store)
 }

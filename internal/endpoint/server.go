@@ -8,9 +8,13 @@ package endpoint
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -23,6 +27,17 @@ type Handler struct {
 	// Quirks optionally constrains the engine like a real implementation
 	// would; nil means a fully capable endpoint.
 	Quirks *Quirks
+	// Log, when set, emits one access record per request: method, query
+	// hash (queries can be kilobytes; the hash correlates repeats without
+	// flooding the log), rows streamed, duration and HTTP status.
+	Log *slog.Logger
+}
+
+// QueryHash identifies a query in access logs without reproducing its
+// text: the first 8 bytes of its SHA-256, hex-encoded.
+func QueryHash(q string) string {
+	sum := sha256.Sum256([]byte(q))
+	return hex.EncodeToString(sum[:8])
 }
 
 // flushEvery is how many streamed result rows are written between
@@ -40,26 +55,43 @@ const flushEvery = 64
 // the streaming client distinguishes a broken stream from a short result.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var query string
+	status := http.StatusOK
+	rows := 0
+	if h.Log != nil {
+		start := time.Now()
+		defer func() {
+			h.Log.Info("sparql",
+				"method", r.Method,
+				"query", QueryHash(query),
+				"rows", rows,
+				"dur", time.Since(start),
+				"status", status)
+		}()
+	}
+	fail := func(msg string, code int) {
+		status = code
+		http.Error(w, msg, code)
+	}
 	switch r.Method {
 	case http.MethodGet:
 		query = r.URL.Query().Get("query")
 	case http.MethodPost:
 		if err := r.ParseForm(); err != nil {
-			http.Error(w, "bad form", http.StatusBadRequest)
+			fail("bad form", http.StatusBadRequest)
 			return
 		}
 		query = r.PostForm.Get("query")
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		fail("method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	if query == "" {
-		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		fail("missing query parameter", http.StatusBadRequest)
 		return
 	}
 	rs, err := EvaluateStream(r.Context(), h.Store, query, h.Quirks)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(err.Error(), http.StatusBadRequest)
 		return
 	}
 	defer rs.Close()
@@ -70,13 +102,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	jw := sparql.NewJSONRowWriter(w, rs.Vars)
 	flusher, _ := w.(http.Flusher)
-	n := 0
 	for row := range rs.All() {
 		if jw.WriteRow(row) != nil {
 			return // client went away; the context unwinds the evaluation
 		}
-		n++
-		if n%flushEvery == 0 && flusher != nil {
+		rows++
+		if rows%flushEvery == 0 && flusher != nil {
 			flusher.Flush()
 		}
 	}

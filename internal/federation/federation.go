@@ -47,8 +47,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/endpoint"
 	"repro/internal/extraction"
+	"repro/internal/obs"
 	"repro/internal/sparql"
 )
 
@@ -145,12 +147,46 @@ type Client struct {
 	// that do not ask for DISTINCT; DISTINCT/REDUCED queries always
 	// deduplicate on the merge.
 	DistinctOnMerge bool
+	// Metrics, when set, mirrors every SourceStats mutation into
+	// registry-backed, per-source labeled series — promoting the
+	// instance-local accounting into process-lifetime observability that
+	// outlives this client. nil disables mirroring.
+	Metrics *obs.Registry
+	// Clock stamps Stats snapshots; nil means the wall clock.
+	Clock clock.Clock
 
 	sources []*endpoint.Source
 
 	mu    sync.Mutex
 	stats map[string]*SourceStats
 	vocab map[string]vocabEntry
+
+	fmOnce sync.Once
+	fm     *fedMetrics
+}
+
+// fedMetrics are the registry handles the per-source accounting mirrors
+// into, one labeled series per source URL.
+type fedMetrics struct {
+	queries     *obs.CounterVec
+	rows        *obs.CounterVec
+	errors      *obs.CounterVec
+	unavailable *obs.CounterVec
+	pruned      *obs.CounterVec
+	firstRow    *obs.GaugeVec
+	elapsed     *obs.CounterVec
+}
+
+func newFedMetrics(r *obs.Registry) *fedMetrics {
+	return &fedMetrics{
+		queries:     r.CounterVec("hbold_federation_queries_total", "Fan-outs that reached the source.", "source"),
+		rows:        r.CounterVec("hbold_federation_rows_total", "Rows the source delivered into the merge.", "source"),
+		errors:      r.CounterVec("hbold_federation_errors_total", "Fatal branch failures attributed to the source.", "source"),
+		unavailable: r.CounterVec("hbold_federation_unavailable_total", "Openings skipped because the source was down.", "source"),
+		pruned:      r.CounterVec("hbold_federation_pruned_total", "Queries source selection proved the source could not contribute to.", "source"),
+		firstRow:    r.GaugeVec("hbold_federation_first_row_seconds", "Open-to-first-row latency of the source's most recent query.", "source"),
+		elapsed:     r.CounterVec("hbold_federation_elapsed_seconds_total", "Cumulative wall time spent streaming from the source.", "source"),
+	}
 }
 
 type vocabEntry struct {
@@ -174,14 +210,27 @@ func (f *Client) Sources() []*endpoint.Source {
 	return out
 }
 
-// Stats returns a snapshot of the per-source accounting, keyed by source
-// URL. Sources never touched by any query are absent.
-func (f *Client) Stats() map[string]SourceStats {
+// StatsSnapshot is a point-in-time copy of the per-source accounting.
+// CapturedAt is the client clock's reading at snapshot time, so callers
+// racing with an active stream (and dashboards sampling repeatedly) can
+// order samples.
+type StatsSnapshot struct {
+	CapturedAt time.Time              `json:"capturedAt"`
+	Sources    map[string]SourceStats `json:"sources"`
+}
+
+// Stats returns a timestamped snapshot of the per-source accounting,
+// keyed by source URL. Sources never touched by any query are absent.
+func (f *Client) Stats() StatsSnapshot {
+	ck := f.Clock
+	if ck == nil {
+		ck = clock.Real{}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make(map[string]SourceStats, len(f.stats))
+	out := StatsSnapshot{CapturedAt: ck.Now(), Sources: make(map[string]SourceStats, len(f.stats))}
 	for url, st := range f.stats {
-		out[url] = *st
+		out.Sources[url] = *st
 	}
 	return out
 }
@@ -193,8 +242,36 @@ func (f *Client) bump(src *endpoint.Source, fn func(*SourceStats)) {
 		st = &SourceStats{}
 		f.stats[src.URL] = st
 	}
+	before := *st
 	fn(st)
+	after := *st
 	f.mu.Unlock()
+	f.mirror(src.URL, before, after)
+}
+
+// mirror forwards the delta of one accounting mutation into the registry,
+// outside the stats mutex (registry updates are atomic).
+func (f *Client) mirror(url string, before, after SourceStats) {
+	if f.Metrics == nil {
+		return
+	}
+	f.fmOnce.Do(func() { f.fm = newFedMetrics(f.Metrics) })
+	addInt := func(v *obs.CounterVec, d int64) {
+		if d > 0 {
+			v.With(url).Add(float64(d))
+		}
+	}
+	addInt(f.fm.queries, int64(after.Queries-before.Queries))
+	addInt(f.fm.rows, after.Rows-before.Rows)
+	addInt(f.fm.errors, int64(after.Errors-before.Errors))
+	addInt(f.fm.unavailable, int64(after.Unavailable-before.Unavailable))
+	addInt(f.fm.pruned, int64(after.Pruned-before.Pruned))
+	if after.FirstRow != before.FirstRow {
+		f.fm.firstRow.With(url).Set(after.FirstRow.Seconds())
+	}
+	if d := after.Elapsed - before.Elapsed; d > 0 {
+		f.fm.elapsed.With(url).Add(d.Seconds())
+	}
 }
 
 // vocabulary returns the source's advertised vocabulary at its current

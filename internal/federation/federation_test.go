@@ -112,7 +112,7 @@ func TestFederatedStreamIncremental(t *testing.T) {
 	if n != total {
 		t.Fatalf("merged %d rows, partitions hold %d triples", n, total)
 	}
-	stats := fed.Stats()
+	stats := fed.Stats().Sources
 	contributing := 0
 	for url, st := range stats {
 		if st.Rows > 0 {
@@ -257,7 +257,7 @@ func TestFederatedBranchFailureSurfaces(t *testing.T) {
 	if got := closed.Load(); got != 1 {
 		t.Fatalf("failing branch closed %d times, want 1", got)
 	}
-	if st := fed.Stats()["http://bad/sparql"]; st.Errors != 1 {
+	if st := fed.Stats().Sources["http://bad/sparql"]; st.Errors != 1 {
 		t.Fatalf("failing source stats = %+v, want Errors=1", st)
 	}
 }
@@ -342,7 +342,7 @@ func TestFederatedEarlyCloseRecordsNoSourceErrors(t *testing.T) {
 		t.Fatal("no first row")
 	}
 	rs.Close() // joins all branches, including the still-opening one
-	for url, st := range fed.Stats() {
+	for url, st := range fed.Stats().Sources {
 		if st.Errors != 0 {
 			t.Fatalf("%s: Errors = %d after consumer Close, want 0 (%+v)", url, st.Errors, st)
 		}
@@ -469,7 +469,7 @@ func TestIndexPruneSkipsIrrelevantSource(t *testing.T) {
 		}
 	}
 	for i, src := range sources {
-		st := fed.Stats()[src.URL]
+		st := fed.Stats().Sources[src.URL]
 		if i != homeIdx && st.Pruned != 1 {
 			t.Fatalf("source %d stats = %+v, want Pruned=1", i, st)
 		}
@@ -564,7 +564,7 @@ func TestSkipUnavailableRoutesAround(t *testing.T) {
 	if want := parts[0].Len() + parts[1].Len(); len(res.Rows) != want {
 		t.Fatalf("got %d rows, want %d from the two live members", len(res.Rows), want)
 	}
-	if st := fed.Stats()["http://down/sparql"]; st.Unavailable != 1 {
+	if st := fed.Stats().Sources["http://down/sparql"]; st.Unavailable != 1 {
 		t.Fatalf("down source stats = %+v, want Unavailable=1", st)
 	}
 
@@ -744,7 +744,7 @@ func TestIndexPruneKeepsUntypedSubjectPredicates(t *testing.T) {
 		if got := calls[i].Load(); got != 0 {
 			t.Fatalf("partition %d received %d requests, want 0 (provably irrelevant)", i, got)
 		}
-		if st := fed.Stats()[sources[i].URL]; st.Pruned != 1 {
+		if st := fed.Stats().Sources[sources[i].URL]; st.Pruned != 1 {
 			t.Fatalf("partition %d stats = %+v, want Pruned=1", i, st)
 		}
 	}

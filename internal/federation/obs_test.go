@@ -1,0 +1,77 @@
+package federation
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// TestStatsCapturedAt: the snapshot is stamped by the injected clock, so
+// simulated runs report simulated capture times.
+func TestStatsCapturedAt(t *testing.T) {
+	_, parts := unionAndParts(2)
+	fed := New(localSources(parts)...)
+	ck := clock.NewSim(clock.Epoch)
+	fed.Clock = ck
+	snap := fed.Stats()
+	if !snap.CapturedAt.Equal(clock.Epoch) {
+		t.Fatalf("capturedAt = %v, want %v", snap.CapturedAt, clock.Epoch)
+	}
+	ck.Advance(3 * time.Hour)
+	if got := fed.Stats().CapturedAt; !got.Equal(clock.Epoch.Add(3 * time.Hour)) {
+		t.Fatalf("capturedAt = %v, want epoch+3h", got)
+	}
+}
+
+// TestStatsCapturedAtDefaultsToWallClock: a nil Clock must not produce a
+// zero timestamp.
+func TestStatsCapturedAtDefaultsToWallClock(t *testing.T) {
+	_, parts := unionAndParts(2)
+	fed := New(localSources(parts)...)
+	before := time.Now()
+	snap := fed.Stats()
+	if snap.CapturedAt.Before(before.Add(-time.Minute)) || snap.CapturedAt.IsZero() {
+		t.Fatalf("capturedAt = %v, want roughly now", snap.CapturedAt)
+	}
+}
+
+// TestRegistryMirrorsSourceStats: every per-source counter the client
+// tracks locally must also land in the process registry, keyed by the
+// source URL, so the series outlive the client.
+func TestRegistryMirrorsSourceStats(t *testing.T) {
+	_, parts := unionAndParts(2)
+	srcs := localSources(parts)
+	reg := obs.NewRegistry()
+	fed := New(srcs...)
+	fed.Metrics = reg
+	res, err := fed.Query(context.Background(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fed.Stats()
+	var queries, rows float64
+	for _, fam := range reg.Snapshot() {
+		switch fam.Name {
+		case "hbold_federation_queries_total":
+			for _, se := range fam.Series {
+				queries += se.Value
+				if _, known := snap.Sources[se.Labels["source"]]; !known {
+					t.Errorf("registry series for unknown source %q", se.Labels["source"])
+				}
+			}
+		case "hbold_federation_rows_total":
+			for _, se := range fam.Series {
+				rows += se.Value
+			}
+		}
+	}
+	if int(queries) != len(srcs) {
+		t.Fatalf("registry queries = %v, want %d", queries, len(srcs))
+	}
+	if int(rows) != len(res.Rows) {
+		t.Fatalf("registry rows = %v, result rows = %d", rows, len(res.Rows))
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family, then one
+// line per series, histograms expanded into cumulative _bucket{le=...}
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Snapshot() {
+		if fam.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.Kind)
+		bw.WriteByte('\n')
+		for _, s := range fam.Series {
+			if s.Hist != nil {
+				writeHist(bw, fam.Name, s)
+				continue
+			}
+			bw.WriteString(fam.Name)
+			writeLabels(bw, s.Labels, "", 0)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHist(bw *bufio.Writer, name string, s Series) {
+	h := s.Hist
+	for i, cum := range h.Buckets {
+		le := math.Inf(1)
+		if i < len(h.Bounds) {
+			le = h.Bounds[i]
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.Labels, "le", le)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.Labels, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(h.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.Labels, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels writes {k="v",...}, appending an le label when leName is
+// non-empty. Label names come from Go identifiers in this codebase so only
+// values need escaping. Keys are written in sorted order for determinism.
+func writeLabels(bw *bufio.Writer, labels map[string]string, leName string, le float64) {
+	if len(labels) == 0 && leName == "" {
+		return
+	}
+	bw.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(k)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(labels[k]))
+		bw.WriteByte('"')
+	}
+	if leName != "" {
+		if !first {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(leName)
+		bw.WriteString(`="`)
+		bw.WriteString(formatValue(le))
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,516 @@
+// Package obs is a dependency-free observability substrate: a metrics
+// registry of atomic counters, gauges, and histograms (optionally labeled),
+// plus a lightweight span tracer for per-query stage profiles.
+//
+// The registry is the process-lifetime home for series that previously
+// lived in per-instance structs (scheduler counters, federation
+// SourceStats, snapcache stats). Subsystems hold handles (Counter,
+// Histogram, ...) obtained once via the get-or-create constructors; the
+// hot-path update is a single atomic op. Exposition is pull-based:
+// Snapshot renders every family into a stable, sorted value form that the
+// server serializes as Prometheus text format (prom.go) or JSON.
+//
+// Everything here is standard library only.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DurationBuckets are the default histogram bounds, in seconds. They mirror
+// the latency bucket scheme proven in internal/sched/metrics.go
+// (1ms … 30s), so scheduler latency series migrate onto the registry
+// without changing shape.
+var DurationBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 5, 30}
+
+// RowBuckets suit row-count distributions (1 … 1e6).
+var RowBuckets = []float64{1, 10, 100, 1000, 10000, 100000, 1000000}
+
+// Kind identifies the exposition type of a family.
+type Kind uint8
+
+// Family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing float64.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter by v (v < 0 is ignored).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets and tracks sum and max.
+// Buckets are upper-bound inclusive (le semantics): an observation equal to
+// a bound lands in that bound's bucket; values above the last bound land in
+// the implicit +Inf bucket; negative values land in the first bucket.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    Gauge         // Gauge so negative observations still sum
+	max    atomic.Uint64 // float64 bits of the largest positive observation
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// SearchFloat64s finds the first bound >= v only when v is not present;
+	// for exact matches it returns the index of the bound itself, which is
+	// exactly le-inclusive placement. For v greater than every bound the
+	// index is len(bounds): the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for v > 0 {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Max returns the largest observation so far.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Bounds returns the configured upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the final
+// element is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// family is one named metric family with zero or more labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string // label names, fixed per family
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by joined label values
+	order  []string           // insertion order of keys, for stable snapshots
+
+	// callback-backed families (CounterFunc/GaugeFunc) read at snapshot
+	fn func() float64
+}
+
+type series struct {
+	values  []string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is a set of metric families. The zero value is not usable; call
+// NewRegistry. A nil *Registry is safe: every constructor returns nil
+// handles and every handle method is a no-op, so instrumented code runs
+// unchanged (and nearly free) when observability is not wired up.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+	ord []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*family)}
+}
+
+// labelKey joins label values with a separator that cannot appear unescaped.
+func labelKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := 0
+	for _, v := range values {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, 0xff)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// getFamily returns the family, creating it on first use. Re-registration
+// with a different kind or label arity panics: that is a programming error,
+// not a runtime condition.
+func (r *Registry) getFamily(name, help string, kind Kind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fam[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: family %q re-registered as %s/%d labels (was %s/%d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, series: make(map[string]*series)}
+	r.fam[name] = f
+	r.ord = append(r.ord, name)
+	return f
+}
+
+func (f *family) get(values []string, mk func() *series) *series {
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter returns the unlabeled counter named name, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindCounter, nil)
+	return f.get(nil, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// Gauge returns the unlabeled gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindGauge, nil)
+	return f.get(nil, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// Histogram returns the unlabeled histogram named name with the given
+// bucket bounds (DurationBuckets if bounds is nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	f := r.getFamily(name, help, KindHistogram, nil)
+	return f.get(nil, func() *series { return &series{hist: newHistogram(bounds)} }).hist
+}
+
+// CounterFunc registers a callback-backed counter, read at snapshot time.
+// Useful for exposing counters a subsystem already maintains under its own
+// lock. Registering the same name again replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, KindCounter, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a callback-backed gauge, read at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, KindGauge, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family named name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.getFamily(name, help, KindCounter, labels)}
+}
+
+// With returns the counter for the given label values (one per label name).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	return v.f.get(vals, func() *series { return &series{values: vals, counter: &Counter{}} }).counter
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family named name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.getFamily(name, help, KindGauge, labels)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	return v.f.get(vals, func() *series { return &series{values: vals, gauge: &Gauge{}} }).gauge
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec returns the labeled histogram family named name
+// (DurationBuckets if bounds is nil).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return &HistogramVec{f: r.getFamily(name, help, KindHistogram, labels), bounds: bounds}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	return v.f.get(vals, func() *series { return &series{values: vals, hist: newHistogram(v.bounds)} }).hist
+}
+
+// Series is one snapshotted labeled series.
+type Series struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Hist   *HistSnapshot     `json:"hist,omitempty"`
+}
+
+// HistSnapshot is a snapshotted histogram.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Max     float64   `json:"max"`
+	Bounds  []float64 `json:"bounds"`  // upper bounds, +Inf implicit
+	Buckets []int64   `json:"buckets"` // cumulative counts, one per bound plus +Inf
+}
+
+// Family is one snapshotted metric family.
+type Family struct {
+	Name   string   `json:"name"`
+	Help   string   `json:"help,omitempty"`
+	Kind   string   `json:"kind"`
+	Series []Series `json:"series"`
+}
+
+// Snapshot renders every family into a stable value form. Families are
+// sorted by name; series keep first-use order. Callback families are read
+// here, on the scraper's goroutine.
+func (r *Registry) Snapshot() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.ord))
+	copy(names, r.ord)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.fam[n])
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		fam := Family{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		f.mu.Lock()
+		fn := f.fn
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+		if fn != nil {
+			fam.Series = append(fam.Series, Series{Value: fn()})
+		}
+		for _, s := range sers {
+			var labels map[string]string
+			if len(f.labels) > 0 {
+				labels = make(map[string]string, len(f.labels))
+				for i, ln := range f.labels {
+					labels[ln] = s.values[i]
+				}
+			}
+			switch {
+			case s.counter != nil:
+				fam.Series = append(fam.Series, Series{Labels: labels, Value: s.counter.Value()})
+			case s.gauge != nil:
+				fam.Series = append(fam.Series, Series{Labels: labels, Value: s.gauge.Value()})
+			case s.hist != nil:
+				h := s.hist
+				counts := h.BucketCounts()
+				cum := make([]int64, len(counts))
+				var run int64
+				for i, c := range counts {
+					run += c
+					cum[i] = run
+				}
+				fam.Series = append(fam.Series, Series{Labels: labels, Hist: &HistSnapshot{
+					Count:   h.Count(),
+					Sum:     h.Sum(),
+					Max:     h.Max(),
+					Bounds:  h.Bounds(),
+					Buckets: cum,
+				}})
+			}
+		}
+		out = append(out, fam)
+	}
+	return out
+}

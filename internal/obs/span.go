@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace collects the spans of one traced operation (typically one query).
+// A nil *Trace is valid and free: StartSpan returns a nil *Span whose
+// methods are no-ops, so instrumented code never branches on "is tracing
+// on". Traces are not reused across operations.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+	now   func() time.Time
+}
+
+// NewTrace returns an empty trace. now is the clock used for span
+// durations; nil means time.Now.
+func NewTrace(now func() time.Time) *Trace {
+	if now == nil {
+		now = time.Now
+	}
+	return &Trace{now: now}
+}
+
+// Span is one timed stage inside a trace.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	RowsIn   int64         `json:"rowsIn"`
+	RowsOut  int64         `json:"rowsOut"`
+
+	t    *Trace
+	done bool
+}
+
+// StartSpan opens a named span. Safe on a nil trace.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, Start: t.now(), t: t}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// SetRows records the row counts flowing through the span.
+func (s *Span) SetRows(in, out int64) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.RowsIn, s.RowsOut = in, out
+	s.t.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.Duration = s.t.now().Sub(s.Start)
+	}
+	s.t.mu.Unlock()
+}
+
+// Spans returns the spans recorded so far, in start order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+type ctxKey int
+
+const (
+	registryKey ctxKey = iota
+	traceKey
+)
+
+// WithRegistry returns a context carrying r; instrumented code discovers
+// it via RegistryFrom and records metrics only when present.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the registry carried by ctx, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// WithTrace returns a context carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil (in which case
+// StartSpan on the result is still safe and free).
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the trace carried by ctx, if any.
+func StartSpan(ctx context.Context, name string) *Span {
+	return TraceFrom(ctx).StartSpan(name)
+}

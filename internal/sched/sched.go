@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 )
 
 // Priority orders jobs in the ready queue. Higher runs first.
@@ -112,6 +113,12 @@ type Config struct {
 	Rate RateLimit
 	// Clock supplies time; nil means the wall clock.
 	Clock clock.Clock
+	// Metrics is the registry the scheduler's counters, gauges and the
+	// attempt-latency histogram live on; nil means a private registry, so
+	// schedulers created without one (tests, standalone use) stay
+	// isolated. core passes the process registry here so /metrics covers
+	// the scheduler.
+	Metrics *obs.Registry
 	// KeepDone is how many completed jobs the observability snapshot
 	// retains (default 128).
 	KeepDone int
@@ -160,6 +167,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Clock == nil {
 		c.Clock = clock.Real{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 }
 
@@ -263,6 +273,8 @@ func New(cfg Config, run Runner) *Scheduler {
 		wake:    make(chan struct{}, 1),
 		slots:   make(chan struct{}, cfg.Workers),
 	}
+	s.m = newMetrics(cfg.Metrics)
+	s.registerGauges(cfg.Metrics)
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -314,7 +326,7 @@ func (s *Scheduler) Submit(url string, pri Priority) (*Ticket, error) {
 				heap.Fix(&s.ready, j.heapIdx)
 			}
 		}
-		s.m.deduped++
+		s.m.deduped.Inc()
 		return &Ticket{s: s, j: j}, nil
 	}
 	s.nextID++
@@ -331,7 +343,7 @@ func (s *Scheduler) Submit(url string, pri Priority) (*Ticket, error) {
 	s.active[j.id] = j
 	s.byURL[url] = j
 	s.pending++
-	s.m.submitted++
+	s.m.submitted.Inc()
 	s.kick()
 	return &Ticket{s: s, j: j}, nil
 }
@@ -512,7 +524,7 @@ func (s *Scheduler) runJob(j *job) {
 		j.readyAt = now.Add(s.backoff(j.attempts))
 		j.err = err
 		heap.Push(&s.waiting, j)
-		s.m.retries++
+		s.m.retries.Inc()
 	default:
 		// the failure hook runs under the lock, atomically with the
 		// terminal transition: anyone woken by the broadcast observes
@@ -577,7 +589,7 @@ func (s *Scheduler) parkRateLimitedLocked(now time.Time) {
 		j.state = StateWaiting
 		j.readyAt = now.Add(wait)
 		heap.Push(&s.waiting, j)
-		s.m.rateDeferred++
+		s.m.rateDeferred.Inc()
 	}
 }
 
@@ -594,11 +606,11 @@ func (s *Scheduler) finishLocked(j *job, st State, err error, now time.Time) {
 	}
 	switch st {
 	case StateSucceeded:
-		s.m.succeeded++
+		s.m.succeeded.Inc()
 	case StateFailed:
-		s.m.failed++
+		s.m.failed.Inc()
 	case StateCanceled:
-		s.m.canceled++
+		s.m.canceled.Inc()
 	}
 	if len(s.done) >= s.cfg.KeepDone {
 		copy(s.done, s.done[1:])

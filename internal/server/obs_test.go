@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/endpoint"
+	"repro/internal/registry"
+	"repro/internal/sparql"
+	"repro/internal/synth"
+)
+
+// obsServer is testServer plus access to the tool, with the scheduler
+// started so its families are registered on the process registry.
+func obsServer(t testing.TB) (*httptest.Server, *core.HBOLD) {
+	t.Helper()
+	ck := clock.NewSim(clock.Epoch)
+	tool := core.New(docstore.MustOpenMem(), ck)
+	tool.Registry.Add(registry.Entry{URL: dsURL, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+	tool.Connect(dsURL, endpoint.LocalClient{Store: synth.Scholarly(1)})
+	if err := tool.Process(dsURL); err != nil {
+		t.Fatal(err)
+	}
+	tool.Scheduler()
+	t.Cleanup(tool.Close)
+	srv := httptest.NewServer(New(tool))
+	t.Cleanup(srv.Close)
+	return srv, tool
+}
+
+const obsQuery = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?s ?t WHERE { ?s rdf:type ?t }`
+
+func newTextLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+func queryURL(base, params string) string {
+	return base + "/api/query?dataset=" + url.QueryEscape(dsURL) +
+		"&sparql=" + url.QueryEscape(obsQuery) + params
+}
+
+// TestExplainMatchesExecution is the end-to-end acceptance check: the
+// stage row counts reported by ?explain=1 must equal the number of rows
+// the same query streams without it.
+func TestExplainMatchesExecution(t *testing.T) {
+	srv, _ := obsServer(t)
+
+	code, body, _ := get(t, queryURL(srv.URL, ""))
+	if code != 200 {
+		t.Fatalf("query status = %d: %s", code, body)
+	}
+	rows := 0
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.Contains(line, `"vars"`) {
+			continue
+		}
+		if strings.Contains(line, `"error"`) {
+			t.Fatalf("stream error: %s", line)
+		}
+		rows++
+	}
+
+	code, body, hdr := get(t, queryURL(srv.URL, "&explain=1"))
+	if code != 200 {
+		t.Fatalf("explain status = %d: %s", code, body)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("explain content type = %s", hdr.Get("Content-Type"))
+	}
+	var exp sparql.Explain
+	if err := json.Unmarshal([]byte(body), &exp); err != nil {
+		t.Fatalf("explain not JSON: %v\n%s", err, body)
+	}
+	if exp.Rows != rows {
+		t.Fatalf("explain rows = %d, streamed rows = %d", exp.Rows, rows)
+	}
+	if len(exp.Stages) == 0 {
+		t.Fatal("explain has no stages")
+	}
+	if last := exp.Stages[len(exp.Stages)-1]; last.RowsOut != int64(rows) {
+		t.Fatalf("last stage %q rowsOut = %d, streamed rows = %d", last.Name, last.RowsOut, rows)
+	}
+	if exp.Plan == nil {
+		t.Fatal("explain has no plan tree")
+	}
+}
+
+// TestExplainRejectsFederation: a federated query spans engines and
+// cannot be profiled; the API must say so instead of streaming rows.
+func TestExplainRejectsFederation(t *testing.T) {
+	srv, _ := obsServer(t)
+	code, body, _ := get(t, srv.URL+"/api/query?sources=all&explain=1&sparql="+url.QueryEscape(obsQuery))
+	if code != 400 || !strings.Contains(body, "explain") {
+		t.Fatalf("status = %d body = %s, want 400 mentioning explain", code, body)
+	}
+}
+
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="(\\.|[^"\\])*"(,[a-zA-Z0-9_]+="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// TestPromMetricsSurface scrapes GET /metrics after real traffic and
+// checks both that every line parses as Prometheus text exposition and
+// that each instrumented subsystem shows up.
+func TestPromMetricsSurface(t *testing.T) {
+	srv, _ := obsServer(t)
+
+	// drive every subsystem once: a local query (engine series, cache
+	// was already hit by Process), a federated query (federation series)
+	if code, body, _ := get(t, queryURL(srv.URL, "")); code != 200 {
+		t.Fatalf("query status = %d: %s", code, body)
+	}
+	if code, body, _ := get(t, srv.URL+"/api/query?sources=all&sparql="+url.QueryEscape(obsQuery)); code != 200 {
+		t.Fatalf("federated query status = %d: %s", code, body)
+	}
+
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %s", ct)
+	}
+	lines := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("unparseable comment line: %q", line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("empty exposition")
+	}
+	for _, want := range []string{
+		"hbold_sched_submitted_total",  // scheduler
+		"hbold_sched_workers",          // scheduler gauge
+		"hbold_cache_hits_total",       // snapshot cache
+		"hbold_federation_rows_total",  // federation fan-out
+		"hbold_query_total",            // query engine
+		"hbold_query_duration_seconds", // engine histogram
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metric family %s missing from /metrics", want)
+		}
+	}
+	if !strings.Contains(body, `kind="select"`) {
+		t.Error("engine series not labeled by query kind")
+	}
+}
+
+// TestFederationStatsAPI: the registry-backed per-source series survive
+// the federation client that produced them and carry the capture time.
+func TestFederationStatsAPI(t *testing.T) {
+	srv, tool := obsServer(t)
+	if code, body, _ := get(t, srv.URL+"/api/query?sources=all&sparql="+url.QueryEscape(obsQuery)); code != 200 {
+		t.Fatalf("federated query status = %d: %s", code, body)
+	}
+	code, body, _ := get(t, srv.URL+"/api/federation/stats")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var out struct {
+		CapturedAt time.Time                     `json:"capturedAt"`
+		Sources    map[string]map[string]float64 `json:"sources"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if !out.CapturedAt.Equal(tool.Clock.Now()) {
+		t.Fatalf("capturedAt = %v, clock = %v", out.CapturedAt, tool.Clock.Now())
+	}
+	src, ok := out.Sources[dsURL]
+	if !ok {
+		t.Fatalf("no series for %s: %v", dsURL, out.Sources)
+	}
+	if src["queries"] < 1 {
+		t.Fatalf("queries = %v, want >= 1", src["queries"])
+	}
+	if src["rows"] < 1 {
+		t.Fatalf("rows = %v, want >= 1", src["rows"])
+	}
+}
+
+// TestSlowQueryLog: a threshold of 0ns-adjacent catches every query, so
+// one /api/query must produce exactly one structured record with the
+// query hash and row count.
+func TestSlowQueryLog(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	tool := core.New(docstore.MustOpenMem(), ck)
+	tool.Registry.Add(registry.Entry{URL: dsURL, Title: "Scholarly LD", Source: registry.SourceDataHub, AddedAt: clock.Epoch})
+	tool.Connect(dsURL, endpoint.LocalClient{Store: synth.Scholarly(1)})
+	if err := tool.Process(dsURL); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	s := New(tool)
+	s.Log = newTextLogger(&buf)
+	s.SlowQuery = time.Nanosecond
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	if code, body, _ := get(t, queryURL(srv.URL, "")); code != 200 {
+		t.Fatalf("query status = %d: %s", code, body)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "slow query") {
+		t.Fatalf("no slow-query record: %q", logged)
+	}
+	if !strings.Contains(logged, "query="+endpoint.QueryHash(obsQuery)) {
+		t.Fatalf("record lacks query hash: %q", logged)
+	}
+	if !strings.Contains(logged, "rows=") {
+		t.Fatalf("record lacks row count: %q", logged)
+	}
+}

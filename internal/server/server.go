@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/endpoint"
 	"repro/internal/federation"
+	"repro/internal/obs"
 	"repro/internal/querybuilder"
 	"repro/internal/schema"
 	"repro/internal/snapcache"
@@ -38,16 +40,24 @@ import (
 // Server exposes one H-BOLD instance over HTTP.
 type Server struct {
 	Tool *core.HBOLD
-	mux  *http.ServeMux
+	// Log, when set together with SlowQuery, receives one record per
+	// /api/query request whose total duration (stream drain included)
+	// reached SlowQuery: query hash, duration, rows streamed.
+	Log *slog.Logger
+	// SlowQuery is the slow-query threshold; zero disables the log.
+	SlowQuery time.Duration
+	mux       *http.ServeMux
 }
 
 // New builds the server and its routes.
 func New(tool *core.HBOLD) *Server {
 	s := &Server{Tool: tool, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/api/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/federation/stats", s.handleFederationStats)
 	s.mux.HandleFunc("/api/cache", s.handleCache)
 	s.mux.HandleFunc("/api/refresh", s.handleRefresh)
 	s.mux.HandleFunc("/api/summary", s.handleSummary)
@@ -137,6 +147,55 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 // extraction latency histogram.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Tool.SchedulerMetrics())
+}
+
+// handlePromMetrics renders the process metrics registry in the
+// Prometheus text exposition format — every subsystem that accounts into
+// core's registry (scheduler, snapshot cache, federation, endpoint HTTP
+// clients, query engine) shows up on one scrape surface.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Tool.Metrics.WritePrometheus(w)
+}
+
+// handleFederationStats reports the process-lifetime per-source
+// federation series from the metrics registry, stamped with the capture
+// time. Unlike federation.Client.Stats(), which lives and dies with one
+// client, these accumulate across every federated query the process
+// served.
+func (s *Server) handleFederationStats(w http.ResponseWriter, r *http.Request) {
+	fields := map[string]string{
+		"hbold_federation_queries_total":         "queries",
+		"hbold_federation_rows_total":            "rows",
+		"hbold_federation_errors_total":          "errors",
+		"hbold_federation_unavailable_total":     "unavailable",
+		"hbold_federation_pruned_total":          "pruned",
+		"hbold_federation_first_row_seconds":     "firstRowSeconds",
+		"hbold_federation_elapsed_seconds_total": "elapsedSeconds",
+	}
+	sources := map[string]map[string]float64{}
+	for _, fam := range s.Tool.Metrics.Snapshot() {
+		field, ok := fields[fam.Name]
+		if !ok {
+			continue
+		}
+		for _, se := range fam.Series {
+			src := se.Labels["source"]
+			if src == "" {
+				continue
+			}
+			m := sources[src]
+			if m == nil {
+				m = map[string]float64{}
+				sources[src] = m
+			}
+			m[field] = se.Value
+		}
+	}
+	writeJSON(w, map[string]any{
+		"capturedAt": s.Tool.Clock.Now(),
+		"sources":    sources,
+	})
 }
 
 // handleRefresh enqueues every due endpoint on the scheduler without
@@ -434,8 +493,22 @@ func (s *Server) handleModel(kind string) http.HandlerFunc {
 // mid-stream failure appends a final {"error": ...} line — the status
 // code is long gone by then, which is the streaming trade-off.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
+	// the registry rides the context so the engine's per-query series
+	// (count, duration, rows by kind) record for local evaluations
+	ctx := obs.WithRegistry(r.Context(), s.Tool.Metrics)
+	start := time.Now()
+	rows := 0
 	var text string
+	if s.Log != nil && s.SlowQuery > 0 {
+		defer func() {
+			if d := time.Since(start); d >= s.SlowQuery {
+				s.Log.Warn("slow query",
+					"query", endpoint.QueryHash(text),
+					"dur", d,
+					"rows", rows)
+			}
+		}()
+	}
 	switch r.Method {
 	case http.MethodPost:
 		if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
@@ -574,6 +647,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// branches exactly like a client hang-up would.
 	ctx, cancelQuery := context.WithCancel(ctx)
 	defer cancelQuery()
+	if e := r.URL.Query().Get("explain"); e == "1" || e == "true" {
+		// EXPLAIN runs the query to completion with the profiler attached
+		// and answers with the annotated plan instead of rows. Only
+		// in-process evaluation can profile: a federated query spans
+		// engines (400), and the SPARQL protocol has no EXPLAIN verb.
+		if r.URL.Query().Get("sources") != "" {
+			http.Error(w, "explain is not supported over sources=; query a single dataset", http.StatusBadRequest)
+			return
+		}
+		ex, ok := c.(endpoint.Explainer)
+		if !ok {
+			http.Error(w, "this endpoint cannot explain queries", http.StatusBadRequest)
+			return
+		}
+		profile, err := ex.Explain(ctx, text)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		rows = profile.Rows
+		writeJSON(w, profile)
+		return
+	}
 	rs, err := endpoint.Stream(ctx, c, text)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -599,13 +695,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// flush the first row as soon as it exists (first-row latency), then
 	// in batches — per-row flushing would cost a chunked write per row
-	n := 0
 	for row := range rs.All() {
 		if enc.Encode(row) != nil {
 			return // client went away; ctx unwinds the query
 		}
-		n++
-		if flusher != nil && (n == 1 || n%64 == 0) {
+		rows++
+		if flusher != nil && (rows == 1 || rows%64 == 0) {
 			flusher.Flush()
 		}
 	}

@@ -1,0 +1,36 @@
+package snapcache
+
+import "repro/internal/obs"
+
+// Register exposes a cache's stats on r as callback-backed families, read
+// at scrape time. stats is called on the scraper's goroutine; passing a
+// closure (rather than a *Cache) lets the owner swap the cache instance
+// after registration — core registers func() Stats { return h.Cache.Stats() }
+// and cmd/hbold may still replace h.Cache before serving.
+func Register(r *obs.Registry, stats func() Stats) {
+	if r == nil || stats == nil {
+		return
+	}
+	c := func(name, help string, f func(Stats) float64) {
+		r.CounterFunc(name, help, func() float64 { return f(stats()) })
+	}
+	g := func(name, help string, f func(Stats) float64) {
+		r.GaugeFunc(name, help, func() float64 { return f(stats()) })
+	}
+	c("hbold_cache_hits_total", "Snapshot-cache lookups served from a resident entry.",
+		func(s Stats) float64 { return float64(s.Hits) })
+	c("hbold_cache_misses_total", "Snapshot-cache lookups that ran the compute function.",
+		func(s Stats) float64 { return float64(s.Misses) })
+	c("hbold_cache_collapsed_total", "Lookups collapsed onto another caller's in-flight compute.",
+		func(s Stats) float64 { return float64(s.Collapsed) })
+	c("hbold_cache_evictions_total", "Entries evicted to keep the cache within its byte budget.",
+		func(s Stats) float64 { return float64(s.Evictions) })
+	c("hbold_cache_invalidations_total", "Entries dropped by generation invalidation.",
+		func(s Stats) float64 { return float64(s.Invalidations) })
+	g("hbold_cache_entries", "Resident snapshot-cache entries.",
+		func(s Stats) float64 { return float64(s.Entries) })
+	g("hbold_cache_bytes", "Resident snapshot-cache size in bytes.",
+		func(s Stats) float64 { return float64(s.Bytes) })
+	g("hbold_cache_budget_bytes", "Configured snapshot-cache byte budget.",
+		func(s Stats) float64 { return float64(s.Budget) })
+}

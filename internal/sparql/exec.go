@@ -12,6 +12,7 @@ package sparql
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -73,6 +74,10 @@ type idExec struct {
 	names   []string   // slot → variable name
 	scratch Binding    // reusable binding for expression evaluation
 	joinRow []store.ID // reusable row assembled during joins
+
+	// prof collects the per-node EXPLAIN profile; nil (the default)
+	// keeps every hook to a single pointer check per node invocation.
+	prof *profiler
 }
 
 func newIDExec(st *store.Store) *idExec {
@@ -140,12 +145,22 @@ func (e *idExec) evalGroup(g *cgroup, in *rowbuf, budget int) *rowbuf {
 		if i == len(g.elems)-1 {
 			b = budget
 		}
-		rows = e.evalNode(el, rows, b)
+		if e.prof != nil {
+			end := e.prof.node(el, int64(rows.n))
+			rows = e.evalNode(el, rows, b)
+			end(int64(rows.n))
+		} else {
+			rows = e.evalNode(el, rows, b)
+		}
 		if rows.n == 0 {
 			break
 		}
 	}
 	if len(g.filters) > 0 && rows.n > 0 {
+		var endFilter func(int64)
+		if e.prof != nil {
+			endFilter = e.prof.filterStep(g, int64(rows.n))
+		}
 		out := &rowbuf{stride: rows.stride}
 		for i := 0; i < rows.n; i++ {
 			r := rows.row(i)
@@ -162,6 +177,9 @@ func (e *idExec) evalGroup(g *cgroup, in *rowbuf, budget int) *rowbuf {
 			}
 		}
 		rows = out
+		if endFilter != nil {
+			endFilter(int64(rows.n))
+		}
 	}
 	return rows
 }
@@ -322,7 +340,13 @@ func (e *idExec) evalBGP(b *cBGP, in *rowbuf, budget int) *rowbuf {
 		if k == n-1 {
 			bgt = budget
 		}
-		rows = e.joinPattern(&b.pats[idx], rows, bgt)
+		if e.prof != nil {
+			end := e.prof.pattern(&b.pats[idx], k+1, int64(rows.n))
+			rows = e.joinPattern(&b.pats[idx], rows, bgt)
+			end(int64(rows.n))
+		} else {
+			rows = e.joinPattern(&b.pats[idx], rows, bgt)
+		}
 		if rows.n == 0 {
 			return rows
 		}
@@ -734,8 +758,20 @@ func (q *Query) resolveSelect(comp *compiler, ex *idExec) (aliases []aliasProj, 
 
 // execID runs the query through the ID-space engine.
 func (q *Query) execID(st *store.Store) (*Result, error) {
+	return q.execIDProf(st, nil)
+}
+
+// execIDProf is execID with an optional EXPLAIN profiler attached: prof
+// (when non-nil) receives the planning time, the annotated plan tree and
+// the top-level stage sequence.
+func (q *Query) execIDProf(st *store.Store, prof *profiler) (*Result, error) {
 	ex := newIDExec(st)
+	ex.prof = prof
 	comp := &compiler{ex: ex, slots: newSlotmap()}
+	var planT0 time.Time
+	if prof != nil {
+		planT0 = time.Now()
+	}
 	root, err := comp.group(q.Where)
 	if err != nil {
 		return nil, err
@@ -752,6 +788,10 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 	} else {
 		ex.freeze(comp)
 	}
+	if prof != nil {
+		prof.planNs = time.Since(planT0).Nanoseconds()
+		prof.build(root, ex)
+	}
 
 	// LIMIT pushdown for modifier-free evaluation: nothing downstream can
 	// reorder or drop rows, so the final join may stop early.
@@ -767,14 +807,19 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 	}
 
 	in := &rowbuf{stride: ex.nslots, data: make([]store.ID, ex.nslots), n: 1}
+	endWhere := prof.stage("where", int64(in.n))
 	rows := ex.evalGroup(root, in, budget)
+	endWhere(int64(rows.n))
 
 	if q.Form == FormAsk {
 		return &Result{Ask: true, Boolean: rows.n > 0}, nil
 	}
 	if q.Form == FormConstruct {
+		end := prof.stage("construct", int64(rows.n))
 		rows = rows.window(q.Offset, q.Limit)
-		return &Result{Graph: q.execConstruct(ex.materializeAll(rows))}, nil
+		g := q.execConstruct(ex.materializeAll(rows))
+		end(int64(g.Len()))
+		return &Result{Graph: g}, nil
 	}
 
 	if needsGroup {
@@ -783,6 +828,7 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 		// (SUM, HAVING, expression keys, …) computes fresh terms per group
 		// and runs at the term boundary over materialized solutions, like
 		// the legacy path.
+		endAgg := prof.stage("aggregate", int64(rows.n))
 		vars, out, ok := q.aggFastPath(ex, comp, rows)
 		if !ok {
 			sols := ex.materializeAll(rows)
@@ -792,19 +838,27 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 				return nil, err
 			}
 		}
+		endAgg(int64(len(out)))
 		if len(q.OrderBy) > 0 {
+			end := prof.stage("order-by", int64(len(out)))
 			sortSolutions(out, q.OrderBy)
+			end(int64(len(out)))
 		}
 		if q.Distinct || q.Reduced {
+			end := prof.stage("distinct", int64(len(out)))
 			out = distinct(out, vars)
+			end(int64(len(out)))
 		}
+		endWin := prof.stage("window", int64(len(out)))
 		out = windowBindings(out, q.Offset, q.Limit)
+		endWin(int64(len(out)))
 		return &Result{Vars: vars, Rows: out}, nil
 	}
 
 	// Projection aliases are evaluated against the pre-alias row (aliases
 	// cannot see each other), then written into their slots.
 	if len(aliases) > 0 {
+		end := prof.stage("aliases", int64(rows.n))
 		tmp := make([]store.ID, len(aliases))
 		for i := 0; i < rows.n; i++ {
 			r := rows.row(i)
@@ -820,15 +874,23 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 				}
 			}
 		}
+		end(int64(rows.n))
 	}
 	if len(q.OrderBy) > 0 {
+		end := prof.stage("order-by", int64(rows.n))
 		ex.sortRows(rows, q.OrderBy, obVars)
+		end(int64(rows.n))
 	}
 
 	if q.Distinct || q.Reduced {
+		end := prof.stage("distinct", int64(rows.n))
 		rows = ex.distinctRows(rows, projSlots)
+		end(int64(rows.n))
 	}
+	endWin := prof.stage("window", int64(rows.n))
 	rows = rows.window(q.Offset, q.Limit)
+	endWin(int64(rows.n))
+	endProj := prof.stage("project", int64(rows.n))
 	var out []Binding
 	if q.Star {
 		// SELECT * keeps every bound variable, like the term-space path.
@@ -836,6 +898,7 @@ func (q *Query) execID(st *store.Store) (*Result, error) {
 	} else {
 		out = ex.materializeProj(rows, vars, projSlots)
 	}
+	endProj(int64(len(out)))
 	return &Result{Vars: vars, Rows: out}, nil
 }
 

@@ -1,0 +1,309 @@
+package sparql
+
+// EXPLAIN support: Query.Explain runs the query through the ID-space
+// engine with a profiler attached, producing the compiled plan tree
+// annotated with per-node row counts and timings plus the flat sequence
+// of top-level execution stages (where → aliases → order-by → distinct →
+// window → project). The final stage's RowsOut always equals the number
+// of rows the same query would actually return, so an explain can be
+// checked against a real execution row for row.
+//
+// The profiler is a nil-by-default field on the executor: every hook is
+// a single pointer check per plan-node invocation (never per row), so
+// the unprofiled path stays at full speed.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+// ExplainNode annotates one compiled plan node.
+type ExplainNode struct {
+	// Kind is the node type: group, bgp, pattern, filter, optional,
+	// union, minus, bind, values, legacy.
+	Kind string `json:"kind"`
+	// Detail is a human-readable rendering (the triple pattern, the
+	// bound variable, ...).
+	Detail string `json:"detail,omitempty"`
+	// Order is the 1-based position the greedy optimizer chose for a
+	// pattern within its BGP (0 for non-pattern nodes).
+	Order int `json:"order,omitempty"`
+	// Calls counts node invocations (an OPTIONAL inner group runs once
+	// per outer row).
+	Calls int64 `json:"calls,omitempty"`
+	// RowsIn / RowsOut accumulate rows entering and leaving the node
+	// across all invocations.
+	RowsIn  int64 `json:"rowsIn"`
+	RowsOut int64 `json:"rowsOut"`
+	// TimeNs is the cumulative wall time spent in the node (children
+	// included).
+	TimeNs   int64          `json:"timeNs"`
+	Children []*ExplainNode `json:"children,omitempty"`
+}
+
+// ExplainStage is one top-level execution stage.
+type ExplainStage struct {
+	Name    string `json:"name"`
+	RowsIn  int64  `json:"rowsIn"`
+	RowsOut int64  `json:"rowsOut"`
+	TimeNs  int64  `json:"timeNs"`
+}
+
+// Explain is the per-query profile returned instead of rows.
+type Explain struct {
+	// Engine is the engine that executed the query: id-space or legacy.
+	Engine string `json:"engine"`
+	// Form is the query form: SELECT, ASK, or CONSTRUCT.
+	Form string `json:"form"`
+	// Vars is the projected variable list (SELECT only).
+	Vars []string `json:"vars,omitempty"`
+	// Rows is the number of rows the query produced (1/0 for ASK,
+	// triple count for CONSTRUCT).
+	Rows int `json:"rows"`
+	// PlanningNs is the time spent compiling the plan.
+	PlanningNs int64 `json:"planningNs"`
+	// ExecNs is the total execution time, planning included.
+	ExecNs int64 `json:"execNs"`
+	// Plan is the compiled pattern tree with per-node profile.
+	Plan *ExplainNode `json:"plan,omitempty"`
+	// Stages are the top-level execution stages in run order; the last
+	// stage's rowsOut equals Rows for SELECT queries.
+	Stages []ExplainStage `json:"stages,omitempty"`
+}
+
+// profiler accumulates the per-node and per-stage profile during one
+// profiled execution. A nil *profiler disables every hook.
+type profiler struct {
+	nodes   map[any]*ExplainNode // cnode or *cpattern → its annotation
+	filters map[*cgroup]*ExplainNode
+	stages  []ExplainStage
+	plan    *ExplainNode
+	planNs  int64
+}
+
+func newProfiler() *profiler {
+	return &profiler{
+		nodes:   make(map[any]*ExplainNode),
+		filters: make(map[*cgroup]*ExplainNode),
+	}
+}
+
+// noopEnd is the shared closer handed out when profiling is off, so the
+// unprofiled path allocates nothing.
+var noopEnd = func(int64) {}
+
+// node opens a timed accounting window for one plan-node invocation; the
+// returned func closes it with the output row count.
+func (p *profiler) node(key any, in int64) func(out int64) {
+	en := p.nodes[key]
+	if en == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func(out int64) {
+		en.Calls++
+		en.RowsIn += in
+		en.RowsOut = out
+		en.TimeNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+// pattern is node plus the greedy-order position within the BGP.
+func (p *profiler) pattern(key *cpattern, order int, in int64) func(out int64) {
+	en := p.nodes[key]
+	if en == nil {
+		return noopEnd
+	}
+	en.Order = order
+	t0 := time.Now()
+	return func(out int64) {
+		en.Calls++
+		en.RowsIn += in
+		en.RowsOut = out
+		en.TimeNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+// filterStep accounts the FILTER pass of one group evaluation.
+func (p *profiler) filterStep(g *cgroup, in int64) func(out int64) {
+	en := p.filters[g]
+	if en == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func(out int64) {
+		en.Calls++
+		en.RowsIn += in
+		en.RowsOut = out
+		en.TimeNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+// stage opens a timed top-level stage; the returned func closes it.
+// Safe (and free) on a nil profiler.
+func (p *profiler) stage(name string, in int64) func(out int64) {
+	if p == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func(out int64) {
+		p.stages = append(p.stages, ExplainStage{
+			Name: name, RowsIn: in, RowsOut: out,
+			TimeNs: time.Since(t0).Nanoseconds(),
+		})
+	}
+}
+
+// build constructs the annotated plan tree mirroring the compiled
+// algebra and indexes every node for the execution hooks.
+func (p *profiler) build(root *cgroup, ex *idExec) {
+	p.plan = p.buildGroup(root, ex)
+}
+
+func (p *profiler) buildGroup(g *cgroup, ex *idExec) *ExplainNode {
+	en := &ExplainNode{Kind: "group"}
+	p.nodes[g] = en
+	for _, el := range g.elems {
+		en.Children = append(en.Children, p.buildNode(el, ex))
+	}
+	if len(g.filters) > 0 {
+		fn := &ExplainNode{Kind: "filter", Detail: fmt.Sprintf("%d condition(s)", len(g.filters))}
+		p.filters[g] = fn
+		en.Children = append(en.Children, fn)
+	}
+	return en
+}
+
+func (p *profiler) buildNode(n cnode, ex *idExec) *ExplainNode {
+	switch x := n.(type) {
+	case *cBGP:
+		en := &ExplainNode{Kind: "bgp"}
+		p.nodes[x] = en
+		for i := range x.pats {
+			pat := &x.pats[i]
+			pn := &ExplainNode{Kind: "pattern", Detail: renderPattern(pat, ex)}
+			p.nodes[pat] = pn
+			en.Children = append(en.Children, pn)
+		}
+		return en
+	case *cgroup:
+		return p.buildGroup(x, ex)
+	case *cOptional:
+		en := &ExplainNode{Kind: "optional"}
+		p.nodes[x] = en
+		en.Children = append(en.Children, p.buildGroup(x.inner, ex))
+		return en
+	case *cUnion:
+		en := &ExplainNode{Kind: "union"}
+		p.nodes[x] = en
+		en.Children = append(en.Children, p.buildGroup(x.left, ex), p.buildGroup(x.right, ex))
+		return en
+	case *cMinus:
+		en := &ExplainNode{Kind: "minus"}
+		p.nodes[x] = en
+		en.Children = append(en.Children, p.buildGroup(x.inner, ex))
+		return en
+	case *cBind:
+		en := &ExplainNode{Kind: "bind", Detail: "?" + slotName(ex, x.slot)}
+		p.nodes[x] = en
+		return en
+	case *cValues:
+		en := &ExplainNode{Kind: "values", Detail: fmt.Sprintf("%d row(s)", len(x.rows))}
+		p.nodes[x] = en
+		return en
+	}
+	return &ExplainNode{Kind: "unknown"}
+}
+
+func slotName(ex *idExec, slot int) string {
+	if slot >= 0 && slot < len(ex.names) {
+		return ex.names[slot]
+	}
+	return fmt.Sprintf("slot%d", slot)
+}
+
+func renderPattern(p *cpattern, ex *idExec) string {
+	var sb strings.Builder
+	pos := func(t cterm) {
+		if t.isVar() {
+			sb.WriteByte('?')
+			sb.WriteString(slotName(ex, t.slot))
+			return
+		}
+		sb.WriteString(ex.term(t.id).String())
+	}
+	pos(p.s)
+	sb.WriteByte(' ')
+	pos(p.p)
+	sb.WriteByte(' ')
+	pos(p.o)
+	return sb.String()
+}
+
+// Explain executes the query against st with profiling and returns the
+// annotated plan instead of rows. Queries the ID-space engine cannot
+// plan fall back to the legacy evaluator and produce a single-node
+// profile (total rows and time only).
+func (q *Query) Explain(st *store.Store) (*Explain, error) {
+	prof := newProfiler()
+	t0 := time.Now()
+	res, err := q.execIDProf(st, prof)
+	if errors.Is(err, errUnsupportedPlan) {
+		lt0 := time.Now()
+		res, err = q.execLegacy(st)
+		if err != nil {
+			return nil, err
+		}
+		out := &Explain{
+			Engine: "legacy",
+			Form:   q.Form.String(),
+			Vars:   res.Vars,
+			Rows:   resultRows(res),
+			ExecNs: time.Since(lt0).Nanoseconds(),
+			Plan:   &ExplainNode{Kind: "legacy", RowsOut: int64(resultRows(res))},
+		}
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{
+		Engine:     "id-space",
+		Form:       q.Form.String(),
+		Vars:       res.Vars,
+		Rows:       resultRows(res),
+		PlanningNs: prof.planNs,
+		ExecNs:     time.Since(t0).Nanoseconds(),
+		Plan:       prof.plan,
+		Stages:     prof.stages,
+	}, nil
+}
+
+func resultRows(res *Result) int {
+	switch {
+	case res.Ask:
+		if res.Boolean {
+			return 1
+		}
+		return 0
+	case res.Graph != nil:
+		return res.Graph.Len()
+	}
+	return len(res.Rows)
+}
+
+// String returns the SPARQL keyword of the query form.
+func (f Form) String() string {
+	switch f {
+	case FormAsk:
+		return "ASK"
+	case FormConstruct:
+		return "CONSTRUCT"
+	default:
+		return "SELECT"
+	}
+}

@@ -1,0 +1,126 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// TestExplainRowsMatchExec is the contract the EXPLAIN surface rests on:
+// the profiled execution is the real execution, so the profile's row
+// counts must equal what the same query actually returns — for every
+// query shape the staged pipeline covers.
+func TestExplainRowsMatchExec(t *testing.T) {
+	st := fixtureStore(t)
+	queries := []string{
+		`PREFIX ex: <http://ex/> SELECT ?p WHERE { ?p a ex:Person }`,
+		`PREFIX ex: <http://ex/> SELECT ?a ?b WHERE { ?a ex:knows ?b . ?b ex:knows ?c }`,
+		`PREFIX ex: <http://ex/> SELECT ?p WHERE { ?p ex:age ?a FILTER(?a > 28) }`,
+		`PREFIX ex: <http://ex/> SELECT ?p ?e WHERE { ?p a ex:Person OPTIONAL { ?e ex:organizedBy ?p } }`,
+		`PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x a ex:Person } UNION { ?x a ex:Event } }`,
+		`PREFIX ex: <http://ex/> SELECT DISTINCT ?o WHERE { ?s ex:knows ?o }`,
+		`PREFIX ex: <http://ex/> SELECT ?p WHERE { ?p ex:age ?a } ORDER BY ?a`,
+		`PREFIX ex: <http://ex/> SELECT ?p WHERE { ?p a ex:Person } LIMIT 2`,
+		`PREFIX ex: <http://ex/> SELECT (COUNT(?p) AS ?n) WHERE { ?p a ex:Person }`,
+	}
+	for _, text := range queries {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", text, err)
+		}
+		res, err := q.Exec(st)
+		if err != nil {
+			t.Fatalf("Exec(%s): %v", text, err)
+		}
+		// Explain must not disturb later executions; run it between two
+		// real ones and compare all three
+		exp, err := q.Explain(st)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", text, err)
+		}
+		res2, err := q.Exec(st)
+		if err != nil {
+			t.Fatalf("re-Exec(%s): %v", text, err)
+		}
+		if len(res2.Rows) != len(res.Rows) {
+			t.Errorf("%s: Exec after Explain returned %d rows, first Exec %d", text, len(res2.Rows), len(res.Rows))
+		}
+		if exp.Rows != len(res.Rows) {
+			t.Errorf("%s: explain rows = %d, exec rows = %d", text, exp.Rows, len(res.Rows))
+		}
+		if exp.Engine != "id-space" {
+			t.Errorf("%s: engine = %s, want id-space", text, exp.Engine)
+		}
+		if exp.Plan == nil {
+			t.Errorf("%s: no plan tree", text)
+			continue
+		}
+		if len(exp.Stages) == 0 {
+			t.Errorf("%s: no stages", text)
+			continue
+		}
+		last := exp.Stages[len(exp.Stages)-1]
+		if last.RowsOut != int64(exp.Rows) {
+			t.Errorf("%s: last stage %q rowsOut = %d, want %d", text, last.Name, last.RowsOut, exp.Rows)
+		}
+		if exp.Stages[0].Name != "where" {
+			t.Errorf("%s: first stage = %q, want where", text, exp.Stages[0].Name)
+		}
+	}
+}
+
+// TestExplainAsk checks the non-SELECT forms report their row semantics.
+func TestExplainAsk(t *testing.T) {
+	st := fixtureStore(t)
+	q, err := Parse(`PREFIX ex: <http://ex/> ASK { ex:alice ex:knows ex:bob }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := q.Explain(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Form != "ASK" || exp.Rows != 1 {
+		t.Fatalf("form = %s rows = %d, want ASK 1", exp.Form, exp.Rows)
+	}
+}
+
+// TestExplainPlanAnnotations checks that the plan tree carries per-node
+// traffic: a two-pattern join must show the greedy order and the second
+// pattern seeing the first one's output as input.
+func TestExplainPlanAnnotations(t *testing.T) {
+	st := fixtureStore(t)
+	q, err := Parse(`PREFIX ex: <http://ex/> SELECT ?a ?b WHERE { ?a ex:knows ?b . ?b ex:age ?g }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := q.Explain(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pats []*ExplainNode
+	var walk func(n *ExplainNode)
+	walk = func(n *ExplainNode) {
+		if n.Kind == "pattern" {
+			pats = append(pats, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(exp.Plan)
+	if len(pats) != 2 {
+		t.Fatalf("patterns in plan = %d, want 2", len(pats))
+	}
+	orders := map[int]bool{}
+	for _, p := range pats {
+		if p.Detail == "" {
+			t.Errorf("pattern without rendered detail: %+v", p)
+		}
+		if p.Calls == 0 {
+			t.Errorf("pattern never invoked: %+v", p)
+		}
+		orders[p.Order] = true
+	}
+	if !orders[1] || !orders[2] {
+		t.Fatalf("greedy order positions = %v, want {1,2}", orders)
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"context"
 	"errors"
 	"iter"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -53,8 +55,14 @@ type RowSeq struct {
 // OnClose registers fn to run exactly once when the stream ends — by
 // exhaustion or by Close — so producers can release resources (an HTTP
 // body, a file) even if the consumer abandons the stream before pulling
-// a single row.
+// a single row. Multiple registrations compose: each fn runs once, in
+// registration order, so a producer's cleanup and an observer's
+// accounting can coexist on one stream.
 func (rs *RowSeq) OnClose(fn func()) {
+	if prev := rs.onClose; prev != nil {
+		rs.onClose = func() { prev(); fn() }
+		return
+	}
 	rs.onClose = fn
 }
 
@@ -220,6 +228,55 @@ func (rs *RowSeq) Tap(fn func(Binding)) *RowSeq {
 	return out
 }
 
+// kind buckets the query for the engine's registry series.
+func (q *Query) kind() string {
+	switch {
+	case q.Form == FormAsk:
+		return "ask"
+	case q.Form == FormConstruct:
+		return "construct"
+	case q.needsGrouping():
+		return "aggregate"
+	case len(q.OrderBy) > 0:
+		return "ordered"
+	case q.Distinct || q.Reduced:
+		return "distinct"
+	default:
+		return "select"
+	}
+}
+
+// instrumentStream attaches per-query engine accounting to rs: rows are
+// counted as they are pulled, and at stream end (exhaustion or Close) the
+// query count, row count and duration land in kind-labeled registry
+// families; sp, when non-nil, is closed with the yielded row count. With
+// reg and sp both nil (the uninstrumented path) this is a no-op — no
+// wrapper, no per-row work.
+func instrumentStream(rs *RowSeq, reg *obs.Registry, sp *obs.Span, kind string, start time.Time) {
+	if reg == nil && sp == nil {
+		return
+	}
+	var rows int64
+	if inner := rs.next; inner != nil {
+		rs.next = func() (Binding, bool) {
+			b, ok := inner()
+			if ok {
+				rows++
+			}
+			return b, ok
+		}
+	}
+	rs.OnClose(func() {
+		sp.SetRows(0, rows)
+		sp.End()
+		if reg != nil {
+			reg.CounterVec("hbold_query_total", "Queries executed by the SPARQL engine.", "kind").With(kind).Inc()
+			reg.CounterVec("hbold_query_rows_total", "Rows yielded by the SPARQL engine.", "kind").With(kind).Add(float64(rows))
+			reg.HistogramVec("hbold_query_duration_seconds", "Query wall time, stream open to stream end.", nil, "kind").With(kind).Observe(time.Since(start).Seconds())
+		}
+	})
+}
+
 // StreamExec parses the query and streams it against st.
 func StreamExec(ctx context.Context, st *store.Store, query string) (*RowSeq, error) {
 	q, err := Parse(query)
@@ -261,14 +318,36 @@ func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Observability is opt-in via the context: without a registry or
+	// trace attached, kind/start stay unused and no wrapper is added.
+	reg := obs.RegistryFrom(ctx)
+	kind := q.kind()
+	sp := obs.StartSpan(ctx, "query:"+kind)
+	var start time.Time
+	if reg != nil || sp != nil {
+		start = time.Now()
+	}
+	fail := func(err error) (*RowSeq, error) {
+		sp.End()
+		if reg != nil {
+			reg.CounterVec("hbold_query_errors_total", "Queries that failed before yielding a stream.", "kind").With(kind).Inc()
+		}
+		return nil, err
+	}
 	if q.Form != FormSelect || q.needsGrouping() || len(q.OrderBy) > 0 {
 		res, err := q.Exec(st)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		return resultSeqCtx(ctx, res), nil
+		rs := resultSeqCtx(ctx, res)
+		instrumentStream(rs, reg, sp, kind, start)
+		return rs, nil
 	}
 
+	var compileT0 time.Time
+	if reg != nil {
+		compileT0 = time.Now()
+	}
 	ex := newIDExec(st)
 	comp := &compiler{ex: ex, slots: newSlotmap()}
 	root, err := comp.group(q.Where)
@@ -276,17 +355,22 @@ func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
 		if errors.Is(err, errUnsupportedPlan) {
 			res, lerr := q.execLegacy(st)
 			if lerr != nil {
-				return nil, lerr
+				return fail(lerr)
 			}
-			return resultSeqCtx(ctx, res), nil
+			rs := resultSeqCtx(ctx, res)
+			instrumentStream(rs, reg, sp, kind, start)
+			return rs, nil
 		}
-		return nil, err
+		return fail(err)
 	}
 
 	// Resolve the projection surface through the same helper as the
 	// batch path (the stream executor has no ORDER BY, so the resolved
 	// condition vars are unused).
 	aliases, vars, projSlots, _ := q.resolveSelect(comp, ex)
+	if reg != nil {
+		reg.Histogram("hbold_query_compile_seconds", "Plan compilation time for ID-space streamed queries.", nil).Observe(time.Since(compileT0).Seconds())
+	}
 
 	se := &streamExec{ctx: ctx, ex: ex, orders: map[*cBGP][]int{}, minus: map[*cMinus]*rowbuf{}}
 	var streamErr error
@@ -359,7 +443,9 @@ func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
 			streamErr = se.err
 		}
 	}
-	return NewRowSeq(vars, seq, &streamErr), nil
+	rs := NewRowSeq(vars, seq, &streamErr)
+	instrumentStream(rs, reg, sp, kind, start)
+	return rs, nil
 }
 
 // streamYield receives one pipeline row plus the first scratch level the
