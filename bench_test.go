@@ -1049,3 +1049,117 @@ func BenchmarkE17_Observability(b *testing.B) {
 		benchE17(b, obs.WithTrace(ctx, obs.NewTrace(nil)))
 	})
 }
+
+// --- E18: bounded top-k ORDER BY … LIMIT under the streaming engine ---
+
+// E18 measures what the top-k heap buys an ordered window query: `ORDER
+// BY … LIMIT 10` over a pattern with >100k solutions retains only
+// OFFSET+LIMIT rows however many the pattern produces. The baseline arm
+// is the strategy this replaced — materialize every solution, sort the
+// lot, emit the window — which both engines used for any ordered query
+// and the streaming path still uses when no LIMIT bounds the window.
+// live-KB-over-base follows E15: live heap after a forced collection
+// minus a pre-query baseline, sampled while the comparison structure is
+// resident (the heap at first emitted row; the full sorted result).
+
+var (
+	e18Once sync.Once
+	e18St   *store.Store
+)
+
+const e18K = 10
+
+func e18Store() *store.Store {
+	e18Once.Do(func() {
+		e18St = synth.Generate(synth.Spec{
+			Name: "e18", Classes: 10, Instances: 24000, ObjectProps: 16,
+			DataProps: 8, LinkFactor: 3, CommunitySeeds: 3, Seed: 88,
+		})
+	})
+	return e18St
+}
+
+func BenchmarkE18_TopKStream(b *testing.B) {
+	st := e18Store()
+	if st.Len() < 100000 {
+		b.Fatalf("store holds %d triples; E18 requires >=100k solutions", st.Len())
+	}
+	q, err := sparql.Parse(fmt.Sprintf(`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?o ?s ?p LIMIT %d`, e18K))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	base := liveHeapKB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var liveKB float64
+	for i := 0; i < b.N; i++ {
+		rs, err := q.Stream(ctx, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for range rs.All() {
+			if rows == 0 {
+				// the scan is done and the heap holds exactly the k
+				// retained rows: this is the operator's peak residency
+				b.StopTimer()
+				if kb := liveHeapKB(); kb > liveKB {
+					liveKB = kb
+				}
+				b.StartTimer()
+			}
+			rows++
+		}
+		if rs.Err() != nil {
+			b.Fatal(rs.Err())
+		}
+		if rows != e18K {
+			b.Fatalf("top-k emitted %d rows, want %d", rows, e18K)
+		}
+	}
+	b.StopTimer()
+	// the heap must have consumed every solution, not sampled some
+	scanned := reg.CounterVec("hbold_stream_op_rows_total", "Rows consumed by streaming operators.", "op").With("top-k").Value()
+	if scanned < float64(b.N)*100000 {
+		b.Fatalf("top-k scanned %.0f rows over %d runs; want >=100k per run", scanned, b.N)
+	}
+	b.ReportMetric(liveKB-base, "live-KB-over-base")
+	b.ReportMetric(scanned/float64(b.N), "rows-scanned/op")
+	b.ReportMetric(float64(e18K), "heap-rows")
+}
+
+// BenchmarkE18_FullSortMaterialized is the pre-top-k strategy on the
+// same request: materialize and sort all solutions, then window. The
+// unwindowed ordered result is what the old fallback held at its peak
+// to answer the identical LIMIT-10 query.
+func BenchmarkE18_FullSortMaterialized(b *testing.B) {
+	st := e18Store()
+	q, err := sparql.Parse(`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?o ?s ?p`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := liveHeapKB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var liveKB float64
+	for i := 0; i < b.N; i++ {
+		res, err := q.ExecEngine(st, sparql.EngineIDSpace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if kb := liveHeapKB(); kb > liveKB {
+			liveKB = kb // the full sorted solution set is resident here
+		}
+		b.StartTimer()
+		if len(res.Rows) < 100000 {
+			b.Fatalf("only %d rows; store too small for the comparison", len(res.Rows))
+		}
+		window := res.Rows[:e18K]
+		runtime.KeepAlive(window)
+	}
+	b.StopTimer()
+	b.ReportMetric(liveKB-base, "live-KB-over-base")
+}

@@ -165,7 +165,9 @@ func usage() {
   hbold sparqld [-addr :8081] [-quiet] <file.ttl>
                                             serve a Turtle file as a SPARQL protocol endpoint
                                             (a federation member for query -endpoint; one
-                                            access-log record per request unless -quiet)`)
+                                            access-log record per request unless -quiet;
+                                            results as JSON, CSV, TSV or XML via the Accept
+                                            header or ?format=)`)
 	os.Exit(2)
 }
 

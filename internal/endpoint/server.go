@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/sparql"
+	"repro/internal/sparql/results"
 	"repro/internal/store"
 )
 
@@ -72,15 +73,18 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		status = code
 		http.Error(w, msg, code)
 	}
+	var formatParam string
 	switch r.Method {
 	case http.MethodGet:
 		query = r.URL.Query().Get("query")
+		formatParam = r.URL.Query().Get("format")
 	case http.MethodPost:
 		if err := r.ParseForm(); err != nil {
 			fail("bad form", http.StatusBadRequest)
 			return
 		}
 		query = r.PostForm.Get("query")
+		formatParam = r.PostForm.Get("format")
 	default:
 		fail("method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -89,21 +93,26 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fail("missing query parameter", http.StatusBadRequest)
 		return
 	}
+	format, err := results.Negotiate(formatParam, r.Header.Get("Accept"), results.JSON)
+	if err != nil {
+		fail(err.Error(), http.StatusBadRequest)
+		return
+	}
 	rs, err := EvaluateStream(r.Context(), h.Store, query, h.Quirks)
 	if err != nil {
 		fail(err.Error(), http.StatusBadRequest)
 		return
 	}
 	defer rs.Close()
-	w.Header().Set("Content-Type", resultsMIME)
+	w.Header().Set("Content-Type", format.ContentType())
 	if rs.Ask {
-		sparql.WriteAskJSON(w, rs.Boolean)
+		results.WriteAsk(format, w, rs.Boolean)
 		return
 	}
-	jw := sparql.NewJSONRowWriter(w, rs.Vars)
+	rw := results.NewWriter(format, w, rs.Vars)
 	flusher, _ := w.(http.Flusher)
 	for row := range rs.All() {
-		if jw.WriteRow(row) != nil {
+		if rw.WriteRow(row) != nil {
 			return // client went away; the context unwinds the evaluation
 		}
 		rows++
@@ -112,11 +121,16 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if rs.Err() != nil {
-		// mid-stream failure after rows were sent: leave the document
-		// unterminated so the client sees a broken stream, not a result
+		// Mid-stream failure after rows were sent. JSON and XML documents
+		// are left unterminated — parsers see a broken stream. CSV and TSV
+		// have no terminator, so a clean connection close would look like a
+		// complete short result: abort the connection instead.
+		if format == results.CSV || format == results.TSV {
+			panic(http.ErrAbortHandler)
+		}
 		return
 	}
-	jw.Close()
+	rw.Close()
 }
 
 // Evaluate runs a query against st honouring the endpoint quirks,

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/endpoint"
 	"repro/internal/extraction"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -928,6 +929,55 @@ func TestFederatedLimitHoldsAgainstQuirkyMember(t *testing.T) {
 		}
 		if len(res.Rows) != tc.want {
 			t.Fatalf("LIMIT %d: merged %d rows, want %d", tc.limit, len(res.Rows), tc.want)
+		}
+	}
+}
+
+// TestFederatedTopKComposesWithBranchHeaps: an ORDER BY … LIMIT k fan-out
+// now runs each member through the streaming top-k heap (each branch
+// returns at most k rows) and those truncated branch streams feed the
+// ordered k-way merge. The composition must stay exact: the merged
+// result is the union endpoint's global top-k in order, not an artifact
+// of which branch truncated what.
+func TestFederatedTopKComposesWithBranchHeaps(t *testing.T) {
+	const k = 25
+	union, parts := unionAndParts(3)
+	fed := New(localSources(parts)...)
+	q := fmt.Sprintf(`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?o ?s ?p LIMIT %d`, k)
+
+	want, err := endpoint.LocalClient{Store: union}.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("union: %v", err)
+	}
+	if len(want.Rows) != k {
+		t.Fatalf("fixture too small: union top-k has %d rows, want %d", len(want.Rows), k)
+	}
+
+	reg := obs.NewRegistry()
+	got, err := fed.Query(obs.WithRegistry(context.Background(), reg), q)
+	if err != nil {
+		t.Fatalf("federated: %v", err)
+	}
+	if len(got.Rows) != k {
+		t.Fatalf("federated %d rows, want %d", len(got.Rows), k)
+	}
+	// the sort keys (?o ?s ?p) cover every projected variable, so the
+	// global order is total and the sequences must match exactly
+	for i := range want.Rows {
+		wk := sparql.BindingKey(want.Rows[i], want.Vars)
+		gk := sparql.BindingKey(got.Rows[i], want.Vars)
+		if wk != gk {
+			t.Fatalf("row %d differs:\n  fed   %q\n  union %q", i, gk, wk)
+		}
+	}
+	// every branch must have taken the streaming top-k path …
+	if n := reg.CounterVec("hbold_stream_op_total", "Streaming operator activations by operator.", "op").With("top-k").Value(); n != float64(len(parts)) {
+		t.Fatalf("top-k operator activations = %v, want %d (one per branch)", n, len(parts))
+	}
+	// … and therefore handed the merge at most k rows each
+	for url, st := range fed.Stats().Sources {
+		if st.Rows > k {
+			t.Fatalf("%s delivered %d rows into the merge; branch top-k should cap at %d", url, st.Rows, k)
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/snapcache"
 	"repro/internal/sparql"
+	"repro/internal/sparql/results"
 	"repro/internal/viz"
 )
 
@@ -559,6 +560,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "CONSTRUCT is not supported on the streaming query API; use SELECT or ASK", http.StatusBadRequest)
 		return
 	}
+	// Result format: NDJSON by default (the streaming-native framing), or
+	// any of the W3C serializations via ?format= / Accept. formatNDJSON is
+	// a sentinel outside the results enum: Negotiate returns it untouched
+	// when neither the parameter nor the Accept header names a format.
+	const formatNDJSON = results.Format(-1)
+	formatParam := r.URL.Query().Get("format")
+	if formatParam == "" && r.Form != nil {
+		formatParam = r.Form.Get("format")
+	}
+	format, err := results.Negotiate(formatParam, r.Header.Get("Accept"), formatNDJSON)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var c endpoint.Client
 	if sel := r.URL.Query().Get("sources"); sel != "" {
 		// fanned-out aggregates would interleave per-source partials;
@@ -681,6 +696,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// cap is reached, and the deferred cancel unwinds anything still
 		// evaluating behind it
 		rs = rs.Limit(limit)
+	}
+	if format != formatNDJSON {
+		w.Header().Set("Content-Type", format.ContentType())
+		if rs.Ask {
+			results.WriteAsk(format, w, rs.Boolean)
+			return
+		}
+		rw := results.NewWriter(format, w, rs.Vars)
+		wflusher, _ := w.(http.Flusher)
+		for row := range rs.All() {
+			if rw.WriteRow(row) != nil {
+				return // client went away; ctx unwinds the query
+			}
+			rows++
+			if wflusher != nil && (rows == 1 || rows%64 == 0) {
+				wflusher.Flush()
+			}
+		}
+		if err := rs.Err(); err != nil {
+			// A mid-stream failure must not end as a well-formed short
+			// result. JSON/XML stay unterminated; CSV/TSV have no
+			// terminator, so abort the connection.
+			if format == results.CSV || format == results.TSV {
+				panic(http.ErrAbortHandler)
+			}
+			return
+		}
+		rw.Close()
+		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)

@@ -1,14 +1,14 @@
 package sparql_test
 
 // Differential harness: every query of the package's fixed test corpus
-// plus randomized queries over internal/synth stores run through both the
-// ID-space engine and the legacy term-space evaluator, asserting identical
-// results. CI runs this under -race, so the lock-free Reader path is
-// exercised by the race detector too.
+// plus randomized queries over internal/synth stores run through the
+// streaming engine, the ID-space engine and the legacy term-space
+// evaluator, asserting equivalent results. CI runs this under -race, so
+// the lock-free Reader path is exercised by the race detector too.
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -155,12 +155,14 @@ func graphKey(g *rdf.Graph) (string, int) {
 	return strings.Join(lines, "\n"), len(blanks)
 }
 
-// assertEngineAgreement runs the query through both engines and fails on
+// assertEngineAgreement runs the query through all three evaluation
+// paths — streaming, ID-space and the legacy reference — and fails on
 // any observable difference. ordered means the query's ORDER BY keys are
 // known to impose a total order, so the exact row sequence is compared;
-// without it, ties may legitimately differ between engines (SliceStable
-// over different join orders) and only the sorted row multiset is
-// comparable.
+// without it, ties may legitimately differ between engines (stable sorts
+// and top-k heaps over different join orders), so ordered results are
+// compared position-by-position under the ORDER BY keys themselves and
+// full multiset equality is asserted only when no window truncates them.
 func assertEngineAgreement(t *testing.T, st *store.Store, query string, ordered bool) {
 	t.Helper()
 	q, err := sparql.Parse(query)
@@ -169,45 +171,84 @@ func assertEngineAgreement(t *testing.T, st *store.Store, query string, ordered 
 	}
 	idRes, idErr := q.ExecEngine(st, sparql.EngineIDSpace)
 	lgRes, lgErr := q.ExecEngine(st, sparql.EngineLegacy)
-	if (idErr == nil) != (lgErr == nil) {
-		t.Fatalf("query %q: engine errors disagree: id=%v legacy=%v", query, idErr, lgErr)
+	var smRes *sparql.Result
+	smErr := func() error {
+		rs, err := q.Stream(context.Background(), st)
+		if err != nil {
+			return err
+		}
+		smRes, err = rs.Collect()
+		return err
+	}()
+	if (idErr == nil) != (lgErr == nil) || (smErr == nil) != (lgErr == nil) {
+		t.Fatalf("query %q: engine errors disagree: id=%v stream=%v legacy=%v", query, idErr, smErr, lgErr)
 	}
-	if idErr != nil {
+	if lgErr != nil {
 		return
 	}
-	if idRes.Ask != lgRes.Ask || idRes.Boolean != lgRes.Boolean {
-		t.Fatalf("query %q: ASK disagreement: id=%+v legacy=%+v", query, idRes, lgRes)
+	compareEngines(t, query, q, "id", idRes, lgRes, ordered)
+	compareEngines(t, query, q, "stream", smRes, lgRes, ordered)
+}
+
+// compareEngines checks one engine's result against the legacy reference.
+func compareEngines(t *testing.T, query string, q *sparql.Query, name string, got, want *sparql.Result, ordered bool) {
+	t.Helper()
+	if got.Ask != want.Ask || got.Boolean != want.Boolean {
+		t.Fatalf("query %q: ASK disagreement: %s=%+v legacy=%+v", query, name, got, want)
 	}
-	if idRes.Ask {
+	if got.Ask {
 		return
 	}
-	if idRes.Graph != nil || lgRes.Graph != nil {
-		ik, ib := graphKey(idRes.Graph)
-		lk, lb := graphKey(lgRes.Graph)
+	if got.Graph != nil || want.Graph != nil {
+		gk, gb := graphKey(got.Graph)
+		lk, lb := graphKey(want.Graph)
 		if q.Limit >= 0 && len(q.OrderBy) == 0 {
 			// without a total order LIMIT may keep different solutions;
 			// only the cardinality is comparable
-			if idRes.Graph.Len() != lgRes.Graph.Len() {
-				t.Fatalf("query %q: graph sizes differ: %d vs %d", query, idRes.Graph.Len(), lgRes.Graph.Len())
+			if got.Graph.Len() != want.Graph.Len() {
+				t.Fatalf("query %q: graph sizes differ: %s=%d legacy=%d", query, name, got.Graph.Len(), want.Graph.Len())
 			}
 			return
 		}
-		if ik != lk || ib != lb {
-			t.Fatalf("query %q: graphs differ (blanks %d vs %d)\nid:\n%s\nlegacy:\n%s", query, ib, lb, ik, lk)
+		if gk != lk || gb != lb {
+			t.Fatalf("query %q: graphs differ (blanks %d vs %d)\n%s:\n%s\nlegacy:\n%s", query, gb, lb, name, gk, lk)
 		}
 		return
 	}
-	if fmt.Sprint(idRes.Vars) != fmt.Sprint(lgRes.Vars) {
-		t.Fatalf("query %q: vars differ: %v vs %v", query, idRes.Vars, lgRes.Vars)
+	if fmt.Sprint(got.Vars) != fmt.Sprint(want.Vars) {
+		t.Fatalf("query %q: vars differ: %s=%v legacy=%v", query, name, got.Vars, want.Vars)
 	}
-	if len(q.OrderBy) > 0 && ordered {
-		ik, lk := rowKeysInOrder(idRes), rowKeysInOrder(lgRes)
-		if len(ik) != len(lk) {
-			t.Fatalf("query %q: row counts differ: %d vs %d", query, len(ik), len(lk))
+	if len(q.OrderBy) > 0 {
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("query %q: row counts differ: %s=%d legacy=%d", query, name, len(got.Rows), len(want.Rows))
 		}
-		for i := range ik {
-			if ik[i] != lk[i] {
-				t.Fatalf("query %q: ordered row %d differs:\nid:     %q\nlegacy: %q", query, i, ik[i], lk[i])
+		if ordered {
+			gk, lk := rowKeysInOrder(got), rowKeysInOrder(want)
+			for i := range gk {
+				if gk[i] != lk[i] {
+					t.Fatalf("query %q: ordered row %d differs:\n%s:     %q\nlegacy: %q", query, i, name, gk[i], lk[i])
+				}
+			}
+			return
+		}
+		// Tie-aware: engines may order (and, under a window, retain)
+		// different rows within a tie group, but position i must carry an
+		// equal sort key in both results — otherwise one engine's "top k"
+		// kept a row the order says it shouldn't have.
+		for i := range got.Rows {
+			gk := sparql.OrderKeyOf(q.OrderBy, got.Rows[i])
+			lk := sparql.OrderKeyOf(q.OrderBy, want.Rows[i])
+			if sparql.CompareOrderKeys(q.OrderBy, gk, lk) != 0 {
+				t.Fatalf("query %q: sort key at row %d differs:\n%s:     %v\nlegacy: %v", query, i, name, got.Rows[i], want.Rows[i])
+			}
+		}
+		if q.Limit < 0 && q.Offset == 0 {
+			// no window: the full row multisets must also coincide
+			gk, lk := rowKeys(got), rowKeys(want)
+			for i := range gk {
+				if gk[i] != lk[i] {
+					t.Fatalf("query %q: row %d differs:\n%s:     %q\nlegacy: %q", query, i, name, gk[i], lk[i])
+				}
 			}
 		}
 		return
@@ -215,18 +256,18 @@ func assertEngineAgreement(t *testing.T, st *store.Store, query string, ordered 
 	if (q.Limit >= 0 || q.Offset > 0) && len(q.OrderBy) == 0 {
 		// row identity is not defined without a total order: each engine may
 		// keep a different window, so only the row count is comparable
-		if len(idRes.Rows) != len(lgRes.Rows) {
-			t.Fatalf("query %q: row counts differ: %d vs %d", query, len(idRes.Rows), len(lgRes.Rows))
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("query %q: row counts differ: %s=%d legacy=%d", query, name, len(got.Rows), len(want.Rows))
 		}
 		return
 	}
-	ik, lk := rowKeys(idRes), rowKeys(lgRes)
-	if len(ik) != len(lk) {
-		t.Fatalf("query %q: row counts differ: %d vs %d", query, len(ik), len(lk))
+	gk, lk := rowKeys(got), rowKeys(want)
+	if len(gk) != len(lk) {
+		t.Fatalf("query %q: row counts differ: %s=%d legacy=%d", query, name, len(gk), len(lk))
 	}
-	for i := range ik {
-		if ik[i] != lk[i] {
-			t.Fatalf("query %q: row %d differs:\nid:     %q\nlegacy: %q", query, i, ik[i], lk[i])
+	for i := range gk {
+		if gk[i] != lk[i] {
+			t.Fatalf("query %q: row %d differs:\n%s:     %q\nlegacy: %q", query, i, name, gk[i], lk[i])
 		}
 	}
 }
@@ -242,119 +283,10 @@ func TestDifferentialFixedCorpus(t *testing.T) {
 
 // --- randomized differential testing over synth stores ---
 
-type queryGen struct {
-	rng     *rand.Rand
-	preds   []string // predicate IRIs (no rdf:type)
-	classes []string // class IRIs
-}
-
-func newQueryGen(st *store.Store, seed int64) *queryGen {
-	g := &queryGen{rng: rand.New(rand.NewSource(seed))}
-	for _, p := range st.Predicates() {
-		if p.Value != rdf.RDFType {
-			g.preds = append(g.preds, p.Value)
-		}
-	}
-	for _, c := range st.Classes() {
-		g.classes = append(g.classes, c.Class.Value)
-	}
-	return g
-}
-
-func (g *queryGen) pred() string  { return "<" + g.preds[g.rng.Intn(len(g.preds))] + ">" }
-func (g *queryGen) class() string { return "<" + g.classes[g.rng.Intn(len(g.classes))] + ">" }
-
-// query builds one random SELECT/ASK query from the store vocabulary.
-// Randomized queries never use LIMIT/OFFSET: without a total order the two
-// engines may legitimately keep different windows.
-func (g *queryGen) query() string {
-	r := g.rng
-	var pats []string
-	nv := 0
-	v := func(i int) string { return fmt.Sprintf("?v%d", i) }
-
-	switch r.Intn(3) {
-	case 0: // chain
-		n := 1 + r.Intn(3)
-		for i := 0; i < n; i++ {
-			pats = append(pats, fmt.Sprintf("%s %s %s .", v(i), g.pred(), v(i+1)))
-		}
-		nv = n + 1
-	case 1: // star
-		n := 1 + r.Intn(3)
-		for i := 0; i < n; i++ {
-			pats = append(pats, fmt.Sprintf("?v0 %s %s .", g.pred(), v(i+1)))
-		}
-		nv = n + 1
-	default: // typed subject expanding
-		pats = append(pats, fmt.Sprintf("?v0 a %s .", g.class()))
-		n := r.Intn(2)
-		for i := 0; i < n; i++ {
-			pats = append(pats, fmt.Sprintf("?v0 %s %s .", g.pred(), v(i+1)))
-		}
-		nv = n + 1
-	}
-	if r.Intn(4) == 0 { // variable predicate
-		pats = append(pats, fmt.Sprintf("?v0 ?pv %s .", v(nv)))
-		nv++
-	}
-
-	body := strings.Join(pats, " ")
-	if r.Intn(5) == 0 {
-		body += fmt.Sprintf(" OPTIONAL { ?v0 %s ?opt }", g.pred())
-	}
-	if r.Intn(6) == 0 {
-		body += fmt.Sprintf(" MINUS { ?v0 %s ?mv }", g.pred())
-	}
-	if r.Intn(6) == 0 {
-		body += " BIND(STR(?v0) AS ?bv)"
-	}
-	if r.Intn(6) == 0 {
-		body += fmt.Sprintf(" VALUES ?v1 { %s %s }", g.class(), g.pred())
-	}
-	if r.Intn(4) == 0 {
-		switch r.Intn(4) {
-		case 0:
-			body += " FILTER(?v0 != ?v1)"
-		case 1:
-			body += ` FILTER regex(STR(?v1), "1")`
-		case 2:
-			body += " FILTER(STRLEN(STR(?v1)) > 12)"
-		default:
-			body += " FILTER(BOUND(?v1))"
-		}
-	}
-	if r.Intn(8) == 0 {
-		body += fmt.Sprintf(" { ?v0 ?anyp %s }", v(nv))
-		nv++
-	}
-
-	if r.Intn(10) == 0 {
-		return fmt.Sprintf("ASK { %s }", body)
-	}
-	if r.Intn(6) == 0 { // aggregate form
-		return fmt.Sprintf("SELECT ?c (COUNT(?v0) AS ?n) WHERE { ?v0 a ?c . %s } GROUP BY ?c", body)
-	}
-
-	sel := "*"
-	if r.Intn(2) == 0 {
-		k := 1 + r.Intn(nv)
-		var vs []string
-		for i := 0; i < k; i++ {
-			vs = append(vs, v(i))
-		}
-		sel = strings.Join(vs, " ")
-	}
-	mod := ""
-	if r.Intn(3) == 0 {
-		sel = "DISTINCT " + sel
-	}
-	if r.Intn(3) == 0 {
-		mod = " ORDER BY ?v0 ?v1"
-	}
-	return fmt.Sprintf("SELECT %s WHERE { %s }%s", sel, body, mod)
-}
-
+// The random query generator lives in internal/synth (synth.QueryGen) so
+// other packages can fuzz against the same shape distribution. Its shapes
+// include ORDER BY with LIMIT/OFFSET (the streaming top-k path) and
+// GROUP BY with COUNT/SUM/MIN/MAX/AVG (the streaming hash-group path).
 func TestDifferentialRandomized(t *testing.T) {
 	stores := []*store.Store{
 		synth.Generate(synth.Spec{Name: "diffa", Classes: 8, Instances: 300, ObjectProps: 12, DataProps: 6, LinkFactor: 2, CommunitySeeds: 3, Seed: 7}),
@@ -362,11 +294,11 @@ func TestDifferentialRandomized(t *testing.T) {
 	}
 	const perStore = 80
 	for si, st := range stores {
-		gen := newQueryGen(st, int64(100+si))
+		gen := synth.NewQueryGen(st, int64(100+si))
 		for i := 0; i < perStore; i++ {
-			q := gen.query()
-			// randomized ORDER BY keys may tie, so only the row multiset
-			// is compared for them
+			q := gen.Query()
+			// randomized ORDER BY keys may tie, so rows are compared
+			// key-aware rather than as an exact sequence
 			assertEngineAgreement(t, st, q, false)
 		}
 	}

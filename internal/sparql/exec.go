@@ -877,9 +877,19 @@ func (q *Query) execIDProf(st *store.Store, prof *profiler) (*Result, error) {
 		end(int64(rows.n))
 	}
 	if len(q.OrderBy) > 0 {
-		end := prof.stage("order-by", int64(rows.n))
-		ex.sortRows(rows, q.OrderBy, obVars)
-		end(int64(rows.n))
+		if k := q.topKBound(); k >= 0 && !q.Distinct && !q.Reduced {
+			// ORDER BY … LIMIT: bounded top-k selection instead of the
+			// full sort — only OFFSET+LIMIT rows are ever retained, and
+			// DISTINCT is excluded because deduplication after the heap
+			// could shrink the window below k.
+			end := prof.stage("top-k", int64(rows.n))
+			rows = ex.topKRows(rows, q.OrderBy, obVars, k)
+			end(int64(rows.n))
+		} else {
+			end := prof.stage("order-by", int64(rows.n))
+			ex.sortRows(rows, q.OrderBy, obVars)
+			end(int64(rows.n))
+		}
 	}
 
 	if q.Distinct || q.Reduced {

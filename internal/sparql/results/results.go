@@ -1,0 +1,144 @@
+// Package results serializes SPARQL query results in the W3C interchange
+// formats — SPARQL 1.1 Query Results JSON, CSV, TSV and XML — through one
+// streaming Writer interface, and negotiates which of them a protocol
+// request gets. Every writer emits row-by-row with O(row) buffering, so
+// the HTTP handlers can flush bindings while the engine is still
+// producing them regardless of the format the client asked for.
+//
+// Mid-stream failure contract: a writer never buffers the document, so a
+// producer that dies after some rows leaves a truncated document behind.
+// For JSON that is detectable in-band (the document never closes); CSV
+// and TSV have no terminator, so the HTTP handlers abort the connection
+// instead of finishing the response — a short-but-valid-looking table
+// must never masquerade as a complete result.
+package results
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sparql"
+)
+
+// Format identifies one of the supported result serializations.
+type Format int
+
+const (
+	JSON Format = iota // SPARQL 1.1 Query Results JSON Format
+	CSV                // SPARQL 1.1 Query Results CSV Format
+	TSV                // SPARQL 1.1 Query Results TSV Format
+	XML                // SPARQL Query Results XML Format
+)
+
+// String returns the format's short name — the value the `format=` query
+// parameter accepts.
+func (f Format) String() string {
+	switch f {
+	case CSV:
+		return "csv"
+	case TSV:
+		return "tsv"
+	case XML:
+		return "xml"
+	default:
+		return "json"
+	}
+}
+
+// ContentType returns the media type the format is served as.
+func (f Format) ContentType() string {
+	switch f {
+	case CSV:
+		return "text/csv; charset=utf-8"
+	case TSV:
+		return "text/tab-separated-values; charset=utf-8"
+	case XML:
+		return "application/sparql-results+xml"
+	default:
+		return "application/sparql-results+json"
+	}
+}
+
+// byName maps `format=` parameter values to formats.
+var byName = map[string]Format{
+	"json": JSON, "csv": CSV, "tsv": TSV, "xml": XML,
+}
+
+// byMIME maps Accept media ranges to formats.
+var byMIME = map[string]Format{
+	"application/sparql-results+json": JSON,
+	"application/json":                JSON,
+	"text/csv":                        CSV,
+	"text/tab-separated-values":       TSV,
+	"application/sparql-results+xml":  XML,
+	"application/xml":                 XML,
+	"text/xml":                        XML,
+}
+
+// Negotiate picks the response format for a protocol request. An explicit
+// `format=` parameter wins and must name a known format; otherwise the
+// Accept header's media ranges are scanned in order and the first
+// recognized one wins. With neither (or only unrecognized ranges, e.g.
+// */*), def is returned — a client that doesn't care gets the endpoint's
+// native format rather than a 406.
+func Negotiate(formatParam, accept string, def Format) (Format, error) {
+	if formatParam != "" {
+		f, ok := byName[strings.ToLower(formatParam)]
+		if !ok {
+			return def, fmt.Errorf("results: unknown format %q (want json, csv, tsv or xml)", formatParam)
+		}
+		return f, nil
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mr := part
+		if i := strings.IndexByte(mr, ';'); i >= 0 {
+			mr = mr[:i] // drop q-values and other parameters
+		}
+		if f, ok := byMIME[strings.ToLower(strings.TrimSpace(mr))]; ok {
+			return f, nil
+		}
+	}
+	return def, nil
+}
+
+// Writer emits one SELECT results document: the head is written on
+// construction, WriteRow appends one solution, Close terminates the
+// document (a no-op for the terminator-less CSV/TSV).
+type Writer interface {
+	WriteRow(sparql.Binding) error
+	Close() error
+}
+
+// NewWriter starts a SELECT results document in the given format.
+func NewWriter(f Format, w io.Writer, vars []string) Writer {
+	switch f {
+	case CSV:
+		return newCSVWriter(w, vars)
+	case TSV:
+		return newTSVWriter(w, vars)
+	case XML:
+		return newXMLWriter(w, vars)
+	default:
+		return sparql.NewJSONRowWriter(w, vars)
+	}
+}
+
+// WriteAsk writes a complete ASK results document in the given format.
+// The CSV/TSV encodings follow the common single-cell convention (the
+// W3C CSV/TSV format documents only cover SELECT).
+func WriteAsk(f Format, w io.Writer, value bool) error {
+	switch f {
+	case CSV:
+		_, err := fmt.Fprintf(w, "boolean\r\n%v\r\n", value)
+		return err
+	case TSV:
+		_, err := fmt.Fprintf(w, "?boolean\n%v\n", value)
+		return err
+	case XML:
+		_, err := fmt.Fprintf(w, "%s<head/><boolean>%v</boolean></sparql>\n", xmlProlog, value)
+		return err
+	default:
+		return sparql.WriteAskJSON(w, value)
+	}
+}

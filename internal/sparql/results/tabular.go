@@ -1,0 +1,162 @@
+package results
+
+// The tabular serializations. CSV (SPARQL 1.1 Query Results CSV Format)
+// carries plain lexical values — IRIs bare, literals as their lexical
+// form, `_:label` blank nodes — with RFC 4180 quoting, so it loses type
+// information but opens in anything. TSV keeps full fidelity: terms are
+// written in SPARQL surface syntax (<iri>, "literal"^^<dt>, "lit"@lang)
+// with tab/newline/backslash escapes inside quoted literals, one row per
+// line. Both write each row straight through; an unbound variable is an
+// empty field.
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// The CSV field encoding is hand-rolled rather than encoding/csv:
+// csv.Writer normalizes line endings inside quoted fields (a lone \r is
+// dropped, \n becomes \r\n under UseCRLF), but a results serialization
+// must reproduce literal values byte-for-byte.
+
+type csvWriter struct {
+	w    io.Writer
+	vars []string
+	sb   strings.Builder
+	err  error
+}
+
+func newCSVWriter(w io.Writer, vars []string) *csvWriter {
+	out := &csvWriter{w: w, vars: vars}
+	for i, v := range vars {
+		if i > 0 {
+			out.sb.WriteByte(',')
+		}
+		csvField(&out.sb, v)
+	}
+	out.sb.WriteString("\r\n")
+	_, out.err = io.WriteString(w, out.sb.String())
+	return out
+}
+
+// csvField appends one RFC 4180 field: quoted (with doubled quotes) only
+// when the value contains a separator, quote or line break.
+func csvField(sb *strings.Builder, s string) {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		sb.WriteString(s)
+		return
+	}
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			sb.WriteByte('"')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+}
+
+// csvValue is the CSV cell encoding of one term: the raw value, no
+// angle brackets, quotes or datatype — blank nodes keep their _: prefix
+// so they remain distinguishable from plain literals.
+func csvValue(t rdf.Term) string {
+	if t.Kind == rdf.KindBlank {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+func (w *csvWriter) WriteRow(b sparql.Binding) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.sb.Reset()
+	for i, v := range w.vars {
+		if i > 0 {
+			w.sb.WriteByte(',')
+		}
+		if t, ok := b[v]; ok {
+			csvField(&w.sb, csvValue(t))
+		}
+	}
+	w.sb.WriteString("\r\n")
+	_, w.err = io.WriteString(w.w, w.sb.String())
+	return w.err
+}
+
+func (w *csvWriter) Close() error { return w.err }
+
+type tsvWriter struct {
+	w    io.Writer
+	vars []string
+	sb   strings.Builder
+	err  error
+}
+
+func newTSVWriter(w io.Writer, vars []string) *tsvWriter {
+	out := &tsvWriter{w: w, vars: vars}
+	for i, v := range vars {
+		if i > 0 {
+			out.sb.WriteByte('\t')
+		}
+		out.sb.WriteByte('?')
+		out.sb.WriteString(v)
+	}
+	out.sb.WriteByte('\n')
+	_, out.err = io.WriteString(w, out.sb.String())
+	return out
+}
+
+// tsvEscaper rewrites the characters that would break the row/field
+// structure (or the quoted literal) into their backslash escapes.
+var tsvEscaper = strings.NewReplacer(
+	"\\", `\\`, "\t", `\t`, "\n", `\n`, "\r", `\r`, `"`, `\"`,
+)
+
+// tsvTerm renders one term in the SPARQL surface syntax TSV carries.
+func tsvTerm(sb *strings.Builder, t rdf.Term) {
+	switch t.Kind {
+	case rdf.KindIRI:
+		sb.WriteByte('<')
+		sb.WriteString(t.Value)
+		sb.WriteByte('>')
+	case rdf.KindBlank:
+		sb.WriteString("_:")
+		sb.WriteString(t.Value)
+	default:
+		sb.WriteByte('"')
+		tsvEscaper.WriteString(sb, t.Value)
+		sb.WriteByte('"')
+		if t.Lang != "" {
+			sb.WriteByte('@')
+			sb.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			sb.WriteString("^^<")
+			sb.WriteString(t.Datatype)
+			sb.WriteByte('>')
+		}
+	}
+}
+
+func (w *tsvWriter) WriteRow(b sparql.Binding) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.sb.Reset()
+	for i, v := range w.vars {
+		if i > 0 {
+			w.sb.WriteByte('\t')
+		}
+		if t, ok := b[v]; ok {
+			tsvTerm(&w.sb, t)
+		}
+	}
+	w.sb.WriteByte('\n')
+	_, w.err = io.WriteString(w.w, w.sb.String())
+	return w.err
+}
+
+func (w *tsvWriter) Close() error { return w.err }

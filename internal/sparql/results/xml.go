@@ -1,0 +1,108 @@
+package results
+
+// The SPARQL Query Results XML Format. Like the JSON writer, the
+// document is emitted incrementally — prolog and head on construction,
+// one <result> element per row, the closing tags on Close — so a
+// truncated document (missing </sparql>) is the in-band signal of a
+// producer that died mid-stream. All character content and attribute
+// values go through encoding/xml's escaper.
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+const xmlProlog = `<?xml version="1.0"?>` + "\n" +
+	`<sparql xmlns="http://www.w3.org/2005/sparql-results#">`
+
+type xmlWriter struct {
+	w    io.Writer
+	vars []string
+	sb   strings.Builder
+	err  error
+}
+
+func newXMLWriter(w io.Writer, vars []string) *xmlWriter {
+	out := &xmlWriter{w: w, vars: vars}
+	out.sb.WriteString(xmlProlog)
+	out.sb.WriteString("<head>")
+	for _, v := range vars {
+		out.sb.WriteString(`<variable name="`)
+		out.attr(v)
+		out.sb.WriteString(`"/>`)
+	}
+	out.sb.WriteString("</head><results>")
+	_, out.err = io.WriteString(w, out.sb.String())
+	return out
+}
+
+// attr appends s to the document buffer attribute-escaped.
+func (w *xmlWriter) attr(s string) {
+	xml.EscapeText(&w.sb, []byte(s))
+}
+
+// text appends s to the document buffer content-escaped.
+func (w *xmlWriter) text(s string) {
+	xml.EscapeText(&w.sb, []byte(s))
+}
+
+func (w *xmlWriter) binding(name string, t rdf.Term) {
+	w.sb.WriteString(`<binding name="`)
+	w.attr(name)
+	w.sb.WriteString(`">`)
+	switch t.Kind {
+	case rdf.KindIRI:
+		w.sb.WriteString("<uri>")
+		w.text(t.Value)
+		w.sb.WriteString("</uri>")
+	case rdf.KindBlank:
+		w.sb.WriteString("<bnode>")
+		w.text(t.Value)
+		w.sb.WriteString("</bnode>")
+	default:
+		switch {
+		case t.Lang != "":
+			w.sb.WriteString(`<literal xml:lang="`)
+			w.attr(t.Lang)
+			w.sb.WriteString(`">`)
+		case t.Datatype != "":
+			w.sb.WriteString(`<literal datatype="`)
+			w.attr(t.Datatype)
+			w.sb.WriteString(`">`)
+		default:
+			w.sb.WriteString("<literal>")
+		}
+		w.text(t.Value)
+		w.sb.WriteString("</literal>")
+	}
+	w.sb.WriteString("</binding>")
+}
+
+func (w *xmlWriter) WriteRow(b sparql.Binding) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.sb.Reset()
+	w.sb.WriteString("<result>")
+	// head order, like the other writers, so documents are deterministic
+	for _, v := range w.vars {
+		if t, ok := b[v]; ok {
+			w.binding(v, t)
+		}
+	}
+	w.sb.WriteString("</result>")
+	_, w.err = io.WriteString(w.w, w.sb.String())
+	return w.err
+}
+
+func (w *xmlWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	_, w.err = io.WriteString(w.w, "</results></sparql>\n")
+	return w.err
+}

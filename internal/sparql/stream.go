@@ -334,7 +334,22 @@ func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
 		}
 		return nil, err
 	}
-	if q.Form != FormSelect || q.needsGrouping() || len(q.OrderBy) > 0 {
+	// Dispatch: SELECT queries stream whenever an incremental operator
+	// covers their modifier surface. Grouping streams through the hash
+	// aggregation when the shape is accumulator-friendly; ORDER BY streams
+	// through the bounded top-k heap when a LIMIT bounds the window (and
+	// DISTINCT is absent — dedup after the heap could shrink the window
+	// below k). Everything else executes materialized and streams from the
+	// finished Result.
+	grouping := q.needsGrouping()
+	var aggSpec *streamAggSpec
+	if grouping {
+		aggSpec = q.streamAggSpec()
+	}
+	topK := !grouping && len(q.OrderBy) > 0 &&
+		q.topKBound() >= 0 && !q.Distinct && !q.Reduced
+	if q.Form != FormSelect || (grouping && aggSpec == nil) ||
+		(!grouping && len(q.OrderBy) > 0 && !topK) {
 		res, err := q.Exec(st)
 		if err != nil {
 			return fail(err)
@@ -364,12 +379,152 @@ func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
 		return fail(err)
 	}
 
+	// Streaming hash aggregation: rows fold into per-group accumulators as
+	// the pipeline produces them; only the groups — not the solution set —
+	// are ever live. The finished groups pass through the same ORDER BY /
+	// DISTINCT / window pipeline as the batch aggregation.
+	if aggSpec != nil {
+		gslots := aggSpec.resolve(comp.slots)
+		ex.freeze(comp)
+		if reg != nil {
+			reg.Histogram("hbold_query_compile_seconds", "Plan compilation time for ID-space streamed queries.", nil).Observe(time.Since(compileT0).Seconds())
+			reg.CounterVec("hbold_stream_op_total", "Streaming operator activations by operator.", "op").With("hash-group").Inc()
+		}
+		agg := newStreamAgg(ex, aggSpec, gslots)
+		se := &streamExec{ctx: ctx, ex: ex, orders: map[*cBGP][]int{}, minus: map[*cMinus]*rowbuf{}}
+		var streamErr error
+		seq := func(yield func(Binding) bool) {
+			var scanned int64
+			start := make([]store.ID, ex.nslots)
+			se.streamGroup(root, start, 0, func(r []store.ID, _ int) bool {
+				if err := ctx.Err(); err != nil {
+					se.err = err
+					return false
+				}
+				scanned++
+				agg.add(r)
+				return true
+			})
+			if se.err != nil {
+				streamErr = se.err
+				return
+			}
+			if reg != nil {
+				reg.CounterVec("hbold_stream_op_rows_total", "Rows consumed by streaming operators.", "op").With("hash-group").Add(float64(scanned))
+				reg.Histogram("hbold_stream_group_count", "Groups live in the streaming hash aggregation at emit.", nil).Observe(float64(agg.groupCount()))
+			}
+			out := agg.emit()
+			if len(q.OrderBy) > 0 {
+				sortSolutions(out, q.OrderBy)
+			}
+			if q.Distinct || q.Reduced {
+				out = distinct(out, aggSpec.vars)
+			}
+			out = windowBindings(out, q.Offset, q.Limit)
+			for _, b := range out {
+				if err := ctx.Err(); err != nil {
+					streamErr = err
+					return
+				}
+				if !yield(b) {
+					return
+				}
+			}
+		}
+		rs := NewRowSeq(aggSpec.vars, seq, &streamErr)
+		instrumentStream(rs, reg, sp, kind, start)
+		return rs, nil
+	}
+
 	// Resolve the projection surface through the same helper as the
-	// batch path (the stream executor has no ORDER BY, so the resolved
-	// condition vars are unused).
-	aliases, vars, projSlots, _ := q.resolveSelect(comp, ex)
+	// batch path.
+	aliases, vars, projSlots, obVars := q.resolveSelect(comp, ex)
 	if reg != nil {
 		reg.Histogram("hbold_query_compile_seconds", "Plan compilation time for ID-space streamed queries.", nil).Observe(time.Since(compileT0).Seconds())
+	}
+
+	// Bounded top-k ORDER BY … LIMIT: every pipeline row is offered to a
+	// max-heap of OFFSET+LIMIT entries and the retained window streams out
+	// in sort order at stream end — O(k) live rows however many solutions
+	// the pattern produces.
+	if topK {
+		if reg != nil {
+			reg.CounterVec("hbold_stream_op_total", "Streaming operator activations by operator.", "op").With("top-k").Inc()
+		}
+		se := &streamExec{ctx: ctx, ex: ex, orders: map[*cBGP][]int{}, minus: map[*cMinus]*rowbuf{}}
+		var streamErr error
+		aliasTmp := make([]store.ID, len(aliases))
+		heap := newRowTopK(q.OrderBy, q.topKBound())
+		seq := func(yield func(Binding) bool) {
+			var scanned int64
+			var scratch OrderKey
+			start := make([]store.ID, ex.nslots)
+			se.streamGroup(root, start, 0, func(r []store.ID, _ int) bool {
+				if err := ctx.Err(); err != nil {
+					se.err = err
+					return false
+				}
+				scanned++
+				if len(aliases) > 0 {
+					for j, a := range aliases {
+						aliasTmp[j] = store.NoID
+						if t, err := evalExpr(a.expr, ex.bindScratch(a.vars, r)); err == nil {
+							aliasTmp[j] = ex.intern(t)
+						}
+					}
+					for j, a := range aliases {
+						if aliasTmp[j] != store.NoID {
+							r[a.slot] = aliasTmp[j]
+						}
+					}
+				}
+				heap.offer(r, ex.orderKeyOfRowInto(q.OrderBy, obVars, r, &scratch))
+				return true
+			})
+			if se.err != nil {
+				streamErr = se.err
+				return
+			}
+			if reg != nil {
+				reg.CounterVec("hbold_stream_op_rows_total", "Rows consumed by streaming operators.", "op").With("top-k").Add(float64(scanned))
+				reg.Histogram("hbold_stream_topk_heap_rows", "Rows retained by the streaming top-k heap at emit.", nil).Observe(float64(heap.size()))
+			}
+			es := heap.sorted()
+			if q.Offset >= len(es) {
+				es = nil
+			} else {
+				es = es[q.Offset:]
+			}
+			for _, en := range es {
+				if err := ctx.Err(); err != nil {
+					streamErr = err
+					return
+				}
+				r := en.row
+				var b Binding
+				if q.Star {
+					b = make(Binding, ex.nslots)
+					for s, v := range r {
+						if v != store.NoID {
+							b[ex.names[s]] = ex.term(v)
+						}
+					}
+				} else {
+					b = make(Binding, len(vars))
+					for j, s := range projSlots {
+						if s >= 0 && r[s] != store.NoID {
+							b[vars[j]] = ex.term(r[s])
+						}
+					}
+				}
+				if !yield(b) {
+					return
+				}
+			}
+		}
+		rs := NewRowSeq(vars, seq, &streamErr)
+		instrumentStream(rs, reg, sp, kind, start)
+		return rs, nil
 	}
 
 	se := &streamExec{ctx: ctx, ex: ex, orders: map[*cBGP][]int{}, minus: map[*cMinus]*rowbuf{}}

@@ -1,0 +1,10 @@
+package testsuite
+
+import "testing"
+
+// TestConformance runs the seeded manifest — the CI ratchet. Each case
+// appears as its own subtest, so a regression names the exact query and
+// engine that diverged.
+func TestConformance(t *testing.T) {
+	RunDir(t, "testdata")
+}
