@@ -75,6 +75,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/docstore"
 	"repro/internal/endpoint"
+	"repro/internal/faultinject"
 	"repro/internal/federation"
 	"repro/internal/portal"
 	"repro/internal/registry"
@@ -121,6 +122,20 @@ func cmdSparqld(args []string) {
 	fs := flag.NewFlagSet("sparqld", flag.ExitOnError)
 	addr := fs.String("addr", ":8081", "listen address")
 	quiet := fs.Bool("quiet", false, "disable the per-request access log")
+	// -chaos-* make this member misbehave on a deterministic schedule, so
+	// a CLI-assembled federation exercises the resilience layer (breaker
+	// trips, hedged opens, partial results) without real outages
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the chaos schedule (same seed, same misbehavior)")
+	chaosLatency := fs.Duration("chaos-latency", 0, "fixed latency added to every response")
+	chaosTail := fs.Duration("chaos-tail", 0, "extra tail latency (with -chaos-tail-prob)")
+	chaosTailProb := fs.Float64("chaos-tail-prob", 0, "probability a request draws -chaos-tail extra latency")
+	chaosErr := fs.Float64("chaos-error-rate", 0, "probability a request answers 500")
+	chaosHole := fs.Float64("chaos-blackhole-rate", 0, "probability a request hangs until the client gives up")
+	chaosCut := fs.Float64("chaos-cut-rate", 0, "probability the response is cut mid-stream")
+	chaosCutAfter := fs.Int("chaos-cut-after", 0, "bytes to deliver before a cut (0 = faultinject default)")
+	chaosGarbage := fs.Float64("chaos-garbage-rate", 0, "probability the response body is garbage bytes")
+	chaosFlap := fs.Duration("chaos-flap-period", 0, "flapping period: each period the member is down with -chaos-flap-down-prob")
+	chaosFlapDown := fs.Float64("chaos-flap-down-prob", 0.5, "probability of being down in a flap period")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -132,8 +147,26 @@ func cmdSparqld(args []string) {
 		// streamed, duration, status
 		h.Log = newLogger()
 	}
+	var handler http.Handler = h
+	inj := faultinject.New(faultinject.Config{
+		Seed:          *chaosSeed,
+		Latency:       *chaosLatency,
+		Tail:          *chaosTail,
+		TailProb:      *chaosTailProb,
+		ErrorRate:     *chaosErr,
+		BlackholeRate: *chaosHole,
+		CutRate:       *chaosCut,
+		CutAfter:      *chaosCutAfter,
+		GarbageRate:   *chaosGarbage,
+		FlapPeriod:    *chaosFlap,
+		FlapDownProb:  *chaosFlapDown,
+	})
+	if inj.Enabled() {
+		handler = inj.Middleware(handler)
+		log.Printf("hbold: chaos injection enabled (seed %d)", *chaosSeed)
+	}
 	log.Printf("hbold: serving %s (%d triples) as a SPARQL endpoint on %s", fs.Arg(0), st.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
 // newLogger builds the CLI's structured logger: text records on stderr,
@@ -162,12 +195,18 @@ func usage() {
   hbold query -endpoint URL [-endpoint URL ...] [-policy all|prune|cost] <sparql>
                                             federate the query over several live endpoints,
                                             merging the row streams incrementally
-  hbold sparqld [-addr :8081] [-quiet] <file.ttl>
+  hbold sparqld [-addr :8081] [-quiet] [-chaos-*] <file.ttl>
                                             serve a Turtle file as a SPARQL protocol endpoint
                                             (a federation member for query -endpoint; one
                                             access-log record per request unless -quiet;
                                             results as JSON, CSV, TSV or XML via the Accept
-                                            header or ?format=)`)
+                                            header or ?format=; -chaos-latency, -chaos-tail,
+                                            -chaos-tail-prob, -chaos-error-rate,
+                                            -chaos-blackhole-rate, -chaos-cut-rate,
+                                            -chaos-cut-after, -chaos-garbage-rate,
+                                            -chaos-flap-period, -chaos-flap-down-prob and
+                                            -chaos-seed make the member misbehave on a
+                                            deterministic schedule for resilience testing)`)
 	os.Exit(2)
 }
 
@@ -454,6 +493,10 @@ func cmdQuery(args []string) {
 		// cost data: prune and cost both degenerate to fanning out in
 		// configuration order
 		fed.Policy = pol
+		// same resilience posture as the server's federation: route
+		// around members that refuse to open, hedge slow opens
+		fed.SkipUnavailable = true
+		fed.Hedge = true
 		c = fed
 		args = []string{"", args[0]}
 	case len(args) == 2:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/portal"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/schema"
 	"repro/internal/snapcache"
@@ -75,6 +76,19 @@ type HBOLD struct {
 	// renders it at GET /metrics. New installs one and registers the
 	// cache families; subsystems join as they are created.
 	Metrics *obs.Registry
+	// Breakers is the process-wide circuit breaker set, one breaker per
+	// endpoint URL, shared by every consumer of that endpoint: federated
+	// fan-outs consult and feed it, and the extraction scheduler's
+	// failure path feeds it too — an endpoint that keeps failing
+	// extraction is held out of federated queries before they waste
+	// requests on it. New installs a default-config set reporting into
+	// Metrics; replace it (before traffic) to tune thresholds.
+	Breakers *resilience.BreakerSet
+	// RetryBudget is the process-wide retry budget every HTTP endpoint
+	// client connected through Connect spends from, capping fleet-wide
+	// retry amplification during a shared outage. New installs a
+	// default-size budget; nil disables budgeting.
+	RetryBudget *resilience.Budget
 
 	mu      sync.RWMutex
 	clients map[string]endpoint.Client
@@ -95,6 +109,7 @@ func New(db *docstore.DB, ck clock.Clock) *HBOLD {
 	if ck == nil {
 		ck = clock.Real{}
 	}
+	metrics := obs.NewRegistry()
 	h := &HBOLD{
 		Registry:    registry.New(registry.DefaultPolicy),
 		DB:          db,
@@ -102,7 +117,9 @@ func New(db *docstore.DB, ck clock.Clock) *HBOLD {
 		Outbox:      notify.NewOutbox(),
 		Clock:       ck,
 		Cache:       snapcache.New(DefaultCacheBudget),
-		Metrics:     obs.NewRegistry(),
+		Metrics:     metrics,
+		Breakers:    resilience.NewBreakerSet(resilience.BreakerConfig{Clock: ck}, metrics),
+		RetryBudget: resilience.NewBudget(0, 0),
 		clients:     make(map[string]endpoint.Client),
 		generations: make(map[string]uint64),
 	}
@@ -140,10 +157,15 @@ func (h *HBOLD) snapKey(url, view, params string) snapcache.Key {
 // deployed tool this is the HTTP connection to the public endpoint; in
 // experiments it is a simulated remote.
 func (h *HBOLD) Connect(url string, c endpoint.Client) {
-	// HTTP clients join the process registry unless the caller already
-	// pointed them at one
-	if hc, ok := c.(*endpoint.HTTPClient); ok && hc.Metrics == nil {
-		hc.Metrics = h.Metrics
+	// HTTP clients join the process registry and the shared retry budget
+	// unless the caller already pointed them at their own
+	if hc, ok := c.(*endpoint.HTTPClient); ok {
+		if hc.Metrics == nil {
+			hc.Metrics = h.Metrics
+		}
+		if hc.Budget == nil {
+			hc.Budget = h.RetryBudget
+		}
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -288,6 +310,10 @@ func (h *HBOLD) Scheduler() *sched.Scheduler {
 					return
 				}
 				h.recordFailure(url, h.Clock.Now(), err)
+				// extraction failures feed the shared breaker: a source
+				// failing scheduled refreshes is held out of federated
+				// queries too
+				h.Breakers.For(url).Failure()
 			}
 		}
 		if cfg.OnJobSucceeded == nil {
@@ -296,6 +322,7 @@ func (h *HBOLD) Scheduler() *sched.Scheduler {
 				// the previous generation's snapshots instead of letting
 				// them age out of the LRU
 				h.Cache.InvalidateBefore(url, h.Generation(url))
+				h.Breakers.For(url).Success()
 			}
 		}
 		// the runner suppresses per-attempt failure recording; the
@@ -444,11 +471,13 @@ func (h *HBOLD) Federation(urls []string, policy federation.Policy) (*federation
 		if e, ok := h.Registry.Get(u); ok && e.Title != "" {
 			src.Name = e.Title
 		}
+		src.Breaker = h.Breakers.For(u)
 		sources = append(sources, src)
 	}
 	f := federation.New(sources...)
 	f.Policy = policy
 	f.SkipUnavailable = true
+	f.Hedge = true
 	f.Lookup = h.Index
 	// per-client SourceStats stay instance-local; the registry series
 	// they mirror into outlive any one federation

@@ -9,10 +9,12 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sparql"
 )
 
@@ -72,6 +74,11 @@ type HTTPClient struct {
 	// Metrics, when set, counts request attempts, transient failures,
 	// retries and backoff sleep per endpoint URL on the registry.
 	Metrics *obs.Registry
+	// Budget, when set, is the fleet-wide retry budget every retry spends
+	// from and every success earns into. Shared across a process's
+	// clients it caps total retry amplification during an outage; nil
+	// means unbudgeted (every configured retry is taken).
+	Budget *resilience.Budget
 }
 
 // obsCount bumps a per-endpoint counter family by v when metrics are on.
@@ -87,6 +94,14 @@ func NewHTTPClient(rawURL string) *HTTPClient {
 	return &HTTPClient{URL: rawURL}
 }
 
+// CloseIdleConnections drops the keep-alive connections held by the
+// shared default transport (clients with a custom HTTP field manage
+// their own). Daemons call it on shutdown; tests that count goroutines
+// call it so idle connection loops don't read as leaks.
+func CloseIdleConnections() {
+	defaultHTTPClient.CloseIdleConnections()
+}
+
 func (c *HTTPClient) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
@@ -95,9 +110,12 @@ func (c *HTTPClient) httpClient() *http.Client {
 }
 
 // backoff sleeps before retry attempt (1-based), doubling from
-// BaseBackoff up to MaxBackoff with ±50% jitter. It returns early with
-// the context's error if ctx is done first.
-func (c *HTTPClient) backoff(ctx context.Context, attempt int) error {
+// BaseBackoff up to MaxBackoff with ±50% jitter. A positive hint — the
+// server's Retry-After — overrides the computed pause (capped at
+// MaxBackoff, no jitter: the server named an exact recovery time, and
+// spreading a fleet across it would land half the fleet early). It
+// returns early with the context's error if ctx is done first.
+func (c *HTTPClient) backoff(ctx context.Context, attempt int, hint time.Duration) error {
 	base := c.BaseBackoff
 	if base <= 0 {
 		base = defaultBaseBackoff
@@ -113,6 +131,13 @@ func (c *HTTPClient) backoff(ctx context.Context, attempt int) error {
 	// jitter in [d/2, 3d/2): desynchronizes the retry storms a shared
 	// outage would otherwise cause
 	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if hint > 0 {
+		if hint > max {
+			hint = max
+		}
+		d = hint
+		c.obsCount("hbold_endpoint_retry_after_total", "Backoffs overridden by a server Retry-After header.", 1)
+	}
 	c.obsCount("hbold_endpoint_backoff_seconds_total", "Time spent sleeping in retry backoff.", d.Seconds())
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -147,28 +172,59 @@ func permanent(ctx context.Context) bool {
 	return ctx.Err() != nil
 }
 
+// retryAfterHint parses a Retry-After response header — delay-seconds
+// or an HTTP-date — into a wait duration; 0 means no usable hint. The
+// caller caps it at MaxBackoff, so a pathological "Retry-After: 86400"
+// cannot park a query for a day.
+func retryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // retrying runs one attempt under the client's retry policy: transient
 // failures (as reported by the attempt itself) are retried up to
-// c.Retries times with jittered exponential backoff, stopping early
-// when the caller's context dies. Query and Stream share this loop so
-// the retry policy cannot drift between the two paths.
-func retrying[T any](ctx context.Context, c *HTTPClient, attempt func(context.Context) (T, bool, error)) (T, error) {
+// c.Retries times with jittered exponential backoff — or the server's
+// Retry-After when it sent one — stopping early when the caller's
+// context dies or the shared retry budget is exhausted. Query and
+// Stream share this loop so the retry policy cannot drift between the
+// two paths.
+func retrying[T any](ctx context.Context, c *HTTPClient, attempt func(context.Context) (T, bool, time.Duration, error)) (T, error) {
 	var zero T
 	var lastErr error
+	var hint time.Duration
 	for n := 0; ; n++ {
 		if n > 0 {
+			if !c.Budget.Spend() {
+				c.obsCount("hbold_endpoint_retry_budget_exhausted_total", "Retries denied because the fleet-wide retry budget was empty.", 1)
+				return zero, lastErr
+			}
 			c.obsCount("hbold_endpoint_retries_total", "Request attempts re-issued after a transient failure.", 1)
-			if err := c.backoff(ctx, n); err != nil {
+			if err := c.backoff(ctx, n, hint); err != nil {
 				return zero, err
 			}
 		}
 		c.obsCount("hbold_endpoint_attempts_total", "SPARQL protocol request attempts.", 1)
-		v, retry, err := attempt(ctx)
+		v, retry, after, err := attempt(ctx)
 		if err == nil {
+			c.Budget.Earn()
 			return v, nil
 		}
 		c.obsCount("hbold_endpoint_errors_total", "Request attempts that failed.", 1)
-		lastErr = err
+		lastErr, hint = err, after
 		if !retry || permanent(ctx) || n >= c.Retries {
 			return zero, lastErr
 		}
@@ -178,9 +234,27 @@ func retrying[T any](ctx context.Context, c *HTTPClient, attempt func(context.Co
 // Query implements Client by POSTing the query as a form and
 // materializing the full result document.
 func (c *HTTPClient) Query(ctx context.Context, query string) (*sparql.Result, error) {
-	return retrying(ctx, c, func(ctx context.Context) (*sparql.Result, bool, error) {
+	return retrying(ctx, c, func(ctx context.Context) (*sparql.Result, bool, time.Duration, error) {
 		return c.queryOnce(ctx, query)
 	})
+}
+
+// statusErr classifies a non-200 protocol response: whether it is worth
+// retrying, any Retry-After hint it carried, and the error to surface.
+// 429 (throttled) and 5xx are transient; other 4xx won't get better on
+// retry. 503 additionally wraps ErrUnavailable, so a federation with
+// SkipUnavailable routes around a flapping member instead of failing
+// the whole query on it.
+func (c *HTTPClient) statusErr(resp *http.Response, body string) (retry bool, hint time.Duration, err error) {
+	err = fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(body, 200))
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		err = fmt.Errorf("%w: %s returned 503: %s", ErrUnavailable, c.URL, truncate(body, 200))
+	}
+	hint = retryAfterHint(resp)
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+		return false, hint, err
+	}
+	return true, hint, err
 }
 
 // queryOnce runs a single materialized attempt; retry reports whether
@@ -188,7 +262,7 @@ func (c *HTTPClient) Query(ctx context.Context, query string) (*sparql.Result, e
 // deadline gets a per-attempt ceiling of connectPatience — unlike a
 // stream, a materialized query has nothing to show until the whole body
 // arrived, so an unbounded read is just a hang.
-func (c *HTTPClient) queryOnce(ctx context.Context, query string) (res *sparql.Result, retry bool, err error) {
+func (c *HTTPClient) queryOnce(ctx context.Context, query string) (res *sparql.Result, retry bool, hint time.Duration, err error) {
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, connectPatience)
@@ -196,26 +270,22 @@ func (c *HTTPClient) queryOnce(ctx context.Context, query string) (res *sparql.R
 	}
 	resp, err := c.post(ctx, query)
 	if err != nil {
-		return nil, true, err
+		return nil, true, 0, err
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	resp.Body.Close()
 	if err != nil {
-		return nil, true, err
+		return nil, true, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		err := fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(string(body), 200))
-		// 4xx won't get better on retry
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return nil, false, err
-		}
-		return nil, true, err
+		retry, hint, err := c.statusErr(resp, string(body))
+		return nil, retry, hint, err
 	}
 	var out sparql.Result
 	if err := json.Unmarshal(body, &out); err != nil {
-		return nil, false, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
+		return nil, false, 0, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
 	}
-	return &out, false, nil
+	return &out, false, 0, nil
 }
 
 // Stream implements Streamer: it opens the protocol request (retrying
@@ -225,34 +295,31 @@ func (c *HTTPClient) queryOnce(ctx context.Context, query string) (res *sparql.R
 // canceled context — surfaces through the stream's Err, never as a
 // silent end of results.
 func (c *HTTPClient) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
-	return retrying(ctx, c, func(ctx context.Context) (*sparql.RowSeq, bool, error) {
+	return retrying(ctx, c, func(ctx context.Context) (*sparql.RowSeq, bool, time.Duration, error) {
 		return c.streamOnce(ctx, query)
 	})
 }
 
-func (c *HTTPClient) streamOnce(ctx context.Context, query string) (rs *sparql.RowSeq, retry bool, err error) {
+func (c *HTTPClient) streamOnce(ctx context.Context, query string) (rs *sparql.RowSeq, retry bool, hint time.Duration, err error) {
 	resp, err := c.post(ctx, query)
 	if err != nil {
-		return nil, true, err
+		return nil, true, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
 		resp.Body.Close()
-		err := fmt.Errorf("endpoint: %s returned %d: %s", c.URL, resp.StatusCode, truncate(string(body), 200))
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return nil, false, err
-		}
-		return nil, true, err
+		retry, hint, err := c.statusErr(resp, string(body))
+		return nil, retry, hint, err
 	}
 	rr, err := sparql.NewJSONRowReader(resp.Body)
 	if err != nil {
 		resp.Body.Close()
-		return nil, true, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
+		return nil, true, 0, fmt.Errorf("endpoint: bad results document from %s: %w", c.URL, err)
 	}
 	if val, ok := rr.Ask(); ok {
 		resp.Body.Close()
 		out := sparql.ResultSeq(&sparql.Result{Ask: true, Boolean: val})
-		return out, false, nil
+		return out, false, 0, nil
 	}
 	var streamErr error
 	seq := func(yield func(sparql.Binding) bool) {
@@ -279,7 +346,7 @@ func (c *HTTPClient) streamOnce(ctx context.Context, query string) (rs *sparql.R
 	// if the consumer closes without ever pulling a row, the producer
 	// never ran and its deferred close never fires
 	out.OnClose(func() { resp.Body.Close() })
-	return out, false, nil
+	return out, false, 0, nil
 }
 
 func truncate(s string, n int) string {

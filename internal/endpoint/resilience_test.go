@@ -1,0 +1,149 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// serveStatus answers every request with code (plus any headers),
+// counting requests.
+func serveStatus(code int, hdr http.Header, hits *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		for k, vs := range hdr {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		http.Error(w, "synthetic failure", code)
+	}))
+}
+
+func TestClientHonorsRetryAfterSeconds(t *testing.T) {
+	var hits atomic.Int64
+	srv := serveStatus(http.StatusTooManyRequests, http.Header{"Retry-After": {"1"}}, &hits)
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	c := NewHTTPClient(srv.URL)
+	c.Retries = 1
+	c.Metrics = reg
+	// MaxBackoff below the 1s hint: the override must still be capped
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 20 * time.Millisecond
+	start := time.Now()
+	_, err := c.Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if err == nil {
+		t.Fatal("429 endpoint answered successfully")
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("requests = %d, want 2 (429 must be retryable)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("slept %v: Retry-After hint must be capped at MaxBackoff", elapsed)
+	}
+	var overrides float64
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "hbold_endpoint_retry_after_total" {
+			for _, se := range fam.Series {
+				overrides += se.Value
+			}
+		}
+	}
+	if overrides != 1 {
+		t.Fatalf("retry-after override counter = %v, want 1", overrides)
+	}
+}
+
+func TestRetryAfterHintFormats(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	if got := retryAfterHint(mk("7")); got != 7*time.Second {
+		t.Fatalf("seconds form = %v, want 7s", got)
+	}
+	if got := retryAfterHint(mk("")); got != 0 {
+		t.Fatalf("absent header = %v, want 0", got)
+	}
+	if got := retryAfterHint(mk("-3")); got != 0 {
+		t.Fatalf("negative seconds = %v, want 0", got)
+	}
+	if got := retryAfterHint(mk("garbage")); got != 0 {
+		t.Fatalf("unparseable = %v, want 0", got)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := retryAfterHint(mk(future)); got <= 0 || got > 30*time.Second {
+		t.Fatalf("HTTP-date form = %v, want (0, 30s]", got)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if got := retryAfterHint(mk(past)); got != 0 {
+		t.Fatalf("past HTTP-date = %v, want 0", got)
+	}
+}
+
+func TestClient503WrapsErrUnavailable(t *testing.T) {
+	var hits atomic.Int64
+	srv := serveStatus(http.StatusServiceUnavailable, nil, &hits)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL)
+	if _, err := c.Query(context.Background(), `ASK { ?s ?p ?o }`); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("503 err = %v, want ErrUnavailable", err)
+	}
+	if _, err := c.Stream(context.Background(), `ASK { ?s ?p ?o }`); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("503 stream err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestClientRetryBudgetCapsRetries(t *testing.T) {
+	var hits atomic.Int64
+	srv := serveStatus(http.StatusInternalServerError, nil, &hits)
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	budget := resilience.NewBudget(2, 1)
+	c := NewHTTPClient(srv.URL)
+	c.Retries = 10
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+	c.Metrics = reg
+	c.Budget = budget
+	if _, err := c.Query(context.Background(), `ASK { ?s ?p ?o }`); err == nil {
+		t.Fatal("dead endpoint answered")
+	}
+	// 1 initial attempt + 2 budgeted retries, not 1+10
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("requests = %d, want 3 (budget of 2 must stop the retry loop)", got)
+	}
+	var exhausted float64
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "hbold_endpoint_retry_budget_exhausted_total" {
+			for _, se := range fam.Series {
+				exhausted += se.Value
+			}
+		}
+	}
+	if exhausted != 1 {
+		t.Fatalf("budget-exhausted counter = %v, want 1", exhausted)
+	}
+	// successes refill the budget for the next caller
+	ok := Serve(testStore(t), nil)
+	defer ok.Close()
+	c2 := NewHTTPClient(ok.URL)
+	c2.Budget = budget
+	if _, err := c2.Query(context.Background(), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if got := budget.Tokens(); got != 1 {
+		t.Fatalf("budget after one success = %v tokens, want 1", got)
+	}
+}

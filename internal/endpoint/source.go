@@ -1,5 +1,7 @@
 package endpoint
 
+import "repro/internal/resilience"
+
 // Source is one member of a federation: a named Client plus the metadata
 // the routing layer selects and orders by. It is deliberately a plain
 // value — the federation layer owns scheduling and stats; a Source only
@@ -22,6 +24,13 @@ type Source struct {
 	// Up optionally probes availability before fan-out; nil means assumed
 	// up. A Remote's Up method fits directly.
 	Up func() bool
+	// Breaker, when set, is the source's circuit breaker: the federation
+	// layer consults it before fan-out (a tripped source costs zero
+	// requests) and records stream outcomes into it; the scheduler's
+	// failure-recording path shares the same breaker, so extraction
+	// failures trip the one federation queries consult. Nil means no
+	// breaking — every call is admitted.
+	Breaker *resilience.Breaker
 }
 
 // NewSource builds a source with the zero cost model and no availability

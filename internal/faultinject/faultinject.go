@@ -1,0 +1,361 @@
+// Package faultinject is the deterministic chaos harness: it wraps the
+// three seams a federation member's traffic crosses — an http.Handler
+// (server side), an http.RoundTripper (client side) and a net.Listener
+// (connection accept) — and injects the failure modes a live SPARQL
+// endpoint exhibits in the wild: added latency with a heavy tail, error
+// responses, connection black-holes, mid-stream body cuts, garbage
+// bytes, and up/down flapping on a schedule. Every probabilistic choice
+// draws from one seeded PRNG and the flapping schedule is keyed off the
+// injected clock, so a chaos scenario replays exactly: the same seed
+// and the same simulated calendar produce the same outages in the same
+// order. That is what lets the resilience tests assert row-for-row
+// outcomes ("source B dies mid-stream on query 3") against a federation
+// we cannot chaos-test live.
+//
+// Injected latency is real wall-clock sleeping (it models actually
+// waiting, bounded by the request context); only the flapping schedule
+// reads the injected clock, so simulated calendars can march a member
+// through outage windows without sleeping through them.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// DefaultCutAfter is the body offset a mid-stream cut defaults to:
+// deep enough that head and first rows flow, shallow enough that the
+// cut lands mid-results on any non-trivial corpus.
+const DefaultCutAfter = 2048
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic choice; the same seed replays the
+	// same chaos.
+	Seed int64
+	// Clock drives the flapping schedule; nil means the wall clock.
+	Clock clock.Clock
+	// Latency is added to every request before it is served.
+	Latency time.Duration
+	// Tail is extra latency added with probability TailProb — the
+	// long-tail stragglers hedged opens exist to cover.
+	Tail     time.Duration
+	TailProb float64
+	// ErrorRate is the probability a request fails outright (HTTP 500
+	// from the middleware, a connection error from the transport).
+	ErrorRate float64
+	// BlackholeRate is the probability a request hangs until the caller
+	// gives up (its context is canceled).
+	BlackholeRate float64
+	// CutRate is the probability the response body is cut after
+	// CutAfter bytes — the mid-stream death of a streaming result.
+	CutRate float64
+	// CutAfter is the body offset of a cut; 0 means DefaultCutAfter.
+	CutAfter int
+	// GarbageRate is the probability garbage bytes replace the response
+	// tail, exercising decoder hardening.
+	GarbageRate float64
+	// FlapPeriod, when > 0, flips the member between up and down on a
+	// deterministic schedule: each period of the clock's timeline is
+	// down with probability FlapDownProb, decided by hashing the seed
+	// with the period index. Down periods answer 503 with a Retry-After
+	// naming the next period start (middleware), refuse connections
+	// (listener), or fail to dial (transport).
+	FlapPeriod   time.Duration
+	FlapDownProb float64
+}
+
+// enabled reports whether any knob is set.
+func (c Config) enabled() bool {
+	return c.Latency > 0 || (c.Tail > 0 && c.TailProb > 0) || c.ErrorRate > 0 ||
+		c.BlackholeRate > 0 || c.CutRate > 0 || c.GarbageRate > 0 ||
+		(c.FlapPeriod > 0 && c.FlapDownProb > 0)
+}
+
+// Injector holds one chaos configuration and its seeded PRNG.
+type Injector struct {
+	cfg Config
+	clk clock.Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds an injector for cfg.
+func New(cfg Config) *Injector {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if cfg.CutAfter <= 0 {
+		cfg.CutAfter = DefaultCutAfter
+	}
+	return &Injector{cfg: cfg, clk: clk, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Enabled reports whether this injector injects anything — the CLI uses
+// it to decide whether to wrap the handler at all.
+func (in *Injector) Enabled() bool { return in.cfg.enabled() }
+
+// roll draws one uniform sample against probability p.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// delay returns this request's injected latency: the base plus, with
+// TailProb, the tail.
+func (in *Injector) delay() time.Duration {
+	d := in.cfg.Latency
+	if in.cfg.Tail > 0 && in.roll(in.cfg.TailProb) {
+		d += in.cfg.Tail
+	}
+	return d
+}
+
+// Up reports whether the flapping schedule has the member up right now
+// (always true without a schedule).
+func (in *Injector) Up() bool {
+	up, _ := in.flap()
+	return up
+}
+
+// flap evaluates the schedule at the injected clock's now: whether the
+// member is up, and — when down — how long until the next period
+// starts (the Retry-After hint).
+func (in *Injector) flap() (up bool, retryAfter time.Duration) {
+	if in.cfg.FlapPeriod <= 0 || in.cfg.FlapDownProb <= 0 {
+		return true, 0
+	}
+	now := in.clk.Now()
+	elapsed := now.Sub(clock.Epoch)
+	period := int64(elapsed / in.cfg.FlapPeriod)
+	// one PRNG draw per period, derived from (seed, period) so the
+	// schedule is a pure function of the clock — concurrent readers and
+	// replays agree without sharing rng state
+	mix := uint64(in.cfg.Seed) ^ uint64(period+1)*0x9e3779b97f4a7c15
+	draw := rand.New(rand.NewSource(int64(mix))).Float64()
+	if draw >= in.cfg.FlapDownProb {
+		return true, 0
+	}
+	next := clock.Epoch.Add(time.Duration(period+1) * in.cfg.FlapPeriod)
+	return false, next.Sub(now)
+}
+
+// sleep waits d of real time, returning early when ctx dies.
+func sleep(ctx interface{ Done() <-chan struct{} }, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// garbage is the byte salad injected in place of a response tail.
+var garbage = []byte(`{{{"this is not sparql-results+json"]]] \x00\xff <<<>`)
+
+// Middleware wraps a handler in the injector's chaos, in this order:
+// flap (503 + Retry-After), latency (base + tail), black-hole (hang
+// until the client goes away), error (500), garbage (salad then
+// connection abort), cut (serve until CutAfter bytes, then abort the
+// connection mid-stream). Cut and garbage abort via
+// http.ErrAbortHandler, so the client observes a truncated body and a
+// reset — the real shape of a mid-stream death.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if up, retry := in.flap(); !up {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds()+0.999)))
+			http.Error(w, "faultinject: flapping member is down", http.StatusServiceUnavailable)
+			return
+		}
+		if !sleep(r.Context(), in.delay()) {
+			return
+		}
+		if in.roll(in.cfg.BlackholeRate) {
+			<-r.Context().Done()
+			return
+		}
+		if in.roll(in.cfg.ErrorRate) {
+			http.Error(w, "faultinject: injected error", http.StatusInternalServerError)
+			return
+		}
+		if in.roll(in.cfg.GarbageRate) {
+			w.Write(garbage)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if in.roll(in.cfg.CutRate) {
+			next.ServeHTTP(&cutWriter{ResponseWriter: w, remaining: in.cfg.CutAfter}, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// cutWriter passes writes through until the budget is spent, then
+// flushes what got through and aborts the connection — the response
+// dies mid-body, after real rows were already on the wire.
+type cutWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if len(p) <= c.remaining {
+		c.remaining -= len(p)
+		return c.ResponseWriter.Write(p)
+	}
+	c.ResponseWriter.Write(p[:c.remaining])
+	c.remaining = 0
+	c.Flush()
+	panic(http.ErrAbortHandler)
+}
+
+// Flush forwards to the wrapped writer so the cut bytes actually reach
+// the wire before the abort.
+func (c *cutWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Transport wraps a RoundTripper in client-side chaos: flap and
+// black-hole before dialing, latency before the request, error instead
+// of it, and cut/garbage applied to the response body.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return chaosTransport{in: in, base: base}
+}
+
+type chaosTransport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (t chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	if !in.Up() {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf("faultinject: flapping member is down")}
+	}
+	if !sleep(req.Context(), in.delay()) {
+		return nil, req.Context().Err()
+	}
+	if in.roll(in.cfg.BlackholeRate) {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	if in.roll(in.cfg.ErrorRate) {
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: fmt.Errorf("faultinject: injected connection error")}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if in.roll(in.cfg.GarbageRate) {
+		resp.Body = &garbageBody{inner: resp.Body, remaining: in.cfg.CutAfter}
+	} else if in.roll(in.cfg.CutRate) {
+		resp.Body = &cutBody{inner: resp.Body, remaining: in.cfg.CutAfter}
+	}
+	return resp, nil
+}
+
+// cutBody truncates the body after its budget with an unexpected EOF —
+// what a connection reset mid-body surfaces as to a decoder.
+type cutBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("faultinject: stream cut: %w", io.ErrUnexpectedEOF)
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.inner.Close() }
+
+// garbageBody serves the real body up to its budget, then the salad,
+// then EOF — a proxy or buggy server corrupting the tail.
+type garbageBody struct {
+	inner     io.ReadCloser
+	remaining int
+	served    int
+}
+
+func (b *garbageBody) Read(p []byte) (int, error) {
+	if b.remaining > 0 {
+		if len(p) > b.remaining {
+			p = p[:b.remaining]
+		}
+		n, err := b.inner.Read(p)
+		b.remaining -= n
+		if b.remaining > 0 || err != nil {
+			return n, err
+		}
+		return n, nil
+	}
+	if b.served < len(garbage) {
+		n := copy(p, garbage[b.served:])
+		b.served += n
+		return n, nil
+	}
+	return 0, io.EOF
+}
+
+func (b *garbageBody) Close() error { return b.inner.Close() }
+
+// Listener wraps l so that, while the flapping schedule has the member
+// down, accepted connections are closed immediately — the client sees a
+// refused/reset connection, never an HTTP response.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return chaosListener{Listener: l, in: in}
+}
+
+type chaosListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l chaosListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if !l.in.Up() {
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}

@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// chattyHandler streams a deterministic body well past any cut budget.
+func chattyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		line := strings.Repeat("x", 63) + "\n"
+		for i := 0; i < 256; i++ {
+			io.WriteString(w, line)
+		}
+	})
+}
+
+func TestFlapScheduleDeterministic(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	mk := func() *Injector {
+		return New(Config{Seed: 7, Clock: ck, FlapPeriod: time.Minute, FlapDownProb: 0.5})
+	}
+	a, b := mk(), mk()
+	downs := 0
+	for i := 0; i < 200; i++ {
+		au, bu := a.Up(), b.Up()
+		if au != bu {
+			t.Fatalf("period %d: same seed disagrees (%v vs %v)", i, au, bu)
+		}
+		if !au {
+			downs++
+		}
+		ck.Advance(time.Minute)
+	}
+	if downs < 50 || downs > 150 {
+		t.Fatalf("downs = %d of 200 at p=0.5: schedule is not flapping", downs)
+	}
+	// a different seed must produce a different schedule
+	ck2 := clock.NewSim(clock.Epoch)
+	c := New(Config{Seed: 8, Clock: ck2, FlapPeriod: time.Minute, FlapDownProb: 0.5})
+	ck3 := clock.NewSim(clock.Epoch)
+	d := New(Config{Seed: 7, Clock: ck3, FlapPeriod: time.Minute, FlapDownProb: 0.5})
+	same := 0
+	for i := 0; i < 200; i++ {
+		if c.Up() == d.Up() {
+			same++
+		}
+		ck2.Advance(time.Minute)
+		ck3.Advance(time.Minute)
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestMiddlewareFlapAnswers503WithRetryAfter(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	// DownProb 1: every period is down
+	in := New(Config{Seed: 1, Clock: ck, FlapPeriod: time.Minute, FlapDownProb: 1})
+	srv := httptest.NewServer(in.Middleware(chattyHandler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want seconds in (0, 60]", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestMiddlewareCutTruncatesMidBody(t *testing.T) {
+	in := New(Config{Seed: 1, CutRate: 1, CutAfter: 1024})
+	srv := httptest.NewServer(in.Middleware(chattyHandler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error; want a mid-body failure", len(body))
+	}
+	if len(body) == 0 || len(body) > 1024 {
+		t.Fatalf("got %d bytes before the cut, want (0, 1024]", len(body))
+	}
+}
+
+func TestTransportCutAndGarbage(t *testing.T) {
+	srv := httptest.NewServer(chattyHandler())
+	defer srv.Close()
+	in := New(Config{Seed: 1, CutRate: 1, CutAfter: 512})
+	client := &http.Client{Transport: in.Transport(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatal("cut body read cleanly")
+	}
+	if len(body) != 512 {
+		t.Fatalf("cut after %d bytes, want 512", len(body))
+	}
+	ing := New(Config{Seed: 1, GarbageRate: 1, CutAfter: 512})
+	gclient := &http.Client{Transport: ing.Transport(nil)}
+	resp, err = gclient.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("garbage body must end with clean EOF, got %v", err)
+	}
+	if !strings.Contains(string(body), "this is not sparql-results+json") {
+		t.Fatal("garbage tail missing from body")
+	}
+}
+
+func TestTransportFlapRefusesConnection(t *testing.T) {
+	srv := httptest.NewServer(chattyHandler())
+	defer srv.Close()
+	ck := clock.NewSim(clock.Epoch)
+	in := New(Config{Seed: 1, Clock: ck, FlapPeriod: time.Minute, FlapDownProb: 1})
+	client := &http.Client{Transport: in.Transport(nil)}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("down member dialed successfully")
+	}
+}
+
+func TestTransportBlackholeHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(chattyHandler())
+	defer srv.Close()
+	in := New(Config{Seed: 1, BlackholeRate: 1})
+	client := &http.Client{Transport: in.Transport(nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("black-holed request returned a response")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("black-hole ignored the context")
+	}
+}
+
+func TestListenerRefusesWhileDown(t *testing.T) {
+	ck := clock.NewSim(clock.Epoch)
+	in := New(Config{Seed: 1, Clock: ck, FlapPeriod: time.Minute, FlapDownProb: 1})
+	srv := httptest.NewUnstartedServer(chattyHandler())
+	srv.Listener = in.Listener(srv.Listener)
+	srv.Start()
+	defer srv.Close()
+	client := &http.Client{Timeout: 2 * time.Second}
+	if resp, err := client.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("down listener served a response")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if New(Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !New(Config{Latency: time.Millisecond}).Enabled() {
+		t.Fatal("latency config reports disabled")
+	}
+	if !New(Config{FlapPeriod: time.Minute, FlapDownProb: 0.5}).Enabled() {
+		t.Fatal("flap config reports disabled")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/extraction"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sparql"
 )
 
@@ -118,6 +119,21 @@ type SourceStats struct {
 	// Pruned counts queries source selection proved the source could not
 	// contribute to.
 	Pruned int `json:"pruned"`
+	// Tripped counts fan-outs that skipped the source because its circuit
+	// breaker was open — outages the federation rode out at zero request
+	// cost.
+	Tripped int `json:"tripped"`
+	// Hedged counts opens where the first attempt was slow enough that a
+	// hedged second attempt launched.
+	Hedged int `json:"hedged"`
+	// HedgeWon counts hedged opens the second attempt won.
+	HedgeWon int `json:"hedgeWon"`
+	// HedgeWasted counts hedged opens where the first attempt delivered
+	// before the hedge — the hedge's request was pure overhead.
+	HedgeWasted int `json:"hedgeWasted"`
+	// Dropped counts branch failures dropped (rather than made fatal)
+	// under partial-result mode.
+	Dropped int `json:"dropped"`
 	// FirstRow is the open-to-first-row latency of the most recent query.
 	FirstRow time.Duration `json:"firstRowNs"`
 	// Elapsed is the cumulative wall time spent streaming from the source.
@@ -147,6 +163,17 @@ type Client struct {
 	// that do not ask for DISTINCT; DISTINCT/REDUCED queries always
 	// deduplicate on the merge.
 	DistinctOnMerge bool
+	// Hedge enables hedged stream opens: when a branch's first row has
+	// not arrived within the source's hedge delay (the p90 of its
+	// observed open-to-first-row latencies, seeded from the cost model
+	// before any observation exists), a second attempt opens and
+	// whichever delivers first wins; the loser is canceled. Tail-slow
+	// opens stop gating the merge at the price of ~10% extra opens.
+	Hedge bool
+	// HedgeAfter, when > 0, fixes the hedge delay instead of deriving it
+	// per source — for tests and benchmarks that need a deterministic
+	// trigger.
+	HedgeAfter time.Duration
 	// Metrics, when set, mirrors every SourceStats mutation into
 	// registry-backed, per-source labeled series — promoting the
 	// instance-local accounting into process-lifetime observability that
@@ -157,9 +184,10 @@ type Client struct {
 
 	sources []*endpoint.Source
 
-	mu    sync.Mutex
-	stats map[string]*SourceStats
-	vocab map[string]vocabEntry
+	mu     sync.Mutex
+	stats  map[string]*SourceStats
+	vocab  map[string]vocabEntry
+	hedges map[string]*resilience.HedgeDelay
 
 	fmOnce sync.Once
 	fm     *fedMetrics
@@ -173,8 +201,14 @@ type fedMetrics struct {
 	errors      *obs.CounterVec
 	unavailable *obs.CounterVec
 	pruned      *obs.CounterVec
+	tripped     *obs.CounterVec
+	hedged      *obs.CounterVec
+	hedgeWon    *obs.CounterVec
+	hedgeWasted *obs.CounterVec
+	dropped     *obs.CounterVec
 	firstRow    *obs.GaugeVec
 	elapsed     *obs.CounterVec
+	degraded    *obs.Counter
 }
 
 func newFedMetrics(r *obs.Registry) *fedMetrics {
@@ -184,8 +218,14 @@ func newFedMetrics(r *obs.Registry) *fedMetrics {
 		errors:      r.CounterVec("hbold_federation_errors_total", "Fatal branch failures attributed to the source.", "source"),
 		unavailable: r.CounterVec("hbold_federation_unavailable_total", "Openings skipped because the source was down.", "source"),
 		pruned:      r.CounterVec("hbold_federation_pruned_total", "Queries source selection proved the source could not contribute to.", "source"),
+		tripped:     r.CounterVec("hbold_federation_breaker_skipped_total", "Fan-outs skipped because the source's circuit breaker was open.", "source"),
+		hedged:      r.CounterVec("hbold_federation_hedged_total", "Stream opens where a hedged second attempt launched.", "source"),
+		hedgeWon:    r.CounterVec("hbold_federation_hedge_won_total", "Hedged opens the second attempt won.", "source"),
+		hedgeWasted: r.CounterVec("hbold_federation_hedge_wasted_total", "Hedged opens the first attempt won anyway.", "source"),
+		dropped:     r.CounterVec("hbold_federation_dropped_total", "Branch failures dropped under partial-result mode.", "source"),
 		firstRow:    r.GaugeVec("hbold_federation_first_row_seconds", "Open-to-first-row latency of the source's most recent query.", "source"),
 		elapsed:     r.CounterVec("hbold_federation_elapsed_seconds_total", "Cumulative wall time spent streaming from the source.", "source"),
+		degraded:    r.Counter("hbold_federation_degraded_queries_total", "Federated queries that returned an incomplete result under partial-result mode."),
 	}
 }
 
@@ -200,7 +240,34 @@ func New(sources ...*endpoint.Source) *Client {
 		sources: sources,
 		stats:   make(map[string]*SourceStats, len(sources)),
 		vocab:   make(map[string]vocabEntry, len(sources)),
+		hedges:  make(map[string]*resilience.HedgeDelay, len(sources)),
 	}
+}
+
+// hedgeDelay returns when a hedged second attempt for src should launch:
+// the fixed HedgeAfter when configured, otherwise the source's learned
+// p90 first-row latency (seeded at twice the cost model's base latency —
+// the pre-observation expectation of "slower than this is tail-slow").
+func (f *Client) hedgeDelay(src *endpoint.Source) time.Duration {
+	if f.HedgeAfter > 0 {
+		return f.HedgeAfter
+	}
+	return f.hedgeTracker(src).Delay()
+}
+
+func (f *Client) hedgeTracker(src *endpoint.Source) *resilience.HedgeDelay {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hedges[src.URL]
+	if !ok {
+		seed := 2 * src.Cost.BaseLatency
+		if seed <= 0 {
+			seed = 2 * endpoint.DefaultCost.BaseLatency
+		}
+		h = resilience.NewHedgeDelay(seed, 0)
+		f.hedges[src.URL] = h
+	}
+	return h
 }
 
 // Sources returns the member sources, in configuration order.
@@ -266,6 +333,11 @@ func (f *Client) mirror(url string, before, after SourceStats) {
 	addInt(f.fm.errors, int64(after.Errors-before.Errors))
 	addInt(f.fm.unavailable, int64(after.Unavailable-before.Unavailable))
 	addInt(f.fm.pruned, int64(after.Pruned-before.Pruned))
+	addInt(f.fm.tripped, int64(after.Tripped-before.Tripped))
+	addInt(f.fm.hedged, int64(after.Hedged-before.Hedged))
+	addInt(f.fm.hedgeWon, int64(after.HedgeWon-before.HedgeWon))
+	addInt(f.fm.hedgeWasted, int64(after.HedgeWasted-before.HedgeWasted))
+	addInt(f.fm.dropped, int64(after.Dropped-before.Dropped))
 	if after.FirstRow != before.FirstRow {
 		f.fm.firstRow.With(url).Set(after.FirstRow.Seconds())
 	}
@@ -299,16 +371,24 @@ func (f *Client) vocabulary(src *endpoint.Source) (extraction.Vocabulary, bool) 
 	return v, true
 }
 
-// selectSources applies the availability probe and the selection policy.
-func (f *Client) selectSources(q *sparql.Query) []*endpoint.Source {
+// selectSources applies the availability probe, the selection policy and
+// the per-source circuit breaker, in that order — a pruned source
+// provably cannot contribute, so it must not consume the breaker's
+// half-open probe slot. tripped counts sources the breaker held out, so
+// the caller can distinguish "everything is broken" from "everything was
+// pruned" when the selection comes back empty. Under partial-result mode
+// an unavailable or tripped source is recorded as incomplete: its rows
+// are missing from the merge.
+func (f *Client) selectSources(q *sparql.Query, partial *Partial) (selected []*endpoint.Source, tripped int) {
 	var preds, classes []string
 	if f.Policy != All {
 		preds, classes = sparql.Footprint(q)
 	}
-	selected := make([]*endpoint.Source, 0, len(f.sources))
+	selected = make([]*endpoint.Source, 0, len(f.sources))
 	for _, src := range f.sources {
 		if !src.Available() {
 			f.bump(src, func(st *SourceStats) { st.Unavailable++ })
+			partial.drop(src.Label())
 			continue
 		}
 		if f.Policy != All && len(preds)+len(classes) > 0 {
@@ -317,6 +397,12 @@ func (f *Client) selectSources(q *sparql.Query) []*endpoint.Source {
 				continue
 			}
 		}
+		if !src.Breaker.Allow() {
+			f.bump(src, func(st *SourceStats) { st.Tripped++ })
+			partial.drop(src.Label())
+			tripped++
+			continue
+		}
 		selected = append(selected, src)
 	}
 	if f.Policy == CostOrdered {
@@ -324,7 +410,7 @@ func (f *Client) selectSources(q *sparql.Query) []*endpoint.Source {
 			return selected[i].Cost.BaseLatency < selected[j].Cost.BaseLatency
 		})
 	}
-	return selected
+	return selected, tripped
 }
 
 // Query implements endpoint.Client by collecting the merged stream.
@@ -349,6 +435,68 @@ func projVars(q *sparql.Query) []string {
 	return vars
 }
 
+// Partial is the accounting of one partial-result query: which selected
+// sources failed and were dropped from the merge instead of failing it.
+// Read it only after the merged stream ends (or is closed) — drops can
+// still be recorded while rows flow.
+type Partial struct {
+	mu      sync.Mutex
+	dropped []string
+}
+
+func (p *Partial) drop(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.dropped = append(p.dropped, label)
+	p.mu.Unlock()
+}
+
+// Incomplete returns the labels of the sources whose results are missing
+// from the merged stream, sorted; empty means the result is complete.
+func (p *Partial) Incomplete() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]string, len(p.dropped))
+	copy(out, p.dropped)
+	p.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Degraded reports whether any source was dropped.
+func (p *Partial) Degraded() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.dropped) > 0
+}
+
+// StreamPartial is Stream in partial-result mode: a failing branch —
+// down at open, erroring at open after retries, or dying mid-stream —
+// is dropped from the merge instead of failing it, and the returned
+// Partial names every dropped source so the caller can report an
+// incomplete result honestly rather than not at all. A query whose
+// semantics a silent drop would corrupt is refused: ORDER BY (a dropped
+// branch breaks the global-order guarantee mid-stream) and
+// DISTINCT/REDUCED or DistinctOnMerge (rows already emitted may owe
+// their dedup outcome to a branch that later vanished). All selected
+// sources failing at open is still an error — partial mode degrades
+// results, it does not fabricate empty ones.
+func (f *Client) StreamPartial(ctx context.Context, query string) (*sparql.RowSeq, *Partial, error) {
+	p := &Partial{}
+	rs, err := f.stream(ctx, query, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, p, nil
+}
+
 // Stream implements endpoint.Streamer: it selects sources, fans the
 // query out to each under a per-branch context derived from ctx, and
 // returns the merged row stream. Without ORDER BY, member results arrive
@@ -361,6 +509,10 @@ func projVars(q *sparql.Query) []string {
 // every branch canceled, on the first fatal branch error; it ends
 // cleanly when all branches are exhausted.
 func (f *Client) Stream(ctx context.Context, query string) (*sparql.RowSeq, error) {
+	return f.stream(ctx, query, nil)
+}
+
+func (f *Client) stream(ctx context.Context, query string, partial *Partial) (*sparql.RowSeq, error) {
 	if len(f.sources) == 0 {
 		return nil, errors.New("federation: no sources configured")
 	}
@@ -370,6 +522,16 @@ func (f *Client) Stream(ctx context.Context, query string) (*sparql.RowSeq, erro
 	}
 	if q.Form == sparql.FormConstruct {
 		return nil, errors.New("federation: CONSTRUCT is not supported over a federation; query a single source")
+	}
+	if partial != nil {
+		// shapes whose already-emitted rows a late branch drop would
+		// silently invalidate are refused rather than degraded
+		if len(q.OrderBy) > 0 {
+			return nil, errors.New("federation: partial results are not supported with ORDER BY (a dropped branch breaks the global-order guarantee mid-stream); retry without partial or without ORDER BY")
+		}
+		if q.Distinct || q.Reduced || f.DistinctOnMerge {
+			return nil, errors.New("federation: partial results are not supported with DISTINCT/REDUCED (merge-level dedup outcomes may depend on a branch that later vanished); retry without partial or without DISTINCT")
+		}
 	}
 	// An aggregate fanned out unchanged would make every member
 	// aggregate its own partition and the merge interleave the partial
@@ -399,18 +561,20 @@ func (f *Client) Stream(ctx context.Context, query string) (*sparql.RowSeq, erro
 			}
 		}
 	}
-	selected := f.selectSources(q)
+	selected, tripped := f.selectSources(q, partial)
 	if len(selected) == 0 {
-		if down := f.allDown(); down {
+		if f.allDown() || tripped > 0 {
+			// nothing left to ask: every source is down or its breaker is
+			// holding it open — that is an outage, not an empty answer
 			return nil, fmt.Errorf("federation: all %d sources unavailable: %w", len(f.sources), endpoint.ErrUnavailable)
 		}
 		// every source was provably pruned: the federated answer is empty
 		return sparql.ResultSeq(&sparql.Result{Vars: projVars(q)}), nil
 	}
 	if q.Form == sparql.FormAsk {
-		return f.fanAsk(ctx, query, selected)
+		return f.fanAsk(ctx, query, selected, partial)
 	}
-	return f.fanSelect(ctx, q, query, selected)
+	return f.fanSelect(ctx, q, query, selected, partial)
 }
 
 func (f *Client) allDown() bool {
@@ -423,8 +587,10 @@ func (f *Client) allDown() bool {
 }
 
 // fanAsk answers a federated ASK: true iff any source answers true. All
-// sources are asked concurrently; the first fatal error cancels the rest.
-func (f *Client) fanAsk(ctx context.Context, query string, selected []*endpoint.Source) (*sparql.RowSeq, error) {
+// sources are asked concurrently; the first fatal error cancels the rest
+// — except under partial-result mode, where a failing source is dropped
+// (and named in the Partial) and the remaining answers decide.
+func (f *Client) fanAsk(ctx context.Context, query string, selected []*endpoint.Source, partial *Partial) (*sparql.RowSeq, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -448,9 +614,16 @@ func (f *Client) fanAsk(ctx context.Context, query string, selected []*endpoint.
 				switch {
 				case actx.Err() != nil:
 				case f.SkipUnavailable && errors.Is(err, endpoint.ErrUnavailable):
-					f.bump(src, func(st *SourceStats) { st.Unavailable++ })
+					f.bump(src, func(st *SourceStats) { st.Queries++; st.Unavailable++; st.Elapsed += elapsed })
+					src.Breaker.Failure()
+					partial.drop(src.Label())
+				case partial != nil:
+					f.bump(src, func(st *SourceStats) { st.Queries++; st.Errors++; st.Dropped++; st.Elapsed += elapsed })
+					src.Breaker.Failure()
+					partial.drop(src.Label())
 				default:
 					f.bump(src, func(st *SourceStats) { st.Queries++; st.Errors++; st.Elapsed += elapsed })
+					src.Breaker.Failure()
 					mu.Lock()
 					if fatal == nil {
 						fatal = fmt.Errorf("federation: source %s: %w", src.Label(), err)
@@ -461,6 +634,7 @@ func (f *Client) fanAsk(ctx context.Context, query string, selected []*endpoint.
 				return
 			}
 			f.bump(src, func(st *SourceStats) { st.Queries++; st.Elapsed += elapsed })
+			src.Breaker.Success()
 			mu.Lock()
 			answered++
 			if res.Ask && res.Boolean {
@@ -482,6 +656,7 @@ func (f *Client) fanAsk(ctx context.Context, query string, selected []*endpoint.
 	if answered == 0 {
 		return nil, fmt.Errorf("federation: all %d selected sources unavailable: %w", len(selected), endpoint.ErrUnavailable)
 	}
+	f.noteDegraded(partial)
 	return sparql.ResultSeq(&sparql.Result{Ask: true, Boolean: boolean}), nil
 }
 
@@ -498,7 +673,7 @@ type branch struct {
 }
 
 // fanSelect runs the streaming k-way merge for SELECT queries.
-func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, selected []*endpoint.Source) (*sparql.RowSeq, error) {
+func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, selected []*endpoint.Source, partial *Partial) (*sparql.RowSeq, error) {
 	buffer := f.Buffer
 	if buffer <= 0 {
 		buffer = DefaultBuffer
@@ -514,7 +689,7 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 		go func() {
 			defer wg.Done()
 			defer close(b.ch)
-			f.runBranch(mctx, b, query, openCh)
+			f.runBranch(mctx, &wg, b, query, openCh, partial)
 		}()
 	}
 
@@ -587,8 +762,20 @@ func (f *Client) fanSelect(ctx context.Context, q *sparql.Query, query string, s
 	out.OnClose(func() {
 		cancel()
 		wg.Wait()
+		f.noteDegraded(partial)
 	})
 	return out, nil
+}
+
+// noteDegraded bumps the degraded-queries counter once per query whose
+// partial accounting recorded a drop, after the fan-out is joined (so
+// the drop list is final).
+func (f *Client) noteDegraded(partial *Partial) {
+	if f.Metrics == nil || !partial.Degraded() {
+		return
+	}
+	f.fmOnce.Do(func() { f.fm = newFedMetrics(f.Metrics) })
+	f.fm.degraded.Inc()
 }
 
 // mergeInterleave is the unordered merge: one select case per open
@@ -773,15 +960,137 @@ func mergeOrdered(ctx context.Context, q *sparql.Query, branches []*branch, dedu
 	}
 }
 
+// attemptResult is one open attempt's outcome in a (possibly hedged)
+// branch open: the opened stream with its pre-pulled first row, or the
+// open error.
+type attemptResult struct {
+	rs      *sparql.RowSeq
+	row     sparql.Binding
+	hasRow  bool
+	cancel  context.CancelFunc
+	hedged  bool // this was the second attempt
+	openErr error
+}
+
+// openBranch opens src's stream, hedging the open when the client is
+// configured to: if the first attempt has not delivered its first row
+// within the source's hedge delay, a second attempt launches and
+// whichever delivers first wins; the loser's context is canceled and its
+// stream drained on a fan-out-joined goroutine, so the Close-joins-
+// everything contract holds. Each attempt pulls the first row before
+// reporting — "open" for hedging purposes means rows are actually
+// flowing, not just that headers arrived. An attempt that errors while
+// the other is still running does not decide the open; only both
+// failing does.
+func (f *Client) openBranch(mctx context.Context, wg *sync.WaitGroup, src *endpoint.Source, query string) attemptResult {
+	results := make(chan attemptResult, 2)
+	// cancels[i] is attempt i's context cancel, created synchronously in
+	// launch so the select loop can abort a still-opening loser without
+	// waiting for it to report
+	var cancels [2]context.CancelFunc
+	launch := func(hedged bool) {
+		actx, cancel := context.WithCancel(mctx)
+		idx := 0
+		if hedged {
+			idx = 1
+		}
+		cancels[idx] = cancel
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := endpoint.Stream(actx, src.Client, query)
+			if err != nil {
+				cancel()
+				results <- attemptResult{openErr: err, hedged: hedged}
+				return
+			}
+			// the attempt's context must die with its stream however the
+			// stream ends; registering before the first pull covers the
+			// exhaustion, error and Close paths alike
+			rs.OnClose(cancel)
+			row, ok := rs.Next()
+			results <- attemptResult{rs: rs, row: row, hasRow: ok, cancel: cancel, hedged: hedged}
+		}()
+	}
+	launch(false)
+	if !f.Hedge {
+		return <-results
+	}
+	hedgeTimer := time.NewTimer(f.hedgeDelay(src))
+	defer hedgeTimer.Stop()
+	launched := 1
+	var firstErr *attemptResult
+	for {
+		select {
+		case <-hedgeTimer.C:
+			if launched == 1 {
+				launched = 2
+				f.bump(src, func(st *SourceStats) { st.Hedged++ })
+				launch(true)
+			}
+		case res := <-results:
+			if res.openErr != nil {
+				if launched == 2 && firstErr == nil {
+					// the sibling attempt may still win; remember the error
+					firstErr = &res
+					continue
+				}
+				if launched == 2 && firstErr != nil {
+					// both attempts failed: surface the primary's error
+					if res.hedged {
+						return *firstErr
+					}
+					return res
+				}
+				return res
+			}
+			if launched == 2 {
+				f.bump(src, func(st *SourceStats) {
+					if res.hedged {
+						st.HedgeWon++
+					} else {
+						st.HedgeWasted++
+					}
+				})
+				if firstErr == nil {
+					// the loser is still running: cancel its context now
+					// (it may be blocked mid-open) and drain its stream off
+					// the fan-out's WaitGroup
+					loserCancel := cancels[1]
+					if res.hedged {
+						loserCancel = cancels[0]
+					}
+					loserCancel()
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						loser := <-results
+						if loser.rs != nil {
+							loser.rs.Close()
+						}
+					}()
+				}
+			}
+			return res
+		}
+	}
+}
+
 // runBranch opens one source's stream under the merge context and pumps
 // its rows into the branch buffer. It reports on openCh exactly once,
 // after the open attempt, and sets err/skipped before returning — the
 // deferred channel close in the caller publishes them to the merge loop.
-func (f *Client) runBranch(mctx context.Context, b *branch, query string, openCh chan<- *branch) {
+// The source's circuit breaker records the outcome: a failed open or a
+// mid-stream death is a Failure, a cleanly exhausted stream a Success —
+// an open alone earns nothing, so a source that always dies mid-stream
+// still trips. Under partial-result mode failures drop the branch (and
+// name the source in the Partial) instead of failing the merge.
+func (f *Client) runBranch(mctx context.Context, wg *sync.WaitGroup, b *branch, query string, openCh chan<- *branch, partial *Partial) {
 	src := b.src
 	start := time.Now()
-	rs, err := endpoint.Stream(mctx, src.Client, query)
-	if err != nil {
+	att := f.openBranch(mctx, wg, src, query)
+	if att.openErr != nil {
+		err := att.openErr
 		switch {
 		case mctx.Err() != nil:
 			// the merge tore down (consumer Close, satisfied LIMIT, a
@@ -790,14 +1099,23 @@ func (f *Client) runBranch(mctx context.Context, b *branch, query string, openCh
 			b.skipped = true
 		case f.SkipUnavailable && errors.Is(err, endpoint.ErrUnavailable):
 			b.skipped = true
-			f.bump(src, func(st *SourceStats) { st.Unavailable++ })
+			f.bump(src, func(st *SourceStats) { st.Queries++; st.Unavailable++; st.Elapsed += time.Since(start) })
+			src.Breaker.Failure()
+			partial.drop(src.Label())
+		case partial != nil:
+			b.skipped = true
+			f.bump(src, func(st *SourceStats) { st.Queries++; st.Errors++; st.Dropped++; st.Elapsed += time.Since(start) })
+			src.Breaker.Failure()
+			partial.drop(src.Label())
 		default:
 			b.err = fmt.Errorf("federation: source %s: %w", src.Label(), err)
 			f.bump(src, func(st *SourceStats) { st.Queries++; st.Errors++ })
+			src.Breaker.Failure()
 		}
 		openCh <- b
 		return
 	}
+	rs := att.rs
 	b.opened, b.vars = true, rs.Vars
 	f.bump(src, func(st *SourceStats) { st.Queries++ })
 	openCh <- b
@@ -809,20 +1127,44 @@ func (f *Client) runBranch(mctx context.Context, b *branch, query string, openCh
 			st.Elapsed += time.Since(start)
 		})
 	}()
+	if att.hasRow {
+		d := time.Since(start)
+		f.bump(src, func(st *SourceStats) { st.FirstRow = d })
+		f.hedgeTracker(src).Observe(d)
+		select {
+		case b.ch <- att.row:
+			rows++
+		case <-mctx.Done():
+			return
+		}
+	}
 	for {
 		row, ok := rs.Next()
 		if !ok {
 			// a failure caused by the merge's own teardown is not the
 			// source's error
 			if err := rs.Err(); err != nil && mctx.Err() == nil {
-				b.err = fmt.Errorf("federation: source %s: %w", src.Label(), err)
-				f.bump(src, func(st *SourceStats) { st.Errors++ })
+				src.Breaker.Failure()
+				if partial != nil {
+					f.bump(src, func(st *SourceStats) { st.Errors++; st.Dropped++ })
+					partial.drop(src.Label())
+				} else {
+					b.err = fmt.Errorf("federation: source %s: %w", src.Label(), err)
+					f.bump(src, func(st *SourceStats) { st.Errors++ })
+				}
+				return
+			}
+			if mctx.Err() == nil {
+				// clean end of stream: the only outcome that earns the
+				// breaker a success
+				src.Breaker.Success()
 			}
 			return
 		}
 		if rows == 0 {
 			d := time.Since(start)
 			f.bump(src, func(st *SourceStats) { st.FirstRow = d })
+			f.hedgeTracker(src).Observe(d)
 		}
 		select {
 		case b.ch <- row:

@@ -632,7 +632,7 @@ func TestCostOrderedOpensCheapestFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := fed.selectSources(q)
+	sel, _ := fed.selectSources(q, nil)
 	if len(sel) != 3 || sel[0] != srcs[1] || sel[1] != srcs[2] || sel[2] != srcs[0] {
 		names := make([]string, len(sel))
 		for i, s := range sel {

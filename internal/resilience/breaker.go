@@ -1,0 +1,378 @@
+// Package resilience is the failure-handling layer shared by the
+// endpoint clients, the federation merge and the extraction scheduler:
+// per-source circuit breakers (a dead endpoint costs zero requests until
+// its open window expires), fleet-wide retry budgets (a token bucket
+// refilled by successes, capping retry amplification during an outage),
+// and the percentile-derived delay policy behind hedged stream opens.
+// Everything is clock-injected so tests drive outage windows with a
+// simulated calendar, and everything is nil-safe: a nil *Breaker admits
+// every call and a nil *Budget never exhausts, so call sites need no
+// configuration guards.
+package resilience
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int32
+
+const (
+	// Closed is the healthy state: every call is admitted.
+	Closed State = iota
+	// HalfOpen admits one probe per open window; the probe's outcome
+	// decides between Closed and Open.
+	HalfOpen
+	// Open admits nothing until the open window expires.
+	Open
+)
+
+// String returns the state's wire name (the /api/federation/stats and
+// gauge-value vocabulary).
+func (s State) String() string {
+	switch s {
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// MarshalJSON encodes the state by its wire name, so API consumers read
+// "open", not 2.
+func (s State) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Breaker defaults; see BreakerConfig.
+const (
+	DefaultFailures         = 5
+	DefaultRatio            = 0.5
+	DefaultOpenFor          = 30 * time.Second
+	DefaultSuccessesToClose = 1
+)
+
+// BreakerConfig parameterizes one breaker. The zero value gets defaults.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that trips the breaker
+	// from Closed to Open. Default 5.
+	Failures int
+	// Window, when > 0, additionally trips on failure *ratio*: once the
+	// rolling window of the last Window outcomes is full and at least
+	// Ratio of them failed, the breaker opens even if successes keep the
+	// consecutive count below Failures (the intermittently-dying source).
+	// 0 disables ratio tripping.
+	Window int
+	// Ratio is the failure fraction over a full Window that trips;
+	// default 0.5.
+	Ratio float64
+	// OpenFor is how long the breaker stays Open before admitting a
+	// half-open probe, and the spacing between successive probes while
+	// HalfOpen. Default 30s.
+	OpenFor time.Duration
+	// SuccessesToClose is how many half-open probe successes close the
+	// breaker. Default 1.
+	SuccessesToClose int
+	// Clock drives the open window; nil means the wall clock.
+	Clock clock.Clock
+	// OnTransition, when set, observes every state change. It runs
+	// outside the breaker's lock, so it may call back into the breaker.
+	OnTransition func(from, to State, at time.Time)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = DefaultFailures
+	}
+	if c.Ratio <= 0 {
+		c.Ratio = DefaultRatio
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = DefaultOpenFor
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = DefaultSuccessesToClose
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	return c
+}
+
+// Breaker is a per-source circuit breaker. Closed admits everything and
+// counts outcomes; enough consecutive failures (or a failing ratio over
+// the rolling window) trip it Open, which admits nothing for OpenFor;
+// then HalfOpen admits one probe per OpenFor interval — a probe success
+// (SuccessesToClose of them) closes the breaker, a probe failure
+// reopens it. Probes are time-spaced rather than tracked in flight, so
+// a probe that vanishes (its query torn down mid-open) can never wedge
+// the breaker: the next interval simply admits another.
+//
+// All methods are safe for concurrent use, and safe on a nil receiver
+// (Allow admits, the rest no-op) so unconfigured call sites need no
+// guard.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	consec    int    // consecutive failures while Closed
+	successes int    // probe successes while HalfOpen
+	window    []bool // rolling outcomes, true = failure
+	wn        int    // outcomes recorded, saturating at len(window)
+	wi        int    // next ring slot
+	until     time.Time
+	since     time.Time
+}
+
+// NewBreaker builds a breaker; zero config fields get defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	b := &Breaker{cfg: cfg, since: cfg.Clock.Now()}
+	if cfg.Window > 0 {
+		b.window = make([]bool, cfg.Window)
+	}
+	return b
+}
+
+// Allow reports whether a call to the source should proceed. While Open
+// it returns false until the open window expires, then transitions to
+// HalfOpen and admits one probe per OpenFor interval.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	now := b.cfg.Clock.Now()
+	switch b.state {
+	case Closed:
+		b.mu.Unlock()
+		return true
+	case Open:
+		if now.Before(b.until) {
+			b.mu.Unlock()
+			return false
+		}
+		fire := b.transition(HalfOpen, now)
+		b.until = now.Add(b.cfg.OpenFor) // next probe, if this one vanishes
+		b.mu.Unlock()
+		fire()
+		return true
+	default: // HalfOpen
+		if now.Before(b.until) {
+			b.mu.Unlock()
+			return false
+		}
+		b.until = now.Add(b.cfg.OpenFor)
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// Success records a successful call.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	now := b.cfg.Clock.Now()
+	fire := func() {}
+	switch b.state {
+	case Closed:
+		b.consec = 0
+		b.record(false)
+	case HalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.SuccessesToClose {
+			fire = b.transition(Closed, now)
+		}
+	case Open:
+		// a straggler from before the trip; the open window stands
+	}
+	b.mu.Unlock()
+	fire()
+}
+
+// Failure records a failed call.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	now := b.cfg.Clock.Now()
+	fire := func() {}
+	switch b.state {
+	case Closed:
+		b.consec++
+		b.record(true)
+		if b.consec >= b.cfg.Failures || b.ratioTripped() {
+			fire = b.transition(Open, now)
+			b.until = now.Add(b.cfg.OpenFor)
+		}
+	case HalfOpen:
+		fire = b.transition(Open, now)
+		b.until = now.Add(b.cfg.OpenFor)
+	case Open:
+		// stragglers don't extend the window; recovery stays on schedule
+	}
+	b.mu.Unlock()
+	fire()
+}
+
+// record pushes one outcome into the rolling window (if configured).
+func (b *Breaker) record(failed bool) {
+	if b.window == nil {
+		return
+	}
+	b.window[b.wi] = failed
+	b.wi = (b.wi + 1) % len(b.window)
+	if b.wn < len(b.window) {
+		b.wn++
+	}
+}
+
+// ratioTripped reports whether the rolling window is full and failing.
+func (b *Breaker) ratioTripped() bool {
+	if b.window == nil || b.wn < len(b.window) {
+		return false
+	}
+	fails := 0
+	for _, f := range b.window {
+		if f {
+			fails++
+		}
+	}
+	return float64(fails) >= b.cfg.Ratio*float64(len(b.window))
+}
+
+// transition moves to state `to`, resets per-state counters, and returns
+// the OnTransition firing to run after the lock is released.
+func (b *Breaker) transition(to State, now time.Time) func() {
+	from := b.state
+	b.state = to
+	b.since = now
+	b.consec = 0
+	b.successes = 0
+	if to == Closed {
+		b.wn, b.wi = 0, 0
+	}
+	if cb := b.cfg.OnTransition; cb != nil {
+		return func() { cb(from, to, now) }
+	}
+	return func() {}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Since returns the time of the last state transition (construction time
+// until the first one), read off the injected clock.
+func (b *Breaker) Since() time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.since
+}
+
+// MarshalText renders the state by name, so BreakerStatus JSON carries
+// "closed"/"half-open"/"open" rather than opaque integers.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// BreakerStatus is one breaker's externally visible health, as exported
+// on /api/federation/stats.
+type BreakerStatus struct {
+	State State     `json:"state"`
+	Since time.Time `json:"since"`
+}
+
+// BreakerSet shares one breaker per source URL across every subsystem
+// that talks to sources — the federation's fan-out, the extraction
+// scheduler's failure recording — so a source that keeps failing
+// extraction is also routed around by queries, and vice versa. When
+// built with a registry, each breaker reports a state gauge (0 closed,
+// 1 half-open, 2 open), a last-transition timestamp gauge stamped by the
+// injected clock, and a trip counter, all labeled by source.
+type BreakerSet struct {
+	cfg     BreakerConfig
+	metrics *obs.Registry
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet builds a set whose breakers share cfg; reg may be nil.
+func NewBreakerSet(cfg BreakerConfig, reg *obs.Registry) *BreakerSet {
+	return &BreakerSet{cfg: cfg, metrics: reg, m: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for url, creating it on first use. A nil set
+// returns a nil breaker, which admits everything.
+func (s *BreakerSet) For(url string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[url]; ok {
+		return b
+	}
+	cfg := s.cfg
+	if reg := s.metrics; reg != nil {
+		state := reg.GaugeVec("hbold_breaker_state",
+			"Circuit breaker state per source: 0 closed, 1 half-open, 2 open.", "source").With(url)
+		since := reg.GaugeVec("hbold_breaker_last_transition_timestamp_seconds",
+			"Unix time of the breaker's last state transition, from the injected clock.", "source").With(url)
+		trips := reg.CounterVec("hbold_breaker_open_total",
+			"Times the breaker tripped open.", "source").With(url)
+		user := cfg.OnTransition
+		cfg.OnTransition = func(from, to State, at time.Time) {
+			state.Set(float64(to))
+			since.Set(float64(at.UnixNano()) / 1e9)
+			if to == Open {
+				trips.Add(1)
+			}
+			if user != nil {
+				user(from, to, at)
+			}
+		}
+		b := NewBreaker(cfg)
+		state.Set(float64(Closed))
+		since.Set(float64(b.Since().UnixNano()) / 1e9)
+		s.m[url] = b
+		return b
+	}
+	b := NewBreaker(cfg)
+	s.m[url] = b
+	return b
+}
+
+// Snapshot returns every breaker's current status, keyed by source URL.
+// A nil set returns nil.
+func (s *BreakerSet) Snapshot() map[string]BreakerStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerStatus, len(s.m))
+	for url, b := range s.m {
+		out[url] = BreakerStatus{State: b.State(), Since: b.Since()}
+	}
+	return out
+}

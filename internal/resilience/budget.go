@@ -1,0 +1,78 @@
+package resilience
+
+import "sync"
+
+// Budget defaults; see NewBudget.
+const (
+	DefaultBudgetTokens = 32
+	DefaultBudgetEarn   = 1
+)
+
+// Budget is a fleet-wide retry budget: a token bucket that every retry
+// spends from and every success earns back into. Shared across a
+// process's endpoint clients, it caps total retry amplification during
+// an outage — with N dead endpoints and unbounded per-call retries, a
+// refresh cycle multiplies the request load exactly when the fleet is
+// least able to absorb it; with a budget, retries stop fleet-wide once
+// the bucket drains and resume as successes refill it. The bucket
+// starts full.
+//
+// A nil *Budget never exhausts (Spend always grants), so call sites
+// need no configuration guard.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	earn   float64
+}
+
+// NewBudget builds a budget of max tokens (full at start), earning
+// earnPerSuccess tokens back per successful call, capped at max.
+// Non-positive arguments get DefaultBudgetTokens/DefaultBudgetEarn.
+func NewBudget(max, earnPerSuccess float64) *Budget {
+	if max <= 0 {
+		max = DefaultBudgetTokens
+	}
+	if earnPerSuccess <= 0 {
+		earnPerSuccess = DefaultBudgetEarn
+	}
+	return &Budget{tokens: max, max: max, earn: earnPerSuccess}
+}
+
+// Spend takes one token for a retry, reporting false — retry denied —
+// when the bucket is empty.
+func (b *Budget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Earn credits one success back into the bucket.
+func (b *Budget) Earn() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.earn
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Tokens returns the current balance (for tests and introspection).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

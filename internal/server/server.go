@@ -196,6 +196,10 @@ func (s *Server) handleFederationStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"capturedAt": s.Tool.Clock.Now(),
 		"sources":    sources,
+		// per-source circuit breaker state ("closed"/"half-open"/"open"
+		// plus the last transition time, from the instance clock), so an
+		// operator sees which members queries are currently routed around
+		"breakers": s.Tool.Breakers.Snapshot(),
 	})
 }
 
@@ -493,6 +497,14 @@ func (s *Server) handleModel(kind string) http.HandlerFunc {
 // canceled through the same context path as a client hang-up. A
 // mid-stream failure appends a final {"error": ...} line — the status
 // code is long gone by then, which is the streaming trade-off.
+//
+// ?partial=ok (federated NDJSON only) degrades instead of aborting: a
+// member dying mid-stream is dropped from the merge, the healthy
+// branches keep streaming, the head line carries "partial":"ok" and a
+// final {"incomplete": [...]} trailer names every dropped source (empty
+// when all delivered). Refused for ORDER BY and DISTINCT/REDUCED, whose
+// already-emitted rows a silent drop would invalidate; the four W3C
+// formats ignore it and keep their hard-abort contract.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the registry rides the context so the engine's per-query series
 	// (count, duration, rows by kind) record for local evaluations
@@ -574,7 +586,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Partial-result mode: ?partial=ok keeps a federated stream alive
+	// when a member dies mid-stream — the dead branch is dropped, the
+	// healthy ones keep merging, and the NDJSON trailer names the
+	// incomplete sources. Only the NDJSON framing can report the
+	// degradation honestly, so over the four W3C formats the parameter is
+	// ignored and a mid-stream failure still hard-aborts; and only a
+	// federation has branches to drop, so partial=ok without sources= is
+	// a request error.
+	partialParam := r.URL.Query().Get("partial")
+	if partialParam == "" && r.Form != nil {
+		partialParam = r.Form.Get("partial")
+	}
+	switch partialParam {
+	case "", "ok":
+	default:
+		http.Error(w, "bad partial parameter: the only mode is partial=ok", http.StatusBadRequest)
+		return
+	}
+	if partialParam == "ok" && r.URL.Query().Get("sources") == "" {
+		http.Error(w, "partial=ok requires sources=; a single dataset has no branches to drop", http.StatusBadRequest)
+		return
+	}
+	partialOK := partialParam == "ok" && format == formatNDJSON
+	if partialOK {
+		// shapes whose emitted rows a late branch drop would silently
+		// invalidate are refused up front (mirroring the federation
+		// layer's refusal, but as a 400 rather than a failed open)
+		if len(parsed.OrderBy) > 0 {
+			http.Error(w, "partial=ok is not supported with ORDER BY (a dropped branch breaks the global-order guarantee); retry without one of them", http.StatusBadRequest)
+			return
+		}
+		if parsed.Distinct || parsed.Reduced {
+			http.Error(w, "partial=ok is not supported with DISTINCT/REDUCED (dedup outcomes may depend on a branch that later vanishes); retry without one of them", http.StatusBadRequest)
+			return
+		}
+	}
 	var c endpoint.Client
+	var fed *federation.Client
 	if sel := r.URL.Query().Get("sources"); sel != "" {
 		// fanned-out aggregates would interleave per-source partials;
 		// the federation layer refuses them, so answer 400 here instead
@@ -619,12 +668,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		fed, err := s.Tool.Federation(urls, policy)
+		f, err := s.Tool.Federation(urls, policy)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		c = fed
+		fed, c = f, f
 	} else {
 		url := s.dataset(r)
 		if url == "" {
@@ -685,7 +734,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, profile)
 		return
 	}
-	rs, err := endpoint.Stream(ctx, c, text)
+	var rs *sparql.RowSeq
+	var partial *federation.Partial
+	if partialOK {
+		rs, partial, err = fed.StreamPartial(ctx, text)
+	} else {
+		rs, err = endpoint.Stream(ctx, c, text)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -730,10 +785,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	if rs.Ask {
-		enc.Encode(map[string]bool{"ask": true, "boolean": rs.Boolean})
+		if partial != nil {
+			enc.Encode(map[string]any{"ask": true, "boolean": rs.Boolean, "incomplete": incompleteSources(partial)})
+		} else {
+			enc.Encode(map[string]bool{"ask": true, "boolean": rs.Boolean})
+		}
 		return
 	}
-	enc.Encode(map[string][]string{"vars": rs.Vars})
+	if partial != nil {
+		enc.Encode(map[string]any{"partial": "ok", "vars": rs.Vars})
+	} else {
+		enc.Encode(map[string][]string{"vars": rs.Vars})
+	}
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -750,7 +813,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := rs.Err(); err != nil {
 		enc.Encode(map[string]string{"error": err.Error()})
+		return
 	}
+	if partial != nil {
+		// machine-readable degradation trailer: always present in partial
+		// mode, empty when every selected source delivered in full
+		enc.Encode(map[string][]string{"incomplete": incompleteSources(partial)})
+	}
+}
+
+// incompleteSources is Partial.Incomplete with a non-nil guarantee, so
+// the NDJSON trailer encodes [] rather than null when nothing dropped.
+func incompleteSources(p *federation.Partial) []string {
+	if inc := p.Incomplete(); inc != nil {
+		return inc
+	}
+	return []string{}
 }
 
 // handleView serves one §3.5 visualization as rendered SVG. The render
