@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/snapcache"
 	"repro/internal/sparql"
 	"repro/internal/store"
+	"repro/internal/store/disk"
 	"repro/internal/synth"
 	"repro/internal/viz"
 )
@@ -1251,3 +1253,117 @@ func benchE19(b *testing.B, hedge bool) {
 
 func BenchmarkE19_HedgedFirstRow(b *testing.B)   { benchE19(b, true) }
 func BenchmarkE19_UnhedgedFirstRow(b *testing.B) { benchE19(b, false) }
+
+// --- E20: instant restart — disk cold-open vs in-memory rebuild ---
+
+// E20 measures the property the persistent tier exists for: how long a
+// restarted process takes before it can answer queries. The disk arms
+// open a populated data directory — paying O(segment indexes + WAL
+// tail), not O(corpus) — at two segment counts (a compacted store and
+// one with compaction disabled), so the scaling with segment count is
+// visible. The rebuild arm re-inserts the same triples into a fresh
+// in-memory store, a strict lower bound on re-extraction, which also
+// pays the query battery over the wire.
+
+var (
+	e20Once    sync.Once
+	e20Triples []rdf.Triple
+	e20DirFew  string
+	e20DirMany string
+)
+
+func e20Fixture(b *testing.B) {
+	e20Once.Do(func() {
+		src := synth.Scholarly(1)
+		src.Match(store.Pattern{}, func(tr rdf.Triple) bool {
+			e20Triples = append(e20Triples, tr)
+			return true
+		})
+		build := func(opts disk.Options) string {
+			dir, err := os.MkdirTemp("", "hbold-e20-*")
+			if err != nil {
+				panic(err)
+			}
+			ds, err := disk.Open(dir, opts)
+			if err != nil {
+				panic(err)
+			}
+			for i, tr := range e20Triples {
+				if _, err := ds.Insert(tr); err != nil {
+					panic(err)
+				}
+				if i%2048 == 2047 {
+					if err := ds.Flush(); err != nil {
+						panic(err)
+					}
+				}
+			}
+			if err := ds.Close(); err != nil {
+				panic(err)
+			}
+			return dir
+		}
+		// Same memtable budget in both arms — so the WAL tails match and
+		// the open-time difference is the segment count alone.
+		few := disk.Options{}
+		few.KV.NoSync = true
+		few.KV.MemtableBytes = 32 << 10
+		few.KV.MaxSegments = 2 // compact aggressively
+		e20DirFew = build(few)
+		many := disk.Options{}
+		many.KV.NoSync = true
+		many.KV.MemtableBytes = 32 << 10
+		many.KV.MaxSegments = 1 << 30 // never compact
+		e20DirMany = build(many)
+	})
+}
+
+func benchE20ColdOpen(b *testing.B, dir string) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := disk.Open(dir, disk.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// prove the reopened store is serving, not just open
+		if n := ds.Cardinality(store.Pattern{}); n != len(e20Triples) {
+			b.Fatalf("cold-open store has %d triples, want %d", n, len(e20Triples))
+		}
+		if err := ds.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ds, err := disk.Open(dir, disk.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(ds.KVStats().Segments), "segments")
+	ds.Close()
+}
+
+func BenchmarkE20_DiskColdOpenCompacted(b *testing.B) {
+	e20Fixture(b)
+	benchE20ColdOpen(b, e20DirFew)
+}
+
+func BenchmarkE20_DiskColdOpenManySegments(b *testing.B) {
+	e20Fixture(b)
+	benchE20ColdOpen(b, e20DirMany)
+}
+
+func BenchmarkE20_RebuildInMemory(b *testing.B) {
+	e20Fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := store.New()
+		for _, tr := range e20Triples {
+			st.Add(tr)
+		}
+		if st.Len() != len(e20Triples) {
+			b.Fatalf("rebuild has %d triples, want %d", st.Len(), len(e20Triples))
+		}
+	}
+}

@@ -84,6 +84,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/snapcache"
 	"repro/internal/store"
+	"repro/internal/store/disk"
 	"repro/internal/synth"
 	"repro/internal/turtle"
 	"repro/internal/viz"
@@ -121,6 +122,7 @@ func main() {
 func cmdSparqld(args []string) {
 	fs := flag.NewFlagSet("sparqld", flag.ExitOnError)
 	addr := fs.String("addr", ":8081", "listen address")
+	dataDir := fs.String("data-dir", "", "persistent data directory: an empty one is seeded from the Turtle file, a populated one serves from disk (file arg optional)")
 	quiet := fs.Bool("quiet", false, "disable the per-request access log")
 	// -chaos-* make this member misbehave on a deterministic schedule, so
 	// a CLI-assembled federation exercises the resilience layer (breaker
@@ -137,10 +139,39 @@ func cmdSparqld(args []string) {
 	chaosFlap := fs.Duration("chaos-flap-period", 0, "flapping period: each period the member is down with -chaos-flap-down-prob")
 	chaosFlapDown := fs.Float64("chaos-flap-down-prob", 0.5, "probability of being down in a flap period")
 	fs.Parse(args)
-	if fs.NArg() != 1 {
+	var st store.Queryable
+	var triples int
+	var source string
+	switch {
+	case *dataDir != "":
+		if fs.NArg() > 1 {
+			usage()
+		}
+		ds, err := disk.Open(*dataDir, disk.Options{})
+		if err != nil {
+			log.Fatalf("hbold: %v", err)
+		}
+		if ds.Len() == 0 {
+			if fs.NArg() != 1 {
+				log.Fatalf("hbold: %s is empty; give a Turtle file to seed it", *dataDir)
+			}
+			// CopyFrom keeps the in-memory tier's ID assignment, so the
+			// seeded store is bit-identical to what -data-dir-less serving
+			// of the same file would query
+			if err := ds.CopyFrom(loadTurtle(fs.Arg(0)).Reader()); err != nil {
+				log.Fatalf("hbold: seeding %s: %v", *dataDir, err)
+			}
+			source = fmt.Sprintf("%s (seeded from %s)", *dataDir, fs.Arg(0))
+		} else {
+			source = fmt.Sprintf("%s (restarted, no re-load)", *dataDir)
+		}
+		st, triples = ds, ds.Len()
+	case fs.NArg() == 1:
+		mem := loadTurtle(fs.Arg(0))
+		st, triples, source = mem, mem.Len(), fs.Arg(0)
+	default:
 		usage()
 	}
-	st := loadTurtle(fs.Arg(0))
 	h := &endpoint.Handler{Store: st}
 	if !*quiet {
 		// one structured record per request: method, query hash, rows
@@ -165,7 +196,7 @@ func cmdSparqld(args []string) {
 		handler = inj.Middleware(handler)
 		log.Printf("hbold: chaos injection enabled (seed %d)", *chaosSeed)
 	}
-	log.Printf("hbold: serving %s (%d triples) as a SPARQL endpoint on %s", fs.Arg(0), st.Len(), *addr)
+	log.Printf("hbold: serving %s (%d triples) as a SPARQL endpoint on %s", source, triples, *addr)
 	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
@@ -178,13 +209,18 @@ func newLogger() *slog.Logger {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  hbold serve [-addr :8080] [-datasets N] [-cache 64] [-slow-query 0]
+  hbold serve [-addr :8080] [-datasets N] [-data-dir DIR] [-cache 64] [-slow-query 0]
                                             start the presentation layer over a demo corpus
-                                            (-cache: snapshot cache budget in MiB, 0 disables;
-                                            -slow-query: log /api/query slower than this)
-  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64] [-slow-query 0]
+                                            (-data-dir: persist the document store and mirror
+                                            each corpus to disk; a restart serves from DIR
+                                            without re-extraction; -cache: snapshot cache
+                                            budget in MiB, 0 disables; -slow-query: log
+                                            /api/query slower than this)
+  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-data-dir DIR] [-cache 64] [-slow-query 0]
                                             serve plus the concurrent extraction scheduler on
-                                            the clock-driven §3.1 refresh cycle
+                                            the clock-driven §3.1 refresh cycle (-data-dir as
+                                            in serve: restart resumes the catalog and skips
+                                            re-extracting fresh datasets)
   hbold extract <file.ttl>                  run index extraction on a Turtle file
   hbold render <file.ttl> <outdir>          render all visualizations of a Turtle file to SVG
   hbold crawl                               simulate the §3.3 open-data-portal crawl
@@ -195,9 +231,12 @@ func usage() {
   hbold query -endpoint URL [-endpoint URL ...] [-policy all|prune|cost] <sparql>
                                             federate the query over several live endpoints,
                                             merging the row streams incrementally
-  hbold sparqld [-addr :8081] [-quiet] [-chaos-*] <file.ttl>
+  hbold sparqld [-addr :8081] [-data-dir DIR] [-quiet] [-chaos-*] [file.ttl]
                                             serve a Turtle file as a SPARQL protocol endpoint
-                                            (a federation member for query -endpoint; one
+                                            (-data-dir: disk-backed store — an empty DIR is
+                                            seeded from file.ttl, a populated one serves
+                                            straight from disk and the file arg is optional;
+                                            a federation member for query -endpoint; one
                                             access-log record per request unless -quiet;
                                             results as JSON, CSV, TSV or XML via the Accept
                                             header or ?format=; -chaos-latency, -chaos-tail,
@@ -222,6 +261,44 @@ func loadTurtle(path string) *store.Store {
 	return store.FromGraph(g)
 }
 
+// newTool builds the core instance for serve/daemon: memory-only by
+// default, or rooted at dataDir (document store under docs/, mirrored
+// corpora under corpus/) with the persisted registry restored.
+func newTool(dataDir string) *core.HBOLD {
+	if dataDir == "" {
+		return core.New(docstore.MustOpenMem(), clock.Real{})
+	}
+	db, err := docstore.Open(filepath.Join(dataDir, "docs"))
+	if err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	tool := core.New(db, clock.Real{})
+	tool.CorpusDir = filepath.Join(dataDir, "corpus")
+	if err := tool.LoadState(); err != nil {
+		log.Fatalf("hbold: %v", err)
+	}
+	return tool
+}
+
+// indexedOnDisk reports whether url can be served from persistent state
+// alone: its registry entry was restored as indexed, its summary loads
+// from the document store, and its mirrored corpus is populated — in
+// which case serve skips the startup extraction entirely.
+func indexedOnDisk(tool *core.HBOLD, url string) bool {
+	if tool.CorpusDir == "" {
+		return false
+	}
+	e, ok := tool.Registry.Get(url)
+	if !ok || !e.Indexed {
+		return false
+	}
+	if _, err := tool.Summary(url); err != nil {
+		return false
+	}
+	ds, err := tool.Corpus(url)
+	return err == nil && ds.Len() > 0
+}
+
 // pipeline runs extract → summary → cluster over a local store.
 func pipeline(name string, st *store.Store) (*schema.Summary, *cluster.Schema) {
 	tool := core.New(docstore.MustOpenMem(), clock.NewSim(clock.Epoch))
@@ -239,16 +316,20 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	n := fs.Int("datasets", 5, "number of demo datasets to index (plus the Scholarly LD)")
+	dataDir := fs.String("data-dir", "", "persistent data directory (document store + mirrored corpora); a restart serves from it without re-extraction")
 	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
 	slowQuery := fs.Duration("slow-query", 0, "log /api/query requests at least this slow (0 disables)")
 	fs.Parse(args)
 
-	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+	tool := newTool(*dataDir)
 	tool.Cache = snapcache.New(*cacheMB << 20)
 	surl := "http://scholarly.example.org/sparql"
 	tool.Registry.Add(registry.Entry{URL: surl, Title: "Scholarly LD"})
 	tool.Connect(surl, endpoint.LocalClient{Store: synth.Scholarly(1)})
-	if err := tool.Process(surl); err != nil {
+	reused := 0
+	if indexedOnDisk(tool, surl) {
+		reused++
+	} else if err := tool.Process(surl); err != nil {
 		log.Fatalf("hbold: %v", err)
 	}
 	count := 0
@@ -261,11 +342,22 @@ func cmdServe(args []string) {
 		}
 		tool.Registry.Add(registry.Entry{URL: d.URL, Title: d.Title})
 		tool.Connect(d.URL, endpoint.LocalClient{Store: synth.BuildStore(d)})
+		if indexedOnDisk(tool, d.URL) {
+			reused++
+			count++
+			continue
+		}
 		if err := tool.Process(d.URL); err != nil {
 			log.Printf("hbold: skip %s: %v", d.URL, err)
 			continue
 		}
 		count++
+	}
+	if *dataDir != "" {
+		if err := tool.SaveState(); err != nil {
+			log.Fatalf("hbold: %v", err)
+		}
+		log.Printf("hbold: persistent data in %s (%d datasets served from disk without re-extraction)", *dataDir, reused)
 	}
 	srv := server.New(tool)
 	if *slowQuery > 0 {
@@ -288,11 +380,12 @@ func cmdDaemon(args []string) {
 	poll := fs.Duration("poll", 30*time.Second, "how often to check the §3.1 policy for due endpoints")
 	retries := fs.Int("retries", 3, "extraction attempts per job before waiting for the next retry day")
 	rate := fs.Float64("rate", 0, "per-endpoint job dispatch limit in jobs/sec (0 = unlimited)")
+	dataDir := fs.String("data-dir", "", "persistent data directory (document store + mirrored corpora); a restart resumes the catalog and skips re-extracting fresh datasets")
 	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
 	slowQuery := fs.Duration("slow-query", 0, "log /api/query requests at least this slow (0 disables)")
 	fs.Parse(args)
 
-	tool := core.New(docstore.MustOpenMem(), clock.Real{})
+	tool := newTool(*dataDir)
 	tool.Cache = snapcache.New(*cacheMB << 20)
 	tool.SchedulerConfig = sched.Config{
 		Workers: *workers,
@@ -332,6 +425,12 @@ func cmdDaemon(args []string) {
 		}
 	}()
 	policy := tool.Registry.Policy()
+	if *dataDir != "" {
+		// restored entries keep their schedule state: a dataset extracted
+		// within the refresh interval is not due, so the boot submit below
+		// skips it and its queries run over the persisted artifacts
+		log.Printf("hbold: persistent data in %s — %d datasets already indexed on disk", *dataDir, tool.Registry.IndexedCount())
+	}
 	log.Printf("hbold: daemon on %s — %d endpoints, %d workers, polling every %s (refresh %s, retry %s)",
 		*addr, count, *workers, *poll, policy.RefreshInterval, policy.RetryInterval)
 	log.Printf("hbold: watch the queue on /api/jobs and /api/metrics")
@@ -364,6 +463,11 @@ func cmdDaemon(args []string) {
 				log.Printf("hbold: drain incomplete: %v", err)
 			}
 			cancelDrain()
+			if *dataDir != "" {
+				if err := tool.SaveState(); err != nil {
+					log.Printf("hbold: save state: %v", err)
+				}
+			}
 			tool.Close()
 			m := tool.Scheduler().Metrics()
 			log.Printf("hbold: done — %d succeeded, %d failed, %d retries", m.Succeeded, m.Failed, m.Retries)

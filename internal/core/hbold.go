@@ -29,6 +29,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/schema"
 	"repro/internal/snapcache"
+	"repro/internal/store/disk"
 )
 
 // Collection names in the document store (the MongoDB stand-in).
@@ -89,9 +90,19 @@ type HBOLD struct {
 	// retry amplification during a shared outage. New installs a
 	// default-size budget; nil disables budgeting.
 	RetryBudget *resilience.Budget
+	// CorpusDir, when non-empty, turns on the persistent corpus tier:
+	// every successful extraction also mirrors the endpoint's statement
+	// set into a disk-backed store under this directory (one data dir
+	// per endpoint), and a restarted instance serves SPARQL over the
+	// reopened stores without re-extraction. Set it before the first
+	// Process call; empty keeps the pipeline memory-only.
+	CorpusDir string
 
 	mu      sync.RWMutex
 	clients map[string]endpoint.Client
+
+	corpusMu sync.Mutex
+	corpora  map[string]*disk.Store
 
 	genMu       sync.RWMutex
 	generations map[string]uint64
@@ -122,10 +133,12 @@ func New(db *docstore.DB, ck clock.Clock) *HBOLD {
 		RetryBudget: resilience.NewBudget(0, 0),
 		clients:     make(map[string]endpoint.Client),
 		generations: make(map[string]uint64),
+		corpora:     make(map[string]*disk.Store),
 	}
 	// read through h so a later Cache replacement is picked up by the
 	// same metric series
 	snapcache.Register(h.Metrics, func() snapcache.Stats { return h.Cache.Stats() })
+	h.registerCorpusMetrics()
 	return h
 }
 
@@ -253,6 +266,20 @@ func (h *HBOLD) process(ctx context.Context, url string, recordFail bool) error 
 	if err := h.DB.Collection(CollClusters).Put(url, cs); err != nil {
 		return err
 	}
+	// with a persistent corpus tier configured, mirror the statement set
+	// too — page-at-a-time, each page one durable batch — so a restart
+	// serves this dataset's queries without re-extraction
+	if h.CorpusDir != "" {
+		if err := h.mirrorCorpus(ctx, url, c); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if recordFail {
+				h.recordFailure(url, now, err)
+			}
+			return err
+		}
+	}
 	// the persisted state changed: bump the generation so every cached
 	// snapshot and ETag of this dataset stops validating
 	h.bumpGeneration(url)
@@ -335,13 +362,15 @@ func (h *HBOLD) Scheduler() *sched.Scheduler {
 	return h.sched
 }
 
-// Close stops the extraction scheduler, if one was started: running
-// jobs finish, queued jobs are discarded. The rest of the instance
-// (registry, store, presentation reads) remains usable.
+// Close stops the extraction scheduler, if one was started — running
+// jobs finish, queued jobs are discarded — then flushes and closes the
+// persistent corpus stores. The rest of the instance (registry, store,
+// presentation reads) remains usable.
 func (h *HBOLD) Close() {
 	if s := h.peekScheduler(); s != nil {
 		s.Stop()
 	}
+	h.closeCorpora()
 }
 
 // peekScheduler returns the scheduler only if one has been started.

@@ -218,7 +218,9 @@ func (c *Collection) Filter(pred func(raw json.RawMessage) bool) []string {
 	return out
 }
 
-// flush writes the collection atomically (write temp + rename).
+// flush writes the collection atomically and durably: temp file, fsync,
+// rename, then fsync of the directory — so a crash leaves either the
+// old or the new file, never a torn or unlinked one.
 func (c *Collection) flush() error {
 	c.mu.RLock()
 	data, err := json.MarshalIndent(c.docs, "", " ")
@@ -228,10 +230,37 @@ func (c *Collection) flush() error {
 	}
 	path := filepath.Join(c.db.dir, c.name+".json")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("docstore: flush %s: %w", c.name, err)
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("docstore: flush %s: %w", c.name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("docstore: flush %s: %w", c.name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("docstore: flush %s: %w", c.name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("docstore: flush %s: %w", c.name, err)
+	}
+	// the rename itself must survive a crash: sync the directory entry
+	d, err := os.Open(c.db.dir)
+	if err != nil {
+		return fmt.Errorf("docstore: flush %s: %w", c.name, err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("docstore: flush %s: %w", c.name, serr)
+	}
+	return nil
 }
 
 func (c *Collection) load(path string) error {

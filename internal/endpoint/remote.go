@@ -222,7 +222,7 @@ func (r *Remote) Stats() (queries int, virtual time.Duration) {
 // LocalClient adapts a bare store to the Client interface (no protocol,
 // no quirks); used when H-BOLD components query their own storage.
 type LocalClient struct {
-	Store *store.Store
+	Store store.Queryable
 }
 
 // Query implements Client by collecting the stream, so cancellation is

@@ -24,7 +24,7 @@ import (
 // Handler serves the SPARQL protocol (GET ?query= and POST form) over a
 // store.
 type Handler struct {
-	Store *store.Store
+	Store store.Queryable
 	// Quirks optionally constrains the engine like a real implementation
 	// would; nil means a fully capable endpoint.
 	Quirks *Quirks
@@ -135,7 +135,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Evaluate runs a query against st honouring the endpoint quirks,
 // materializing the full result.
-func Evaluate(st *store.Store, query string, q *Quirks) (*sparql.Result, error) {
+func Evaluate(st store.Queryable, query string, q *Quirks) (*sparql.Result, error) {
 	rs, err := EvaluateStream(context.Background(), st, query, q)
 	if err != nil {
 		return nil, err
@@ -147,7 +147,7 @@ func Evaluate(st *store.Store, query string, q *Quirks) (*sparql.Result, error) 
 // returning the rows as a stream. A MaxRows quirk becomes a stream
 // truncation — real endpoints silently cap result sets, and a streaming
 // engine caps them by simply stopping.
-func EvaluateStream(ctx context.Context, st *store.Store, query string, q *Quirks) (*sparql.RowSeq, error) {
+func EvaluateStream(ctx context.Context, st store.Queryable, query string, q *Quirks) (*sparql.RowSeq, error) {
 	parsed, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -234,14 +234,14 @@ func containsOptional(g *sparql.GroupPattern) bool {
 
 // Serve starts an httptest server exposing the store as a SPARQL endpoint
 // and returns it; the caller owns Close.
-func Serve(st *store.Store, quirks *Quirks) *httptest.Server {
+func Serve(st store.Queryable, quirks *Quirks) *httptest.Server {
 	return httptest.NewServer(&Handler{Store: st, Quirks: quirks})
 }
 
 // ServeFlaky starts a protocol server that answers with HTTP 500 while
 // *failures > 0 (decrementing it), then behaves normally. It exercises the
 // client retry path.
-func ServeFlaky(st *store.Store, failures *int) *httptest.Server {
+func ServeFlaky(st store.Queryable, failures *int) *httptest.Server {
 	h := &Handler{Store: st}
 	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if *failures > 0 {

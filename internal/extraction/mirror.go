@@ -1,0 +1,61 @@
+package extraction
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+)
+
+// TripleSink is where MirrorCorpus lands triples — in production the
+// disk-backed store.Backend, in tests anything that records them.
+// Insert stages one triple (reporting whether it was new) and Flush
+// makes everything staged so far durable as one atomic batch.
+type TripleSink interface {
+	Insert(rdf.Triple) (bool, error)
+	Flush() error
+}
+
+// MirrorCorpus replicates the endpoint's full statement set into sink,
+// paging `SELECT ?s ?p ?o` with the same ORDER BY + LIMIT/OFFSET
+// discipline the index extraction uses, so it works against endpoints
+// that truncate unordered results. Each page is flushed as one durable
+// batch: a crash mid-mirror loses at most the page in flight, and the
+// recovered sink is a consistent prefix of the corpus. It returns the
+// number of rows mirrored (triples seen, not deduplicated).
+func (e *Extractor) MirrorCorpus(ctx context.Context, c endpoint.Client, sink TripleSink) (int, error) {
+	page := e.PageSize
+	if page <= 0 {
+		page = 1000
+	}
+	total := 0
+	off := 0
+	for {
+		got := 0
+		var sinkErr error
+		err := e.streamRows(ctx, c, fmt.Sprintf(
+			`SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o LIMIT %d OFFSET %d`, page, off),
+			func(row sparqlBinding) {
+				got++
+				if sinkErr != nil {
+					return
+				}
+				_, sinkErr = sink.Insert(rdf.Triple{S: row["s"], P: row["p"], O: row["o"]})
+			})
+		if err != nil {
+			return total, err
+		}
+		if sinkErr != nil {
+			return total, sinkErr
+		}
+		total += got
+		if err := sink.Flush(); err != nil {
+			return total, err
+		}
+		if got < page {
+			return total, nil
+		}
+		off += page
+	}
+}

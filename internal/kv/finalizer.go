@@ -1,0 +1,17 @@
+package kv
+
+import "runtime"
+
+// Snapshots pin segment files via reference counts, and ReaderAPI (the
+// consumer one level up) has no Close method — long-lived readers are
+// simply dropped. A finalizer backstops those, releasing the pins when
+// the snapshot becomes garbage; explicit Release remains the prompt
+// path and clears the finalizer.
+
+func setSnapFinalizer(s *Snap) {
+	runtime.SetFinalizer(s, func(sn *Snap) { sn.Release() })
+}
+
+func clearSnapFinalizer(s *Snap) {
+	runtime.SetFinalizer(s, nil)
+}

@@ -1,0 +1,740 @@
+// Package kv is a dependency-free, crash-safe embedded key-value store:
+// an append-only WAL in front of an in-memory memtable, flushed into
+// sorted immutable segment files with a block index, full-merged by a
+// background compactor when segments accumulate. Keys are arbitrary
+// byte strings compared lexicographically, so fixed-width big-endian
+// encodings give ordered range scans — the property the dictionary-
+// encoded triple tables in internal/store/disk are built on.
+//
+// Durability model: every Apply appends one framed record (length +
+// CRC32) for the whole batch and fsyncs it (unless Options.NoSync), so
+// a batch is atomic — after a crash, replay recovers a prefix of whole
+// batches and truncates the first torn record. Flushing the memtable
+// writes a segment, commits it in MANIFEST.json (temp file + rename +
+// fsync of file and directory), then resets the WAL; a crash between
+// those steps only replays work already in a segment, which is
+// idempotent. Open therefore costs O(segments + WAL bytes), not
+// O(dataset) — the instant-restart path.
+package kv
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options tunes a DB. The zero value selects the defaults.
+type Options struct {
+	// MemtableBytes is the flush threshold for buffered writes
+	// (default 4 MiB). The WAL is bounded by the same figure, which
+	// bounds replay work at open.
+	MemtableBytes int
+	// MaxSegments is the segment count above which the background
+	// compactor full-merges the segment list (default 6).
+	MaxSegments int
+	// BlockBytes is the segment block size; one block is the unit of
+	// read I/O and of index granularity (default 4096).
+	BlockBytes int
+	// NoSync skips the per-Apply fsync. Throughput for tests and bulk
+	// loads; a crash may lose the tail of acknowledged batches, never
+	// torn ones.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 6
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4096
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the DB's counters; the obs layer
+// exports these as the hbold_kv_* metric families.
+type Stats struct {
+	WALAppends    uint64 // batches appended to the WAL
+	WALBytes      uint64 // payload bytes appended to the WAL
+	WALReplayed   uint64 // records recovered by replay at Open
+	Flushes       uint64 // memtable → segment flushes
+	Compactions   uint64 // full merges completed
+	Segments      int    // live segment files
+	SegmentBytes  int64  // total bytes across live segments
+	MemtableKeys  int    // keys buffered in the memtable
+	MemtableBytes int    // approximate memtable footprint
+}
+
+type memval struct {
+	v   []byte
+	del bool
+}
+
+// DB is an open key-value store. All methods are safe for concurrent
+// use; reads through a Snapshot never block writers.
+type DB struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	mem      map[string]memval
+	memBytes int
+	wal      *wal
+	segs     []*segment // oldest → newest
+	nextSeq  uint64
+	closed   bool
+
+	compacting bool
+	compactWG  sync.WaitGroup
+
+	stats Stats
+}
+
+const manifestName = "MANIFEST.json"
+
+type manifest struct {
+	Segments []string `json:"segments"` // oldest → newest
+	NextSeq  uint64   `json:"next_seq"`
+}
+
+// Open opens (or creates) the store in dir, replaying the WAL into the
+// memtable and deleting any segment files a crash left uncommitted.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opts: opts, mem: make(map[string]memval)}
+
+	var m manifest
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("kv: corrupt manifest: %w", err)
+		}
+	case os.IsNotExist(err):
+		// fresh store
+	default:
+		return nil, err
+	}
+	db.nextSeq = m.NextSeq
+	committed := make(map[string]bool, len(m.Segments))
+	for _, name := range m.Segments {
+		committed[name] = true
+		seg, err := openSegment(filepath.Join(dir, name))
+		if err != nil {
+			db.releaseAll()
+			return nil, fmt.Errorf("kv: segment %s: %w", name, err)
+		}
+		db.segs = append(db.segs, seg)
+	}
+	// Segments written but never committed to the manifest are garbage
+	// from a crash mid-flush or mid-compaction.
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err == nil {
+		for _, p := range names {
+			if !committed[filepath.Base(p)] {
+				os.Remove(p)
+			}
+		}
+	}
+
+	w, payloads, err := openWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		db.releaseAll()
+		return nil, err
+	}
+	db.wal = w
+	for _, p := range payloads {
+		b, err := decodeBatch(p)
+		if err != nil {
+			// openWAL already validated framing CRCs; a payload that
+			// fails structural decode means a writer bug, not a torn
+			// write. Refuse to guess.
+			db.releaseAll()
+			w.close()
+			return nil, fmt.Errorf("kv: corrupt WAL batch: %w", err)
+		}
+		db.applyToMem(b)
+		db.stats.WALReplayed++
+	}
+	return db, nil
+}
+
+func (db *DB) releaseAll() {
+	for _, s := range db.segs {
+		s.release()
+	}
+	db.segs = nil
+}
+
+// Batch is an ordered set of writes applied atomically by Apply.
+type Batch struct {
+	ops []op
+}
+
+type op struct {
+	key string
+	val []byte
+	del bool
+}
+
+// Put records a key/value write. The value is retained until Apply.
+func (b *Batch) Put(key string, val []byte) {
+	b.ops = append(b.ops, op{key: key, val: val})
+}
+
+// Delete records a key deletion.
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, op{key: key, del: true})
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply atomically commits the batch: one WAL record (fsynced unless
+// NoSync), then the memtable. Crossing the memtable threshold flushes
+// inline, so the caller's write rate is also the flush backpressure.
+func (db *DB) Apply(b *Batch) error {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	payload := encodeBatch(b)
+	if err := db.wal.append(payload, !db.opts.NoSync); err != nil {
+		return err
+	}
+	db.stats.WALAppends++
+	db.stats.WALBytes += uint64(len(payload))
+	db.applyToMem(b)
+	if db.memBytes >= db.opts.MemtableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) applyToMem(b *Batch) {
+	for _, o := range b.ops {
+		if prev, ok := db.mem[o.key]; ok {
+			db.memBytes -= len(prev.v)
+		} else {
+			db.memBytes += len(o.key) + memEntryOverhead
+		}
+		db.mem[o.key] = memval{v: o.val, del: o.del}
+		db.memBytes += len(o.val)
+	}
+}
+
+const memEntryOverhead = 32
+
+var errClosed = fmt.Errorf("kv: closed")
+
+// Get returns the newest value for key. The returned slice must not be
+// modified when it aliases the memtable; copy to retain.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if mv, ok := db.mem[key]; ok {
+		if mv.del {
+			return nil, false
+		}
+		return mv.v, true
+	}
+	for i := len(db.segs) - 1; i >= 0; i-- {
+		if v, del, ok, err := db.segs[i].get(key); err == nil && ok {
+			if del {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Flush forces the memtable into a new segment (even a small one) and
+// resets the WAL. A no-op on an empty memtable.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	return db.flushLocked()
+}
+
+// flushLocked writes the memtable as the newest segment, commits the
+// manifest, resets the WAL and may kick off background compaction.
+func (db *DB) flushLocked() error {
+	if len(db.mem) == 0 {
+		return nil
+	}
+	ents := make([]entry, 0, len(db.mem))
+	for k, mv := range db.mem {
+		ents = append(ents, entry{k: k, v: mv.v, del: mv.del})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].k < ents[j].k })
+
+	name := fmt.Sprintf("seg-%06d.seg", db.nextSeq)
+	db.nextSeq++
+	sw, err := newSegWriter(filepath.Join(db.dir, name), db.opts.BlockBytes)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := sw.add(e.k, e.v, e.del); err != nil {
+			sw.abort()
+			return err
+		}
+	}
+	seg, err := sw.finish()
+	if err != nil {
+		return err
+	}
+	db.segs = append(db.segs, seg)
+	if err := db.writeManifestLocked(); err != nil {
+		// The segment is orphaned; the next Open deletes it and the WAL
+		// still holds every batch.
+		db.segs = db.segs[:len(db.segs)-1]
+		seg.release()
+		return err
+	}
+	db.mem = make(map[string]memval)
+	db.memBytes = 0
+	db.stats.Flushes++
+	if err := db.wal.reset(); err != nil {
+		return err
+	}
+	db.maybeCompactLocked()
+	return nil
+}
+
+func (db *DB) writeManifestLocked() error {
+	m := manifest{NextSeq: db.nextSeq}
+	for _, s := range db.segs {
+		m.Segments = append(m.Segments, filepath.Base(s.path))
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(db.dir, manifestName), raw)
+}
+
+// atomicWrite replaces path with data via temp file + rename, fsyncing
+// both the file and its directory so the replacement survives a crash.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename/create is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// maybeCompactLocked starts a background full merge when the segment
+// list has grown past MaxSegments and no merge is already running.
+func (db *DB) maybeCompactLocked() {
+	if db.compacting || len(db.segs) <= db.opts.MaxSegments {
+		return
+	}
+	captured := make([]*segment, len(db.segs))
+	copy(captured, db.segs)
+	for _, s := range captured {
+		s.acquire()
+	}
+	seq := db.nextSeq
+	db.nextSeq++
+	db.compacting = true
+	db.compactWG.Add(1)
+	go db.compact(captured, seq)
+}
+
+// compact full-merges the captured segments (every segment that existed
+// at capture time) into one. Tombstones are dropped: nothing older than
+// the captured set exists, so a deletion shadowing nothing is dead
+// weight. Segments flushed while the merge runs are newer and stay
+// above the merged result.
+func (db *DB) compact(captured []*segment, seq uint64) {
+	defer db.compactWG.Done()
+	release := func() {
+		for _, s := range captured {
+			s.release()
+		}
+	}
+	name := fmt.Sprintf("seg-%06d.seg", seq)
+	sw, err := newSegWriter(filepath.Join(db.dir, name), db.opts.BlockBytes)
+	if err != nil {
+		release()
+		db.compactDone(nil, nil)
+		return
+	}
+	// Newest segment wins ties: sources are ordered newest first.
+	sources := make([]iter, len(captured))
+	for i := range captured {
+		sources[i] = captured[len(captured)-1-i].iterate()
+	}
+	werr := error(nil)
+	mergeScan(sources, "", "", false, func(k string, v []byte, del bool) bool {
+		werr = sw.add(k, v, del)
+		return werr == nil
+	})
+	if werr != nil {
+		sw.abort()
+		release()
+		db.compactDone(nil, nil)
+		return
+	}
+	merged, err := sw.finish()
+	if err != nil {
+		release()
+		db.compactDone(nil, nil)
+		return
+	}
+	db.compactDone(captured, merged)
+	release()
+}
+
+// compactDone swaps the merged segment in for the captured prefix of
+// the segment list (under the lock) and retires the old files. A nil
+// merged segment means the merge failed and the list is left alone.
+func (db *DB) compactDone(captured []*segment, merged *segment) {
+	db.mu.Lock()
+	db.compacting = false
+	if merged == nil {
+		db.mu.Unlock()
+		return
+	}
+	old := db.segs[:len(captured)]
+	rest := db.segs[len(captured):]
+	db.segs = append([]*segment{merged}, rest...)
+	if err := db.writeManifestLocked(); err != nil {
+		// Roll back: drop the merged segment, keep serving the old list.
+		db.segs = append(old[:len(old):len(old)], rest...)
+		db.mu.Unlock()
+		merged.release()
+		os.Remove(merged.path)
+		return
+	}
+	db.stats.Compactions++
+	db.mu.Unlock()
+	for _, s := range old {
+		// Unlink first — open snapshots keep reading through their fd.
+		os.Remove(s.path)
+		s.release() // the DB's own reference
+	}
+}
+
+// Close waits for compaction, syncs the WAL and releases every file.
+// The memtable is not flushed: the WAL already holds it durably and
+// replay restores it on the next Open.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	db.compactWG.Wait()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	err := db.wal.close()
+	db.releaseAll()
+	return err
+}
+
+// Stats returns a snapshot of the DB's counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := db.stats
+	st.Segments = len(db.segs)
+	st.SegmentBytes = 0
+	for _, s := range db.segs {
+		st.SegmentBytes += s.size
+	}
+	st.MemtableKeys = len(db.mem)
+	st.MemtableBytes = db.memBytes
+	return st
+}
+
+// Snap is a stable read view: a sorted copy of the memtable plus
+// references on every live segment. Release returns the references;
+// a finalizer backstops forgotten snapshots.
+type Snap struct {
+	mem  []entry    // sorted, includes tombstones
+	segs []*segment // newest → oldest
+	once sync.Once
+}
+
+type entry struct {
+	k   string
+	v   []byte
+	del bool
+}
+
+// Snapshot captures a consistent view of the store. Readers on the
+// snapshot never block, and never see writes applied after this call.
+func (db *DB) Snapshot() *Snap {
+	db.mu.Lock()
+	sn := &Snap{}
+	if len(db.mem) > 0 {
+		sn.mem = make([]entry, 0, len(db.mem))
+		for k, mv := range db.mem {
+			sn.mem = append(sn.mem, entry{k: k, v: mv.v, del: mv.del})
+		}
+		sort.Slice(sn.mem, func(i, j int) bool { return sn.mem[i].k < sn.mem[j].k })
+	}
+	sn.segs = make([]*segment, len(db.segs))
+	for i, s := range db.segs {
+		s.acquire()
+		sn.segs[len(db.segs)-1-i] = s
+	}
+	db.mu.Unlock()
+	setSnapFinalizer(sn)
+	return sn
+}
+
+// Release returns the snapshot's segment references. Idempotent.
+func (s *Snap) Release() {
+	s.once.Do(func() {
+		for _, seg := range s.segs {
+			seg.release()
+		}
+		s.segs = nil
+		clearSnapFinalizer(s)
+	})
+}
+
+// Get returns the newest value for key visible in the snapshot.
+func (s *Snap) Get(key string) ([]byte, bool) {
+	i := sort.Search(len(s.mem), func(i int) bool { return s.mem[i].k >= key })
+	if i < len(s.mem) && s.mem[i].k == key {
+		if s.mem[i].del {
+			return nil, false
+		}
+		return s.mem[i].v, true
+	}
+	for _, seg := range s.segs {
+		if v, del, ok, err := seg.get(key); err == nil && ok {
+			if del {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Scan streams live keys in [start, end) in lexicographic order; an
+// empty end means unbounded. Returning false from fn stops the scan.
+// Values are only valid for the duration of the callback.
+func (s *Snap) Scan(start, end string, fn func(k string, v []byte) bool) {
+	sources := make([]iter, 0, len(s.segs)+1)
+	sources = append(sources, &memIter{ents: s.mem, pos: -1})
+	for _, seg := range s.segs {
+		sources = append(sources, seg.iterate())
+	}
+	mergeScan(sources, start, end, false, func(k string, v []byte, del bool) bool {
+		return fn(k, v)
+	})
+}
+
+// Count returns the number of live keys in [start, end).
+func (s *Snap) Count(start, end string) int {
+	n := 0
+	s.Scan(start, end, func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// PrefixEnd returns the smallest key greater than every key with the
+// given prefix, or "" when no such key exists (all-0xff prefixes).
+func PrefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// --- merge machinery ---
+
+// iter is a positioned cursor over sorted (key, value, deleted) entries.
+// next advances and reports validity; seek positions at the first key
+// >= start.
+type iter interface {
+	seek(start string)
+	next() bool
+	key() string
+	value() []byte
+	deleted() bool
+}
+
+type memIter struct {
+	ents []entry
+	pos  int
+}
+
+func (m *memIter) seek(start string) {
+	m.pos = sort.Search(len(m.ents), func(i int) bool { return m.ents[i].k >= start }) - 1
+}
+
+func (m *memIter) next() bool {
+	m.pos++
+	return m.pos < len(m.ents)
+}
+
+func (m *memIter) key() string   { return m.ents[m.pos].k }
+func (m *memIter) value() []byte { return m.ents[m.pos].v }
+func (m *memIter) deleted() bool { return m.ents[m.pos].del }
+
+// mergeScan merges the sources (sources[i] shadows sources[j] for i<j)
+// and emits each distinct key once, newest version first, in key order
+// within [start, end). Tombstoned keys are emitted only when
+// includeDeleted is set (segment flush and debugging); a false return
+// from fn stops the merge.
+func mergeScan(sources []iter, start, end string, includeDeleted bool, fn func(k string, v []byte, del bool) bool) {
+	valid := make([]bool, len(sources))
+	for i, it := range sources {
+		it.seek(start)
+		valid[i] = it.next()
+	}
+	for {
+		best := -1
+		for i, it := range sources {
+			if !valid[i] {
+				continue
+			}
+			if best == -1 || it.key() < sources[best].key() {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		k := sources[best].key()
+		if end != "" && k >= end {
+			return
+		}
+		v, del := sources[best].value(), sources[best].deleted()
+		for i, it := range sources {
+			if valid[i] && it.key() == k {
+				valid[i] = it.next()
+			}
+		}
+		if del && !includeDeleted {
+			continue
+		}
+		if !fn(k, v, del) {
+			return
+		}
+	}
+}
+
+// --- batch encoding (shared by WAL records and replay) ---
+
+func encodeBatch(b *Batch) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(b.ops)))
+	for _, o := range b.ops {
+		if o.del {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(o.key)))
+		buf = append(buf, o.key...)
+		if !o.del {
+			buf = binary.AppendUvarint(buf, uint64(len(o.val)))
+			buf = append(buf, o.val...)
+		}
+	}
+	return buf
+}
+
+func decodeBatch(p []byte) (*Batch, error) {
+	b := &Batch{}
+	n, w := binary.Uvarint(p)
+	if w <= 0 {
+		return nil, fmt.Errorf("bad op count")
+	}
+	p = p[w:]
+	for i := uint64(0); i < n; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("truncated op")
+		}
+		del := p[0] == 1
+		p = p[1:]
+		klen, w := binary.Uvarint(p)
+		if w <= 0 || uint64(len(p)-w) < klen {
+			return nil, fmt.Errorf("bad key length")
+		}
+		key := string(p[w : w+int(klen)])
+		p = p[w+int(klen):]
+		if del {
+			b.Delete(key)
+			continue
+		}
+		vlen, w := binary.Uvarint(p)
+		if w <= 0 || uint64(len(p)-w) < vlen {
+			return nil, fmt.Errorf("bad value length")
+		}
+		val := make([]byte, vlen)
+		copy(val, p[w:w+int(vlen)])
+		p = p[w+int(vlen):]
+		b.Put(key, val)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("trailing bytes")
+	}
+	return b, nil
+}

@@ -1,0 +1,349 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *DB {
+	t.Helper()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func put(t *testing.T, db *DB, kvs ...string) {
+	t.Helper()
+	var b Batch
+	for i := 0; i+1 < len(kvs); i += 2 {
+		b.Put(kvs[i], []byte(kvs[i+1]))
+	}
+	if err := db.Apply(&b); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+}
+
+func wantGet(t *testing.T, db *DB, key, want string, ok bool) {
+	t.Helper()
+	v, got := db.Get(key)
+	if got != ok {
+		t.Fatalf("Get(%q) present=%v, want %v", key, got, ok)
+	}
+	if ok && string(v) != want {
+		t.Fatalf("Get(%q) = %q, want %q", key, v, want)
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := openT(t, t.TempDir(), Options{NoSync: true})
+	defer db.Close()
+
+	put(t, db, "a", "1", "b", "2", "c", "3")
+	wantGet(t, db, "a", "1", true)
+	wantGet(t, db, "b", "2", true)
+	wantGet(t, db, "z", "", false)
+
+	var b Batch
+	b.Delete("b")
+	b.Put("a", []byte("1x"))
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantGet(t, db, "b", "", false)
+	wantGet(t, db, "a", "1x", true)
+}
+
+func TestFlushAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{NoSync: true})
+	put(t, db, "k1", "v1", "k2", "v2")
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "k3", "v3") // stays in WAL
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = openT(t, dir, Options{NoSync: true})
+	defer db.Close()
+	wantGet(t, db, "k1", "v1", true)
+	wantGet(t, db, "k2", "v2", true)
+	wantGet(t, db, "k3", "v3", true)
+	if st := db.Stats(); st.WALReplayed != 1 {
+		t.Fatalf("WALReplayed = %d, want 1", st.WALReplayed)
+	}
+}
+
+func TestDeleteAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{NoSync: true})
+	defer db.Close()
+
+	put(t, db, "doomed", "alive", "keep", "yes")
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	b.Delete("doomed")
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantGet(t, db, "doomed", "", false)
+	wantGet(t, db, "keep", "yes", true)
+
+	// The tombstone must also win through a snapshot scan.
+	sn := db.Snapshot()
+	defer sn.Release()
+	var keys []string
+	sn.Scan("", "", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 1 || keys[0] != "keep" {
+		t.Fatalf("scan = %v, want [keep]", keys)
+	}
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	db := openT(t, t.TempDir(), Options{NoSync: true, BlockBytes: 32})
+	defer db.Close()
+
+	for i := 0; i < 50; i += 2 {
+		put(t, db, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Odd keys land in the memtable so the scan merges both layers.
+	for i := 1; i < 50; i += 2 {
+		put(t, db, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+
+	sn := db.Snapshot()
+	defer sn.Release()
+	var got []string
+	sn.Scan("k010", "k020", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("scan [k010,k020) returned %d keys: %v", len(got), got)
+	}
+	for i := 0; i < len(got); i++ {
+		want := fmt.Sprintf("k%03d", 10+i)
+		if got[i] != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want)
+		}
+	}
+	if n := sn.Count("", ""); n != 50 {
+		t.Fatalf("Count = %d, want 50", n)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := openT(t, t.TempDir(), Options{NoSync: true})
+	defer db.Close()
+
+	put(t, db, "x", "old")
+	sn := db.Snapshot()
+	defer sn.Release()
+	put(t, db, "x", "new", "y", "born-later")
+
+	if v, ok := sn.Get("x"); !ok || string(v) != "old" {
+		t.Fatalf("snapshot Get(x) = %q,%v; want old", v, ok)
+	}
+	if _, ok := sn.Get("y"); ok {
+		t.Fatal("snapshot sees key written after capture")
+	}
+	wantGet(t, db, "x", "new", true)
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{NoSync: true, MaxSegments: 3, BlockBytes: 64})
+
+	// Hold a snapshot across the compaction to exercise read-through on
+	// unlinked segment files.
+	put(t, db, "pin", "1")
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sn := db.Snapshot()
+	defer sn.Release()
+
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 20; i++ {
+			put(t, db, fmt.Sprintf("r%[1]d-k%03[2]d", round, i), fmt.Sprintf("%d.%d", round, i))
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.compactWG.Wait()
+
+	st := db.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran; stats %+v", st)
+	}
+	if st.Segments > 4 {
+		t.Fatalf("segments = %d after compaction, want few", st.Segments)
+	}
+	wantGet(t, db, "r0-k000", "0.0", true)
+	wantGet(t, db, "r5-k019", "5.19", true)
+	if v, ok := sn.Get("pin"); !ok || string(v) != "1" {
+		t.Fatalf("old snapshot broken after compaction: %q %v", v, ok)
+	}
+
+	// Reopen: the manifest must describe exactly the surviving files.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = openT(t, dir, Options{NoSync: true})
+	defer db.Close()
+	wantGet(t, db, "r3-k010", "3.10", true)
+	if n := db.Snapshot().Count("", ""); n != 1+6*20 {
+		t.Fatalf("key count after reopen = %d, want %d", n, 1+6*20)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{})
+	put(t, db, "a", "1")
+	put(t, db, "b", "2")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: append garbage, then chop the last record
+	// in half on a copy of the log.
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, append(raw[:len(raw)-3], 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db = openT(t, dir, Options{})
+	defer db.Close()
+	wantGet(t, db, "a", "1", true)
+	wantGet(t, db, "b", "", false) // second record torn → dropped
+	if st := db.Stats(); st.WALReplayed != 1 {
+		t.Fatalf("WALReplayed = %d, want 1", st.WALReplayed)
+	}
+}
+
+func TestOrphanSegmentDeleted(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{NoSync: true})
+	put(t, db, "a", "1")
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	orphan := filepath.Join(dir, "seg-999999.seg")
+	if err := os.WriteFile(orphan, []byte("partial segment from a crash"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db = openT(t, dir, Options{NoSync: true})
+	defer db.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment not deleted: %v", err)
+	}
+	wantGet(t, db, "a", "1", true)
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc", "abd"},
+		{"a\xff", "b"},
+		{"\xff\xff", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := PrefixEnd(c.in); got != c.want {
+			t.Errorf("PrefixEnd(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRandomizedAgainstMap drives random batches against the DB and a
+// plain map, comparing full contents through flush/compaction cycles
+// and a reopen.
+func TestRandomizedAgainstMap(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{NoSync: true, MaxSegments: 2, BlockBytes: 64, MemtableBytes: 1 << 10})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(42))
+
+	check := func(stage string) {
+		t.Helper()
+		sn := db.Snapshot()
+		defer sn.Release()
+		got := map[string]string{}
+		prev := ""
+		first := true
+		sn.Scan("", "", func(k string, v []byte) bool {
+			if !first && k <= prev {
+				t.Fatalf("%s: scan out of order: %q after %q", stage, k, prev)
+			}
+			first, prev = false, k
+			got[k] = string(v)
+			return true
+		})
+		if len(got) != len(model) {
+			t.Fatalf("%s: %d keys, want %d", stage, len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("%s: key %q = %q, want %q", stage, k, got[k], v)
+			}
+		}
+	}
+
+	for round := 0; round < 30; round++ {
+		var b Batch
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("key-%03d", rng.Intn(300))
+			if rng.Intn(5) == 0 {
+				b.Delete(k)
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("val-%d-%d", round, i)
+				b.Put(k, []byte(v))
+				model[k] = v
+			}
+		}
+		if err := db.Apply(&b); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(4) == 0 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(fmt.Sprintf("round %d", round))
+	}
+	db.compactWG.Wait()
+	check("after compaction settles")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = openT(t, dir, Options{NoSync: true})
+	defer db.Close()
+	check("after reopen")
+}

@@ -1,0 +1,384 @@
+package kv
+
+// Immutable sorted segment files. Layout:
+//
+//	[block]* [index] [footer]
+//
+// A block is a run of entries, cut at BlockBytes:
+//
+//	klen uvarint | key | vtag uvarint | value
+//
+// where vtag 0 marks a tombstone and vtag n>0 a value of n-1 bytes.
+// The index lists (first key, offset, length) per block; the fixed
+// footer points at it:
+//
+//	index offset u64 BE | index length u64 BE | entry count u64 BE |
+//	index CRC32 u32 BE | magic "HBKVSEG1"
+//
+// Readers keep the index in memory and pread one block per lookup, so
+// opening a segment costs O(index), not O(data). Segments are
+// reference counted: the DB holds one reference, every snapshot one
+// more, and the file handle closes when the last drops — compaction
+// unlinks retired files immediately and live snapshots keep reading
+// through the open descriptor.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+var segMagic = []byte("HBKVSEG1")
+
+const segFooterLen = 8 + 8 + 8 + 4 + 8
+
+type blockMeta struct {
+	first string
+	off   uint64
+	len   uint64
+}
+
+type segment struct {
+	path   string
+	f      *os.File
+	size   int64
+	blocks []blockMeta
+	count  uint64
+	refs   int32
+}
+
+func (s *segment) acquire() { atomic.AddInt32(&s.refs, 1) }
+
+func (s *segment) release() {
+	if atomic.AddInt32(&s.refs, -1) == 0 {
+		s.f.Close()
+	}
+}
+
+// openSegment maps the index of the segment at path into memory. The
+// returned segment carries one reference (the caller's).
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*segment, error) {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if fi.Size() < segFooterLen {
+		return fail(fmt.Errorf("short segment (%d bytes)", fi.Size()))
+	}
+	foot := make([]byte, segFooterLen)
+	if _, err := f.ReadAt(foot, fi.Size()-segFooterLen); err != nil {
+		return fail(err)
+	}
+	if string(foot[28:36]) != string(segMagic) {
+		return fail(fmt.Errorf("bad magic"))
+	}
+	idxOff := binary.BigEndian.Uint64(foot[0:8])
+	idxLen := binary.BigEndian.Uint64(foot[8:16])
+	count := binary.BigEndian.Uint64(foot[16:24])
+	idxSum := binary.BigEndian.Uint32(foot[24:28])
+	if idxOff+idxLen > uint64(fi.Size()) {
+		return fail(fmt.Errorf("index out of bounds"))
+	}
+	idx := make([]byte, idxLen)
+	if _, err := f.ReadAt(idx, int64(idxOff)); err != nil {
+		return fail(err)
+	}
+	if crc32.ChecksumIEEE(idx) != idxSum {
+		return fail(fmt.Errorf("index checksum mismatch"))
+	}
+	blocks, err := decodeIndex(idx)
+	if err != nil {
+		return fail(err)
+	}
+	return &segment{
+		path: path, f: f, size: fi.Size(),
+		blocks: blocks, count: count, refs: 1,
+	}, nil
+}
+
+func decodeIndex(idx []byte) ([]blockMeta, error) {
+	n, w := binary.Uvarint(idx)
+	if w <= 0 {
+		return nil, fmt.Errorf("bad block count")
+	}
+	idx = idx[w:]
+	blocks := make([]blockMeta, 0, n)
+	for i := uint64(0); i < n; i++ {
+		klen, w := binary.Uvarint(idx)
+		if w <= 0 || uint64(len(idx)-w) < klen {
+			return nil, fmt.Errorf("bad index key")
+		}
+		first := string(idx[w : w+int(klen)])
+		idx = idx[w+int(klen):]
+		off, w := binary.Uvarint(idx)
+		if w <= 0 {
+			return nil, fmt.Errorf("bad block offset")
+		}
+		idx = idx[w:]
+		blen, w := binary.Uvarint(idx)
+		if w <= 0 {
+			return nil, fmt.Errorf("bad block length")
+		}
+		idx = idx[w:]
+		blocks = append(blocks, blockMeta{first: first, off: off, len: blen})
+	}
+	return blocks, nil
+}
+
+// findBlock returns the index of the block that could contain key, or
+// -1 when key sorts before the first block.
+func (s *segment) findBlock(key string) int {
+	return sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].first > key }) - 1
+}
+
+// get returns the entry for key: its value, whether it is a tombstone,
+// and whether it was found at all.
+func (s *segment) get(key string) (val []byte, del, ok bool, err error) {
+	bi := s.findBlock(key)
+	if bi < 0 {
+		return nil, false, false, nil
+	}
+	buf := make([]byte, s.blocks[bi].len)
+	if _, err := s.f.ReadAt(buf, int64(s.blocks[bi].off)); err != nil {
+		return nil, false, false, err
+	}
+	for len(buf) > 0 {
+		k, v, d, rest, err := decodeEntry(buf)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if k == key {
+			return v, d, true, nil
+		}
+		if k > key {
+			return nil, false, false, nil
+		}
+		buf = rest
+	}
+	return nil, false, false, nil
+}
+
+func decodeEntry(buf []byte) (key string, val []byte, del bool, rest []byte, err error) {
+	klen, w := binary.Uvarint(buf)
+	if w <= 0 || uint64(len(buf)-w) < klen {
+		return "", nil, false, nil, fmt.Errorf("bad entry key")
+	}
+	key = string(buf[w : w+int(klen)])
+	buf = buf[w+int(klen):]
+	vtag, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return "", nil, false, nil, fmt.Errorf("bad entry vtag")
+	}
+	buf = buf[w:]
+	if vtag == 0 {
+		return key, nil, true, buf, nil
+	}
+	vlen := vtag - 1
+	if uint64(len(buf)) < vlen {
+		return "", nil, false, nil, fmt.Errorf("bad entry value")
+	}
+	return key, buf[:vlen], false, buf[vlen:], nil
+}
+
+// iterate returns a cursor over the whole segment. The cursor reads one
+// block at a time; values alias its block buffer.
+func (s *segment) iterate() *segIter {
+	return &segIter{s: s, block: -1}
+}
+
+type segIter struct {
+	s     *segment
+	block int    // index of the block buf holds; -1 before the first
+	buf   []byte // remaining undecoded bytes of the current block
+	k     string
+	v     []byte
+	del   bool
+}
+
+func (it *segIter) seek(start string) {
+	bi := it.s.findBlock(start)
+	if bi < 0 {
+		it.block = -1
+		it.buf = nil
+		return
+	}
+	// Load the candidate block and consume entries before start, so the
+	// following next() lands on the first key >= start.
+	if !it.load(bi) {
+		return
+	}
+	for len(it.buf) > 0 {
+		k, _, _, rest, err := decodeEntry(it.buf)
+		if err != nil || k >= start {
+			return
+		}
+		it.buf = rest
+	}
+}
+
+// load positions the cursor at the beginning of block bi.
+func (it *segIter) load(bi int) bool {
+	if bi >= len(it.s.blocks) {
+		it.block = len(it.s.blocks)
+		it.buf = nil
+		return false
+	}
+	buf := make([]byte, it.s.blocks[bi].len)
+	if _, err := it.s.f.ReadAt(buf, int64(it.s.blocks[bi].off)); err != nil {
+		it.block = len(it.s.blocks)
+		it.buf = nil
+		return false
+	}
+	it.block = bi
+	it.buf = buf
+	return true
+}
+
+func (it *segIter) next() bool {
+	for len(it.buf) == 0 {
+		if it.block >= len(it.s.blocks) {
+			return false
+		}
+		if !it.load(it.block + 1) {
+			return false
+		}
+	}
+	k, v, del, rest, err := decodeEntry(it.buf)
+	if err != nil {
+		it.buf = nil
+		it.block = len(it.s.blocks)
+		return false
+	}
+	it.k, it.v, it.del = k, v, del
+	it.buf = rest
+	return true
+}
+
+func (it *segIter) key() string   { return it.k }
+func (it *segIter) value() []byte { return it.v }
+func (it *segIter) deleted() bool { return it.del }
+
+// --- writing ---
+
+type segWriter struct {
+	path       string
+	f          *os.File
+	w          *bufio.Writer
+	off        uint64
+	blockStart uint64
+	blockFirst string
+	inBlock    bool
+	blocks     []blockMeta
+	count      uint64
+	blockBytes int
+	scratch    []byte
+}
+
+func newSegWriter(path string, blockBytes int) (*segWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &segWriter{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16), blockBytes: blockBytes}, nil
+}
+
+// add appends one entry; keys must arrive in strictly increasing order.
+func (sw *segWriter) add(k string, v []byte, del bool) error {
+	if !sw.inBlock {
+		sw.blockFirst = k
+		sw.blockStart = sw.off
+		sw.inBlock = true
+	}
+	b := sw.scratch[:0]
+	b = binary.AppendUvarint(b, uint64(len(k)))
+	b = append(b, k...)
+	if del {
+		b = binary.AppendUvarint(b, 0)
+	} else {
+		b = binary.AppendUvarint(b, uint64(len(v))+1)
+		b = append(b, v...)
+	}
+	sw.scratch = b[:0]
+	if _, err := sw.w.Write(b); err != nil {
+		return err
+	}
+	sw.off += uint64(len(b))
+	sw.count++
+	if sw.off-sw.blockStart >= uint64(sw.blockBytes) {
+		sw.cutBlock()
+	}
+	return nil
+}
+
+func (sw *segWriter) cutBlock() {
+	sw.blocks = append(sw.blocks, blockMeta{
+		first: sw.blockFirst, off: sw.blockStart, len: sw.off - sw.blockStart,
+	})
+	sw.inBlock = false
+}
+
+// finish writes the index and footer, fsyncs, and reopens the file as a
+// live segment carrying one reference.
+func (sw *segWriter) finish() (*segment, error) {
+	if sw.inBlock {
+		sw.cutBlock()
+	}
+	var idx []byte
+	idx = binary.AppendUvarint(idx, uint64(len(sw.blocks)))
+	for _, bm := range sw.blocks {
+		idx = binary.AppendUvarint(idx, uint64(len(bm.first)))
+		idx = append(idx, bm.first...)
+		idx = binary.AppendUvarint(idx, bm.off)
+		idx = binary.AppendUvarint(idx, bm.len)
+	}
+	if _, err := sw.w.Write(idx); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	foot := make([]byte, segFooterLen)
+	binary.BigEndian.PutUint64(foot[0:8], sw.off)
+	binary.BigEndian.PutUint64(foot[8:16], uint64(len(idx)))
+	binary.BigEndian.PutUint64(foot[16:24], sw.count)
+	binary.BigEndian.PutUint32(foot[24:28], crc32.ChecksumIEEE(idx))
+	copy(foot[28:36], segMagic)
+	if _, err := sw.w.Write(foot); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	if err := sw.w.Flush(); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	if err := sw.f.Close(); err != nil {
+		os.Remove(sw.path)
+		return nil, err
+	}
+	seg, err := openSegment(sw.path)
+	if err != nil {
+		os.Remove(sw.path)
+		return nil, err
+	}
+	return seg, nil
+}
+
+// abort discards the half-written file.
+func (sw *segWriter) abort() {
+	sw.f.Close()
+	os.Remove(sw.path)
+}

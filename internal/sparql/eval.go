@@ -25,8 +25,8 @@ type Result struct {
 	Graph *rdf.Graph
 }
 
-// Exec parses and executes a query against st.
-func Exec(st *store.Store, query string) (*Result, error) {
+// Exec parses and executes a query against any storage tier.
+func Exec(st store.Queryable, query string) (*Result, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -51,12 +51,12 @@ const (
 )
 
 // Exec executes the parsed query against st with the default engine.
-func (q *Query) Exec(st *store.Store) (*Result, error) {
+func (q *Query) Exec(st store.Queryable) (*Result, error) {
 	return q.ExecEngine(st, EngineAuto)
 }
 
 // ExecEngine executes the parsed query with an explicit engine choice.
-func (q *Query) ExecEngine(st *store.Store, engine Engine) (*Result, error) {
+func (q *Query) ExecEngine(st store.Queryable, engine Engine) (*Result, error) {
 	if engine == EngineLegacy {
 		return q.execLegacy(st)
 	}
@@ -68,7 +68,7 @@ func (q *Query) ExecEngine(st *store.Store, engine Engine) (*Result, error) {
 }
 
 // execLegacy executes the query on the term-space evaluator.
-func (q *Query) execLegacy(st *store.Store) (*Result, error) {
+func (q *Query) execLegacy(st store.Queryable) (*Result, error) {
 	ev := &evaluator{st: st}
 	sols := ev.evalGroup(q.Where, []Binding{{}})
 
@@ -430,7 +430,7 @@ func evalAggregate(x *ExprAggregate, rows []Binding) (rdf.Term, error) {
 // --- pattern evaluation ---
 
 type evaluator struct {
-	st *store.Store
+	st store.Queryable
 }
 
 func (ev *evaluator) evalGroup(g *GroupPattern, input []Binding) []Binding {

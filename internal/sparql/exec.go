@@ -64,7 +64,7 @@ func (rb *rowbuf) window(offset, limit int) *rowbuf {
 // for terms the store has never seen (BIND results, VALUES constants) and
 // the scratch buffers reused across the hot loops.
 type idExec struct {
-	rd       *store.Reader
+	rd       store.ReaderAPI
 	maxStore store.ID // highest store-issued ID; larger IDs are local
 
 	local    []rdf.Term // local terms; ID maxStore+1+i
@@ -80,8 +80,8 @@ type idExec struct {
 	prof *profiler
 }
 
-func newIDExec(st *store.Store) *idExec {
-	rd := st.Reader()
+func newIDExec(st store.Queryable) *idExec {
+	rd := st.Snapshot()
 	return &idExec{
 		rd:       rd,
 		maxStore: rd.MaxID(),
@@ -757,14 +757,14 @@ func (q *Query) resolveSelect(comp *compiler, ex *idExec) (aliases []aliasProj, 
 }
 
 // execID runs the query through the ID-space engine.
-func (q *Query) execID(st *store.Store) (*Result, error) {
+func (q *Query) execID(st store.Queryable) (*Result, error) {
 	return q.execIDProf(st, nil)
 }
 
 // execIDProf is execID with an optional EXPLAIN profiler attached: prof
 // (when non-nil) receives the planning time, the annotated plan tree and
 // the top-level stage sequence.
-func (q *Query) execIDProf(st *store.Store, prof *profiler) (*Result, error) {
+func (q *Query) execIDProf(st store.Queryable, prof *profiler) (*Result, error) {
 	ex := newIDExec(st)
 	ex.prof = prof
 	comp := &compiler{ex: ex, slots: newSlotmap()}

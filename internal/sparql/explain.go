@@ -248,7 +248,7 @@ func renderPattern(p *cpattern, ex *idExec) string {
 // annotated plan instead of rows. Queries the ID-space engine cannot
 // plan fall back to the legacy evaluator and produce a single-node
 // profile (total rows and time only).
-func (q *Query) Explain(st *store.Store) (*Explain, error) {
+func (q *Query) Explain(st store.Queryable) (*Explain, error) {
 	prof := newProfiler()
 	t0 := time.Now()
 	res, err := q.execIDProf(st, prof)

@@ -278,7 +278,7 @@ func instrumentStream(rs *RowSeq, reg *obs.Registry, sp *obs.Span, kind string, 
 }
 
 // StreamExec parses the query and streams it against st.
-func StreamExec(ctx context.Context, st *store.Store, query string) (*RowSeq, error) {
+func StreamExec(ctx context.Context, st store.Queryable, query string) (*RowSeq, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -314,7 +314,7 @@ func (q *Query) needsGrouping() bool {
 // evaluator supports) executes materialized and streams from the
 // finished Result. Either way the returned stream honors ctx between
 // rows, and the rows are identical to Exec's up to order.
-func (q *Query) Stream(ctx context.Context, st *store.Store) (*RowSeq, error) {
+func (q *Query) Stream(ctx context.Context, st store.Queryable) (*RowSeq, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

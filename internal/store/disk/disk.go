@@ -1,0 +1,355 @@
+package disk
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kv"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Options tunes the underlying KV engine.
+type Options struct {
+	KV kv.Options
+}
+
+// meta is the store-level bookkeeping committed atomically with every
+// batch (same WAL record), so a recovered store's counters always agree
+// with its keys.
+type meta struct {
+	Len       int              `json:"len"`
+	MaxID     store.ID         `json:"max_id"`
+	DistinctS int              `json:"distinct_s"`
+	DistinctP int              `json:"distinct_p"`
+	DistinctO int              `json:"distinct_o"`
+	PredCount map[store.ID]int `json:"pred_count"`
+}
+
+// Store is a disk-backed triple store implementing store.Backend.
+// Inserts accumulate in a pending batch and commit as one atomic WAL
+// record on Flush (or when the batch grows past a threshold); reads
+// flush first, so — like the in-memory tier — a write is visible to
+// every subsequent read. Readers run on KV snapshots and never block
+// writers.
+type Store struct {
+	mu sync.Mutex
+	db *kv.DB
+
+	meta meta
+
+	// Pending state since the last flush. pendingDict doubles as a
+	// per-batch lookup cache for committed terms.
+	batch          *kv.Batch
+	pendingDict    map[rdf.Term]store.ID
+	pendingTriples map[[3]store.ID]bool
+	pendingRole    map[store.ID]byte
+	pendingHash    map[uint64][]store.ID
+	dirtyMeta      bool
+
+	// term cache: ID → rdf.Term, shared by every Reader. IDs are never
+	// reused, so entries stay valid across snapshots and compactions.
+	terms     sync.Map
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
+}
+
+// maxBatchOps bounds the pending batch (and with it the un-flushed
+// memory footprint) between explicit Flush calls.
+const maxBatchOps = 1 << 15
+
+// Open opens (or creates) a disk store rooted at dir. Startup cost is
+// the KV engine's: O(segment indexes + WAL tail), not O(corpus).
+func Open(dir string, opts Options) (*Store, error) {
+	db, err := kv.Open(dir, opts.KV)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{db: db}
+	s.resetPending()
+	if raw, ok := db.Get(string([]byte{kMeta})); ok {
+		if err := json.Unmarshal(raw, &s.meta); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("disk: corrupt meta record: %w", err)
+		}
+	}
+	if s.meta.PredCount == nil {
+		s.meta.PredCount = make(map[store.ID]int)
+	}
+	return s, nil
+}
+
+func (s *Store) resetPending() {
+	s.batch = &kv.Batch{}
+	s.pendingDict = make(map[rdf.Term]store.ID)
+	s.pendingTriples = make(map[[3]store.ID]bool)
+	s.pendingRole = make(map[store.ID]byte)
+	s.pendingHash = make(map[uint64][]store.ID)
+	s.dirtyMeta = false
+}
+
+// Insert adds one triple, reporting whether it was new. The write lands
+// in the pending batch; Flush commits it durably.
+func (s *Store) Insert(t rdf.Triple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si, err := s.internLocked(t.S)
+	if err != nil {
+		return false, err
+	}
+	pi, err := s.internLocked(t.P)
+	if err != nil {
+		return false, err
+	}
+	oi, err := s.internLocked(t.O)
+	if err != nil {
+		return false, err
+	}
+	return s.insertIDsLocked(si, pi, oi)
+}
+
+// insertIDsLocked stages one triple already resolved to IDs, returning
+// whether it was new.
+func (s *Store) insertIDsLocked(si, pi, oi store.ID) (bool, error) {
+	key := [3]store.ID{si, pi, oi}
+	if s.pendingTriples[key] {
+		return false, nil
+	}
+	if _, ok := s.db.Get(tripleKey(kSPO, si, pi, oi)); ok {
+		return false, nil
+	}
+	s.pendingTriples[key] = true
+	s.batch.Put(tripleKey(kSPO, si, pi, oi), nil)
+	s.batch.Put(tripleKey(kPOS, pi, oi, si), nil)
+	s.batch.Put(tripleKey(kOSP, oi, si, pi), nil)
+	s.meta.Len++
+	s.meta.PredCount[pi]++
+	s.markRole(si, roleSubject, &s.meta.DistinctS)
+	s.markRole(pi, rolePredicate, &s.meta.DistinctP)
+	s.markRole(oi, roleObject, &s.meta.DistinctO)
+	s.dirtyMeta = true
+	if s.batch.Len() >= maxBatchOps {
+		if err := s.flushLocked(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// CopyFrom replicates the full content of a ReaderAPI view into this
+// (empty) store, preserving the source's ID assignment: terms are
+// interned in source-ID order and triples land in SPO order. The two
+// tiers end up bit-compatible — every MatchIDs shape enumerates the
+// same IDs in the same order — which is what lets the differential
+// tests compare exact row sequences, tie orders included.
+func (s *Store) CopyFrom(src store.ReaderAPI) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.meta.Len != 0 || s.meta.MaxID != 0 || s.batch.Len() != 0 {
+		return fmt.Errorf("disk: CopyFrom requires an empty store")
+	}
+	maxID := src.MaxID()
+	for id := store.ID(1); id <= maxID; id++ {
+		got, err := s.internLocked(src.Term(id))
+		if err != nil {
+			return err
+		}
+		if got != id {
+			return fmt.Errorf("disk: CopyFrom assigned ID %d for source ID %d", got, id)
+		}
+	}
+	var ierr error
+	src.MatchIDs(store.IDPattern{}, func(a, b, c store.ID) bool {
+		_, ierr = s.insertIDsLocked(a, b, c)
+		return ierr == nil
+	})
+	if ierr != nil {
+		return ierr
+	}
+	return s.flushLocked()
+}
+
+// internLocked returns the ID for term t, assigning (and staging the
+// dictionary writes for) a fresh one if the term is new.
+func (s *Store) internLocked(t rdf.Term) (store.ID, error) {
+	if id, ok := s.pendingDict[t]; ok {
+		return id, nil
+	}
+	enc := encodeTerm(t)
+	if id := lookupEnc(enc, s.db.Get); id != store.NoID {
+		s.pendingDict[t] = id
+		return id, nil
+	}
+	s.meta.MaxID++
+	id := s.meta.MaxID
+	s.pendingDict[t] = id
+	s.batch.Put(termKey(id), enc)
+	dk, hashed := dictKey(enc)
+	if !hashed {
+		s.batch.Put(dk, encodeID(id))
+	} else {
+		h := hashEnc(enc)
+		list, ok := s.pendingHash[h]
+		if !ok {
+			if raw, found := s.db.Get(dk); found {
+				list = decodeIDList(raw)
+			}
+		}
+		list = append(list, id)
+		s.pendingHash[h] = list
+		val := make([]byte, 0, 4*len(list))
+		for _, lid := range list {
+			val = append(val, encodeID(lid)...)
+		}
+		s.batch.Put(dk, val)
+	}
+	s.dirtyMeta = true
+	return id, nil
+}
+
+// markRole sets a role bit on a term, bumping the distinct counter the
+// first time the term plays that role.
+func (s *Store) markRole(id store.ID, bit byte, counter *int) {
+	mask, ok := s.pendingRole[id]
+	if !ok {
+		if raw, found := s.db.Get(roleKey(id)); found && len(raw) == 1 {
+			mask = raw[0]
+		}
+	}
+	if mask&bit != 0 {
+		s.pendingRole[id] = mask
+		return
+	}
+	mask |= bit
+	s.pendingRole[id] = mask
+	s.batch.Put(roleKey(id), []byte{mask})
+	*counter++
+}
+
+// lookupEnc resolves an encoded term to its committed ID through any
+// point-get function (the live DB or a snapshot).
+func lookupEnc(enc []byte, get func(string) ([]byte, bool)) store.ID {
+	dk, hashed := dictKey(enc)
+	raw, ok := get(dk)
+	if !ok {
+		return store.NoID
+	}
+	if !hashed {
+		return decodeID(raw)
+	}
+	for _, id := range decodeIDList(raw) {
+		if t, ok := get(termKey(id)); ok && string(t) == string(enc) {
+			return id
+		}
+	}
+	return store.NoID
+}
+
+// Flush commits the pending batch as one atomic, durable WAL record.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.batch.Len() == 0 && !s.dirtyMeta {
+		return nil
+	}
+	raw, err := json.Marshal(&s.meta)
+	if err != nil {
+		return err
+	}
+	s.batch.Put(string([]byte{kMeta}), raw)
+	if err := s.db.Apply(s.batch); err != nil {
+		// The batch may be partially unknown to the KV layer; reload the
+		// committed meta so in-memory counters stay consistent with it.
+		s.reloadMeta()
+		s.resetPending()
+		return err
+	}
+	s.resetPending()
+	return nil
+}
+
+func (s *Store) reloadMeta() {
+	s.meta = meta{PredCount: make(map[store.ID]int)}
+	if raw, ok := s.db.Get(string([]byte{kMeta})); ok {
+		json.Unmarshal(raw, &s.meta)
+	}
+	if s.meta.PredCount == nil {
+		s.meta.PredCount = make(map[store.ID]int)
+	}
+}
+
+// Len returns the number of triples, including pending inserts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta.Len
+}
+
+// Close flushes pending writes and shuts the KV engine down.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	ferr := s.flushLocked()
+	s.mu.Unlock()
+	cerr := s.db.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// Snapshot returns a stable ReaderAPI view. Pending writes are flushed
+// first so, as with the in-memory tier, every prior Insert is visible.
+// The reader holds segment references released by a finalizer when the
+// reader is dropped.
+func (s *Store) Snapshot() store.ReaderAPI {
+	return s.snapshotReader()
+}
+
+func (s *Store) snapshotReader() *Reader {
+	s.mu.Lock()
+	if err := s.flushLocked(); err != nil {
+		// Serve the last committed state; the write path will surface
+		// the error on its own Flush.
+		s.reloadMeta()
+		s.resetPending()
+	}
+	m := s.meta
+	m.PredCount = make(map[store.ID]int, len(s.meta.PredCount))
+	for k, v := range s.meta.PredCount {
+		m.PredCount[k] = v
+	}
+	snap := s.db.Snapshot()
+	s.mu.Unlock()
+	return &Reader{snap: snap, meta: m, st: s}
+}
+
+// Match streams every triple matching the term-level pattern, in the
+// same order as the in-memory tier.
+func (s *Store) Match(pat store.Pattern, fn func(rdf.Triple) bool) {
+	r := s.snapshotReader()
+	defer r.release()
+	store.MatchOn(r, pat, fn)
+}
+
+// Cardinality returns the number of triples matching the pattern.
+func (s *Store) Cardinality(pat store.Pattern) int {
+	r := s.snapshotReader()
+	defer r.release()
+	return store.CardinalityOn(r, pat)
+}
+
+// KVStats exposes the storage engine counters for the obs layer.
+func (s *Store) KVStats() kv.Stats { return s.db.Stats() }
+
+// CacheStats returns the term-cache hit/miss counters.
+func (s *Store) CacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMiss.Load()
+}
+
+var _ store.Backend = (*Store)(nil)

@@ -70,19 +70,31 @@ func LoadManifest(dir string) ([]Case, error) {
 }
 
 // RunDir loads the manifest in dir and runs every case as a subtest, so
-// CI output names each case individually.
+// CI output names each case individually. Cases run on the in-memory
+// store; golden updates (HBOLD_TESTSUITE_UPDATE=1) regenerate from this
+// path only, keeping the reference tier canonical.
 func RunDir(t *testing.T, dir string) {
+	update := os.Getenv("HBOLD_TESTSUITE_UPDATE") != ""
+	RunDirBackend(t, dir, update, func(t *testing.T, path string) store.Queryable {
+		return loadStore(t, path)
+	})
+}
+
+// RunDirBackend runs the suite with data files opened through an
+// arbitrary storage tier. Any store.Queryable — in-memory or the disk
+// backend — must produce byte-identical results on every engine, which
+// is what makes this the conformance half of the tier differential.
+func RunDirBackend(t *testing.T, dir string, update bool, open func(t *testing.T, path string) store.Queryable) {
 	cases, err := LoadManifest(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	update := os.Getenv("HBOLD_TESTSUITE_UPDATE") != ""
-	stores := map[string]*store.Store{}
+	stores := map[string]store.Queryable{}
 	for _, c := range cases {
 		t.Run(c.Name, func(t *testing.T) {
 			st, ok := stores[c.Data]
 			if !ok {
-				st = loadStore(t, filepath.Join(dir, c.Data))
+				st = open(t, filepath.Join(dir, c.Data))
 				stores[c.Data] = st
 			}
 			runCase(t, dir, c, st, update)
@@ -106,7 +118,7 @@ func loadStore(t *testing.T, path string) *store.Store {
 // engineResults runs the query through every evaluation path, in a fixed
 // order with the reference evaluator last (update mode regenerates the
 // golden files from it).
-func engineResults(t *testing.T, q *sparql.Query, st *store.Store) map[string]*sparql.Result {
+func engineResults(t *testing.T, q *sparql.Query, st store.Queryable) map[string]*sparql.Result {
 	t.Helper()
 	out := map[string]*sparql.Result{}
 	rs, err := q.Stream(context.Background(), st)
@@ -129,7 +141,7 @@ func engineResults(t *testing.T, q *sparql.Query, st *store.Store) map[string]*s
 	return out
 }
 
-func runCase(t *testing.T, dir string, c Case, st *store.Store, update bool) {
+func runCase(t *testing.T, dir string, c Case, st store.Queryable, update bool) {
 	t.Helper()
 	qraw, err := os.ReadFile(filepath.Join(dir, c.Query))
 	if err != nil {
