@@ -1367,3 +1367,97 @@ func BenchmarkE20_RebuildInMemory(b *testing.B) {
 		}
 	}
 }
+
+// --- E21: live mutation — incremental index maintenance vs re-extraction ---
+
+// E21 measures what the update subsystem's incremental maintenance
+// buys: after a small mutation, extraction.ApplyDelta repairs the
+// extracted index by visiting only the delta's affected subjects, while
+// the alternative re-extracts the whole corpus. Each incremental
+// iteration applies a 12-triple update (a new instance with properties
+// and links) and then its exact inverse, returning store and index to
+// the baseline — so one iteration prices two maintained updates in
+// steady state. The re-extraction arm prices the same repair done from
+// scratch. Two corpus sizes expose the cost curve: incremental
+// maintenance is O(delta), re-extraction O(corpus).
+
+// e21Store builds a corpus of n subjects spread over five classes, each
+// with a type, two data properties and a link — shaped like the synth
+// corpora but scalable.
+func e21Store(n int) *store.Store {
+	st := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://e21/s/%d", i))
+		st.Add(rdf.Triple{S: s, P: typ, O: rdf.NewIRI(fmt.Sprintf("http://e21/C%d", i%5))})
+		st.Add(rdf.Triple{S: s, P: rdf.NewIRI("http://e21/name"), O: rdf.NewLiteral(fmt.Sprintf("n%d", i))})
+		st.Add(rdf.Triple{S: s, P: rdf.NewIRI("http://e21/rank"), O: rdf.NewLiteral(fmt.Sprintf("%d", i%7))})
+		st.Add(rdf.Triple{S: s, P: rdf.NewIRI("http://e21/next"), O: rdf.NewIRI(fmt.Sprintf("http://e21/s/%d", (i+1)%n))})
+	}
+	return st
+}
+
+// e21Delta is the 12-triple update: one new instance of every class plus
+// a property and a link each.
+func e21Delta(n int) []rdf.Triple {
+	var out []rdf.Triple
+	typ := rdf.NewIRI(rdf.RDFType)
+	for c := 0; c < 4; c++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://e21/new/%d", c))
+		out = append(out,
+			rdf.Triple{S: s, P: typ, O: rdf.NewIRI(fmt.Sprintf("http://e21/C%d", c))},
+			rdf.Triple{S: s, P: rdf.NewIRI("http://e21/name"), O: rdf.NewLiteral(fmt.Sprintf("new%d", c))},
+			rdf.Triple{S: s, P: rdf.NewIRI("http://e21/next"), O: rdf.NewIRI(fmt.Sprintf("http://e21/s/%d", c%n))})
+	}
+	return out
+}
+
+func benchE21Incremental(b *testing.B, n int) {
+	st := e21Store(n)
+	now := clock.Epoch
+	ix, err := extraction.New().Extract(context.Background(), endpoint.LocalClient{Store: st}, "http://e21/sparql", now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := ix.Triples
+	delta := e21Delta(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range delta {
+			st.Add(tr)
+		}
+		extraction.ApplyDelta(ix, st, delta, nil, now)
+		for _, tr := range delta {
+			st.Remove(tr)
+		}
+		extraction.ApplyDelta(ix, st, nil, delta, now)
+	}
+	b.StopTimer()
+	if ix.Triples != baseline {
+		b.Fatalf("index drifted: %d triples, want %d", ix.Triples, baseline)
+	}
+	b.ReportMetric(float64(st.Len()), "corpus-triples")
+}
+
+func benchE21Reextract(b *testing.B, n int) {
+	st := e21Store(n)
+	for _, tr := range e21Delta(n) {
+		st.Add(tr)
+	}
+	c := endpoint.LocalClient{Store: st}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extraction.New().Extract(context.Background(), c, "http://e21/sparql", clock.Epoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.Len()), "corpus-triples")
+}
+
+func BenchmarkE21_IncrementalDelta5k(b *testing.B)  { benchE21Incremental(b, 1250) }
+func BenchmarkE21_IncrementalDelta50k(b *testing.B) { benchE21Incremental(b, 12500) }
+func BenchmarkE21_Reextraction5k(b *testing.B)      { benchE21Reextract(b, 1250) }
+func BenchmarkE21_Reextraction50k(b *testing.B)     { benchE21Reextract(b, 12500) }

@@ -6,14 +6,24 @@
 //
 // Usage:
 //
-//	hbold serve [-addr :8080] [-datasets N] [-cache 64] [-slow-query 0]
-//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64] [-slow-query 0]
+//	hbold serve [-addr :8080] [-datasets N] [-cache 64] [-slow-query 0] [-readonly=false]
+//	hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-cache 64] [-slow-query 0] [-readonly=false]
 //	hbold extract <file.ttl>
 //	hbold render <file.ttl> <outdir>
 //	hbold crawl
 //	hbold query [-timeout 0] [-stream] <file.ttl> <sparql-query>
 //	hbold query [-timeout 0] [-stream] [-policy all] -endpoint URL [-endpoint URL ...] <sparql-query>
-//	hbold sparqld [-addr :8081] [-quiet] <file.ttl>
+//	hbold sparqld [-addr :8081] [-quiet] [-readonly] <file.ttl>
+//
+// Live mutation: sparqld accepts SPARQL 1.1 Update requests (POST with
+// Content-Type application/sparql-update or an update= form field) and
+// applies them to the serving tier in place — both the in-memory store
+// and a -data-dir disk store, where each request commits as one
+// crash-safe WAL record. serve and daemon expose the same path on
+// POST /api/update plus a change feed on GET /api/changes (NDJSON,
+// ?since= replay); both default to -readonly=true and answer updates
+// with 403 until started with -readonly=false, while sparqld defaults
+// to writable and locks down with -readonly.
 //
 // Both server modes expose the process metrics registry in the
 // Prometheus text format on GET /metrics (scheduler, snapshot cache,
@@ -87,6 +97,7 @@ import (
 	"repro/internal/store/disk"
 	"repro/internal/synth"
 	"repro/internal/turtle"
+	"repro/internal/update"
 	"repro/internal/viz"
 )
 
@@ -124,6 +135,7 @@ func cmdSparqld(args []string) {
 	addr := fs.String("addr", ":8081", "listen address")
 	dataDir := fs.String("data-dir", "", "persistent data directory: an empty one is seeded from the Turtle file, a populated one serves from disk (file arg optional)")
 	quiet := fs.Bool("quiet", false, "disable the per-request access log")
+	readonly := fs.Bool("readonly", false, "refuse SPARQL updates with 403 (the query surface stays up)")
 	// -chaos-* make this member misbehave on a deterministic schedule, so
 	// a CLI-assembled federation exercises the resilience layer (breaker
 	// trips, hedged opens, partial results) without real outages
@@ -140,6 +152,7 @@ func cmdSparqld(args []string) {
 	chaosFlapDown := fs.Float64("chaos-flap-down-prob", 0.5, "probability of being down in a flap period")
 	fs.Parse(args)
 	var st store.Queryable
+	var be store.Backend
 	var triples int
 	var source string
 	switch {
@@ -165,14 +178,25 @@ func cmdSparqld(args []string) {
 		} else {
 			source = fmt.Sprintf("%s (restarted, no re-load)", *dataDir)
 		}
-		st, triples = ds, ds.Len()
+		st, be, triples = ds, ds, ds.Len()
 	case fs.NArg() == 1:
 		mem := loadTurtle(fs.Arg(0))
-		st, triples, source = mem, mem.Len(), fs.Arg(0)
+		st, be, triples, source = mem, mem, mem.Len(), fs.Arg(0)
 	default:
 		usage()
 	}
-	h := &endpoint.Handler{Store: st}
+	h := &endpoint.Handler{Store: st, ReadOnly: *readonly}
+	if !*readonly {
+		// the SPARQL 1.1 Update surface: POST application/sparql-update
+		// or an update= form field mutates the serving tier in place
+		h.Update = func(ctx context.Context, text string) (int, int, error) {
+			d, err := update.ApplyText(ctx, be, text)
+			if err != nil {
+				return 0, 0, err
+			}
+			return len(d.Added), len(d.Removed), nil
+		}
+	}
 	if !*quiet {
 		// one structured record per request: method, query hash, rows
 		// streamed, duration, status
@@ -209,14 +233,16 @@ func newLogger() *slog.Logger {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  hbold serve [-addr :8080] [-datasets N] [-data-dir DIR] [-cache 64] [-slow-query 0]
+  hbold serve [-addr :8080] [-datasets N] [-data-dir DIR] [-cache 64] [-slow-query 0] [-readonly=false]
                                             start the presentation layer over a demo corpus
                                             (-data-dir: persist the document store and mirror
                                             each corpus to disk; a restart serves from DIR
                                             without re-extraction; -cache: snapshot cache
                                             budget in MiB, 0 disables; -slow-query: log
-                                            /api/query slower than this)
-  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-data-dir DIR] [-cache 64] [-slow-query 0]
+                                            /api/query slower than this; -readonly=false
+                                            enables POST /api/update — the default refuses
+                                            updates with 403)
+  hbold daemon [-addr :8080] [-datasets N] [-workers 4] [-poll 30s] [-retries 3] [-rate 0] [-data-dir DIR] [-cache 64] [-slow-query 0] [-readonly=false]
                                             serve plus the concurrent extraction scheduler on
                                             the clock-driven §3.1 refresh cycle (-data-dir as
                                             in serve: restart resumes the catalog and skips
@@ -231,11 +257,14 @@ func usage() {
   hbold query -endpoint URL [-endpoint URL ...] [-policy all|prune|cost] <sparql>
                                             federate the query over several live endpoints,
                                             merging the row streams incrementally
-  hbold sparqld [-addr :8081] [-data-dir DIR] [-quiet] [-chaos-*] [file.ttl]
+  hbold sparqld [-addr :8081] [-data-dir DIR] [-quiet] [-readonly] [-chaos-*] [file.ttl]
                                             serve a Turtle file as a SPARQL protocol endpoint
                                             (-data-dir: disk-backed store — an empty DIR is
                                             seeded from file.ttl, a populated one serves
                                             straight from disk and the file arg is optional;
+                                            SPARQL 1.1 Update accepted via POST
+                                            application/sparql-update or update= unless
+                                            -readonly, which answers updates with 403;
                                             a federation member for query -endpoint; one
                                             access-log record per request unless -quiet;
                                             results as JSON, CSV, TSV or XML via the Accept
@@ -319,6 +348,7 @@ func cmdServe(args []string) {
 	dataDir := fs.String("data-dir", "", "persistent data directory (document store + mirrored corpora); a restart serves from it without re-extraction")
 	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
 	slowQuery := fs.Duration("slow-query", 0, "log /api/query requests at least this slow (0 disables)")
+	readonly := fs.Bool("readonly", true, "refuse POST /api/update with 403 (default: the demo corpus serves read-only)")
 	fs.Parse(args)
 
 	tool := newTool(*dataDir)
@@ -360,6 +390,7 @@ func cmdServe(args []string) {
 		log.Printf("hbold: persistent data in %s (%d datasets served from disk without re-extraction)", *dataDir, reused)
 	}
 	srv := server.New(tool)
+	srv.ReadOnly = *readonly
 	if *slowQuery > 0 {
 		srv.Log = newLogger()
 		srv.SlowQuery = *slowQuery
@@ -383,6 +414,7 @@ func cmdDaemon(args []string) {
 	dataDir := fs.String("data-dir", "", "persistent data directory (document store + mirrored corpora); a restart resumes the catalog and skips re-extracting fresh datasets")
 	cacheMB := fs.Int64("cache", 64, "snapshot cache budget in MiB (0 disables caching)")
 	slowQuery := fs.Duration("slow-query", 0, "log /api/query requests at least this slow (0 disables)")
+	readonly := fs.Bool("readonly", true, "refuse POST /api/update with 403 (default: the daemon serves read-only)")
 	fs.Parse(args)
 
 	tool := newTool(*dataDir)
@@ -414,6 +446,7 @@ func cmdDaemon(args []string) {
 	}
 
 	handler := server.New(tool)
+	handler.ReadOnly = *readonly
 	if *slowQuery > 0 {
 		handler.Log = newLogger()
 		handler.SlowQuery = *slowQuery

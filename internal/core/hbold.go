@@ -30,6 +30,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/snapcache"
 	"repro/internal/store/disk"
+	"repro/internal/update"
 )
 
 // Collection names in the document store (the MongoDB stand-in).
@@ -107,6 +108,9 @@ type HBOLD struct {
 	genMu       sync.RWMutex
 	generations map[string]uint64
 
+	// feed is the change feed ApplyUpdate publishes to; Changes exposes it.
+	feed *update.Feed
+
 	schedMu sync.Mutex
 	sched   *sched.Scheduler
 }
@@ -134,6 +138,7 @@ func New(db *docstore.DB, ck clock.Clock) *HBOLD {
 		clients:     make(map[string]endpoint.Client),
 		generations: make(map[string]uint64),
 		corpora:     make(map[string]*disk.Store),
+		feed:        update.NewFeed(),
 	}
 	// read through h so a later Cache replacement is picked up by the
 	// same metric series

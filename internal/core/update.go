@@ -1,0 +1,152 @@
+package core
+
+// The live mutation path: ApplyUpdate runs a SPARQL 1.1 Update request
+// against a dataset's writable local tier and then repairs every derived
+// artifact incrementally — the extraction index is adjusted by the net
+// triple delta (extraction.ApplyDelta) instead of re-extracted, the
+// Schema Summary and Cluster Schema are rebuilt from it, the schema diff
+// is recorded, the dataset generation is bumped (invalidating cached
+// snapshots and ETags), and a schema.Diff-shaped event is published on
+// the change feed.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/endpoint"
+	"repro/internal/extraction"
+	"repro/internal/schema"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/update"
+)
+
+// UpdateResult reports what one applied update request changed.
+type UpdateResult struct {
+	// Dataset is the endpoint URL the update applied to.
+	Dataset string `json:"dataset"`
+	// Added and Removed count the net triple delta.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// Generation is the dataset's generation after the update; unchanged
+	// when the update was a no-op.
+	Generation uint64 `json:"generation"`
+	// Seq is the change-feed sequence number of the published event; 0
+	// for a no-op update (no event).
+	Seq uint64 `json:"seq,omitempty"`
+	// Diff is the schema-level consequence, when the dataset has an
+	// extracted index and the update changed its summary.
+	Diff *schema.Diff `json:"diff,omitempty"`
+}
+
+// Changes returns the instance's change feed: one event per applied
+// update that changed anything, subscribable with replay.
+func (h *HBOLD) Changes() *update.Feed { return h.feed }
+
+// writableBackend resolves the storage tier an update to url mutates:
+// the persistent corpus store when the instance has one (it is the
+// authoritative local replica of the dataset), otherwise the connected
+// client's local store when it is writable. Updates cannot be forwarded
+// to remote endpoints — this is a local mutation subsystem.
+func (h *HBOLD) writableBackend(url string) (store.Backend, error) {
+	if h.CorpusDir != "" {
+		return h.Corpus(url)
+	}
+	c, err := h.client(url)
+	if err != nil {
+		return nil, err
+	}
+	lc, ok := c.(endpoint.LocalClient)
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no writable local tier (remote endpoint, no corpus directory)", url)
+	}
+	be, ok := lc.Store.(store.Backend)
+	if !ok {
+		return nil, fmt.Errorf("core: %s's local store is read-only", url)
+	}
+	return be, nil
+}
+
+// ApplyUpdate parses and applies a SPARQL Update request to url's
+// writable tier, maintains the dataset's derived artifacts
+// incrementally, and publishes the change event. A request that nets to
+// no change (all inserts duplicate, all deletes absent) leaves the
+// generation, caches and feed untouched.
+func (h *HBOLD) ApplyUpdate(ctx context.Context, url, text string) (*UpdateResult, error) {
+	u, err := sparql.ParseUpdate(text)
+	if err != nil {
+		return nil, err // syntax errors before any tier is opened or created
+	}
+	be, err := h.writableBackend(url)
+	if err != nil {
+		return nil, err
+	}
+	d, err := update.Apply(ctx, be, u)
+	if err != nil {
+		return nil, err
+	}
+	res := &UpdateResult{
+		Dataset:    url,
+		Added:      len(d.Added),
+		Removed:    len(d.Removed),
+		Generation: h.Generation(url),
+	}
+	if d.Empty() {
+		return res, nil
+	}
+	now := h.Clock.Now()
+	var diff *schema.Diff
+	// Incremental maintenance of the derived artifacts: only datasets
+	// with an extracted index have any; for the rest (a bare corpus
+	// served before its first extraction) the triple tier alone changed.
+	if ix, err := h.Index(url); err == nil {
+		old, _ := h.Summary(url) // pre-update summary; nil is fine
+		extraction.ApplyDelta(ix, be, d.Added, d.Removed, now)
+		s := schema.Build(ix)
+		cs, err := cluster.Build(s, cluster.Options{Algorithm: h.Algorithm, Seed: h.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if old != nil {
+			if dd := schema.Compare(old, s); !dd.Unchanged() {
+				diff = dd
+				if err := h.DB.Collection(CollDiffs).Put(url, dd); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := h.DB.Collection(CollIndexes).Put(url, ix); err != nil {
+			return nil, err
+		}
+		if err := h.DB.Collection(CollSummaries).Put(url, s); err != nil {
+			return nil, err
+		}
+		if err := h.DB.Collection(CollClusters).Put(url, cs); err != nil {
+			return nil, err
+		}
+	}
+	// the persisted state changed: every cached snapshot and ETag of the
+	// dataset stops validating, exactly as after a re-extraction
+	h.bumpGeneration(url)
+	gen := h.Generation(url)
+	h.Cache.InvalidateBefore(url, gen)
+	res.Generation = gen
+	res.Diff = diff
+	ev := h.feed.Publish(update.Event{
+		Dataset:    url,
+		Time:       now,
+		Generation: gen,
+		Added:      len(d.Added),
+		Removed:    len(d.Removed),
+		Diff:       diff,
+	})
+	res.Seq = ev.Seq
+	h.Metrics.Counter("hbold_updates_total",
+		"SPARQL Update requests applied (no-ops excluded).").Inc()
+	h.Metrics.Counter("hbold_update_triples_added_total",
+		"Net triples added by SPARQL Update requests.").Add(float64(len(d.Added)))
+	h.Metrics.Counter("hbold_update_triples_removed_total",
+		"Net triples removed by SPARQL Update requests.").Add(float64(len(d.Removed)))
+	return res, nil
+}

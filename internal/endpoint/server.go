@@ -11,9 +11,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"time"
 
 	"repro/internal/sparql"
@@ -22,7 +24,7 @@ import (
 )
 
 // Handler serves the SPARQL protocol (GET ?query= and POST form) over a
-// store.
+// store, plus the SPARQL 1.1 Update surface when an UpdateFunc is wired.
 type Handler struct {
 	Store store.Queryable
 	// Quirks optionally constrains the engine like a real implementation
@@ -32,7 +34,21 @@ type Handler struct {
 	// hash (queries can be kilobytes; the hash correlates repeats without
 	// flooding the log), rows streamed, duration and HTTP status.
 	Log *slog.Logger
+	// Update, when non-nil, enables the update surface: POSTs with
+	// Content-Type application/sparql-update (raw request body) or an
+	// update= form field are applied through it. nil answers every
+	// update request with 403, like ReadOnly. The callback shape (rather
+	// than a store.Backend) keeps this package free of the update
+	// subsystem; wire internal/update.ApplyText through it.
+	Update UpdateFunc
+	// ReadOnly refuses update requests with 403 even when Update is set
+	// — the -readonly serving mode.
+	ReadOnly bool
 }
+
+// UpdateFunc applies one SPARQL Update request text, returning the net
+// triple delta.
+type UpdateFunc func(ctx context.Context, text string) (added, removed int, err error)
 
 // QueryHash identifies a query in access logs without reproducing its
 // text: the first 8 bytes of its SHA-256, hex-encoded.
@@ -79,8 +95,25 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		query = r.URL.Query().Get("query")
 		formatParam = r.URL.Query().Get("format")
 	case http.MethodPost:
+		// the raw-body update media type must be read before ParseForm,
+		// which would consume the body looking for form data
+		if strings.HasPrefix(r.Header.Get("Content-Type"), "application/sparql-update") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				fail("reading request body", http.StatusBadRequest)
+				return
+			}
+			query = string(body)
+			status = h.serveUpdate(w, r, query)
+			return
+		}
 		if err := r.ParseForm(); err != nil {
 			fail("bad form", http.StatusBadRequest)
+			return
+		}
+		if upd := r.PostForm.Get("update"); upd != "" {
+			query = upd
+			status = h.serveUpdate(w, r, upd)
 			return
 		}
 		query = r.PostForm.Get("query")
@@ -131,6 +164,29 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rw.Close()
+}
+
+// serveUpdate applies one update request and answers with the net
+// delta, returning the HTTP status for the access log. A handler
+// without an UpdateFunc, or one serving read-only, answers 403 — the
+// endpoint exists but refuses mutation.
+func (h *Handler) serveUpdate(w http.ResponseWriter, r *http.Request, text string) int {
+	if h.Update == nil || h.ReadOnly {
+		http.Error(w, "read-only endpoint: updates are not accepted", http.StatusForbidden)
+		return http.StatusForbidden
+	}
+	if text == "" {
+		http.Error(w, "empty update request", http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	added, removed, err := h.Update(r.Context(), text)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"added\":%d,\"removed\":%d}\n", added, removed)
+	return http.StatusOK
 }
 
 // Evaluate runs a query against st honouring the endpoint quirks,

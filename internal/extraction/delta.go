@@ -1,0 +1,305 @@
+package extraction
+
+// Incremental index maintenance for the live mutation path: instead of
+// re-running the full extraction battery after a SPARQL Update, the
+// stored Index is adjusted by the update's net triple delta. The
+// full-corpus partitions (Triples, Predicates) follow from the delta
+// alone; the per-class partitions are rebuilt exactly for the affected
+// subjects only, by reconstructing each one's pre-update contribution
+// from the post-update store and the delta and swapping it for the
+// post-update contribution. The result is the same Index a fresh
+// extraction over the updated corpus would produce, at a cost
+// proportional to the touched subjects rather than the corpus
+// (experiment E21 measures the gap).
+
+import (
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// ApplyDelta updates ix in place to reflect an applied triple delta.
+// post is the store after the update (the delta's Added triples are
+// present, its Removed triples are not); added and removed must be the
+// net delta — a triple in both would be double-counted. The per-class
+// statistics, the full-corpus predicate partition (when present; a nil
+// legacy partition stays nil) and the instance/triple totals all end up
+// exactly as a full re-extraction of post would compute them.
+func ApplyDelta(ix *Index, post store.Queryable, added, removed []rdf.Triple, now time.Time) {
+	if len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	ix.ExtractedAt = now
+	ix.Triples += len(added) - len(removed)
+
+	// Full-corpus predicate partition: pure delta arithmetic.
+	if ix.Predicates != nil {
+		pd := map[string]int{}
+		for _, t := range added {
+			pd[t.P.Value]++
+		}
+		for _, t := range removed {
+			pd[t.P.Value]--
+		}
+		ix.Predicates = mergePropertyCounts(ix.Predicates, pd)
+		if ix.Predicates == nil {
+			ix.Predicates = []PropertyCount{} // empty corpus, not a legacy doc
+		}
+	}
+
+	typeTerm := rdf.NewIRI(rdf.RDFType)
+
+	// Per-term rdf:type delta: which classes each term gained and lost.
+	// A term whose type set changed reclassifies the object-property
+	// links of every subject pointing at it, so those subjects are
+	// affected too even when none of their own triples changed.
+	typeAdd := map[rdf.Term]map[string]bool{}
+	typeDel := map[rdf.Term]map[string]bool{}
+	addedBy := map[rdf.Term]map[rdf.Triple]bool{}
+	removedBy := map[rdf.Term]map[rdf.Triple]bool{}
+	note := func(m map[rdf.Term]map[string]bool, x rdf.Term, c string) {
+		set := m[x]
+		if set == nil {
+			set = map[string]bool{}
+			m[x] = set
+		}
+		set[c] = true
+	}
+	index := func(m map[rdf.Term]map[rdf.Triple]bool, t rdf.Triple) {
+		set := m[t.S]
+		if set == nil {
+			set = map[rdf.Triple]bool{}
+			m[t.S] = set
+		}
+		set[t] = true
+	}
+	affected := map[rdf.Term]bool{}
+	for _, t := range added {
+		affected[t.S] = true
+		index(addedBy, t)
+		if t.P.Value == rdf.RDFType && t.O.IsIRI() {
+			note(typeAdd, t.S, t.O.Value)
+		}
+	}
+	for _, t := range removed {
+		affected[t.S] = true
+		index(removedBy, t)
+		if t.P.Value == rdf.RDFType && t.O.IsIRI() {
+			note(typeDel, t.S, t.O.Value)
+		}
+	}
+	for x := range typeAdd {
+		post.Match(store.Pattern{O: x}, func(tr rdf.Triple) bool {
+			affected[tr.S] = true
+			return true
+		})
+	}
+	for x := range typeDel {
+		if typeAdd[x] == nil {
+			post.Match(store.Pattern{O: x}, func(tr rdf.Triple) bool {
+				affected[tr.S] = true
+				return true
+			})
+		}
+	}
+
+	// typesOf reconstructs a term's class set before and after the
+	// update: post-state from the store, pre-state by undoing the type
+	// delta. Memoized — objects recur across subjects.
+	type typePair struct{ pre, post map[string]bool }
+	tcache := map[rdf.Term]typePair{}
+	typesOf := func(x rdf.Term) typePair {
+		if tp, ok := tcache[x]; ok {
+			return tp
+		}
+		postSet := map[string]bool{}
+		post.Match(store.Pattern{S: x, P: typeTerm}, func(tr rdf.Triple) bool {
+			if tr.O.IsIRI() {
+				postSet[tr.O.Value] = true
+			}
+			return true
+		})
+		preSet := make(map[string]bool, len(postSet))
+		for c := range postSet {
+			preSet[c] = true
+		}
+		for c := range typeAdd[x] {
+			delete(preSet, c)
+		}
+		for c := range typeDel[x] {
+			preSet[c] = true
+		}
+		tp := typePair{pre: preSet, post: postSet}
+		tcache[x] = tp
+		return tp
+	}
+
+	// Accumulate per-class deltas: subtract each affected subject's
+	// pre-update contribution, add its post-update contribution. An
+	// over-approximated affected set is safe — an untouched subject
+	// contributes net zero.
+	type classAcc struct {
+		instances int
+		data      map[string]int
+		links     map[[2]string]int
+	}
+	accs := map[string]*classAcc{}
+	acc := func(c string) *classAcc {
+		a := accs[c]
+		if a == nil {
+			a = &classAcc{data: map[string]int{}, links: map[[2]string]int{}}
+			accs[c] = a
+		}
+		return a
+	}
+	contribute := func(trips map[rdf.Triple]bool, classes map[string]bool, sign int, pre bool) {
+		for c := range classes {
+			a := acc(c)
+			a.instances += sign
+			for t := range trips {
+				if t.P.Value == rdf.RDFType {
+					continue
+				}
+				if t.O.IsLiteral() {
+					a.data[t.P.Value] += sign
+					continue
+				}
+				// object-property links count once per target class of
+				// the object, matching the ?s ?p ?o . ?o a ?d join
+				ot := typesOf(t.O)
+				set := ot.post
+				if pre {
+					set = ot.pre
+				}
+				for d := range set {
+					a.links[[2]string{t.P.Value, d}] += sign
+				}
+			}
+		}
+	}
+	for s := range affected {
+		postTrips := map[rdf.Triple]bool{}
+		post.Match(store.Pattern{S: s}, func(tr rdf.Triple) bool {
+			postTrips[tr] = true
+			return true
+		})
+		preTrips := make(map[rdf.Triple]bool, len(postTrips))
+		for t := range postTrips {
+			preTrips[t] = true
+		}
+		for t := range addedBy[s] {
+			delete(preTrips, t)
+		}
+		for t := range removedBy[s] {
+			preTrips[t] = true
+		}
+		tp := typesOf(s)
+		contribute(preTrips, tp.pre, -1, true)
+		contribute(postTrips, tp.post, +1, false)
+	}
+
+	// Fold the accumulated deltas into the class partition.
+	byIRI := map[string]int{}
+	for i := range ix.Classes {
+		byIRI[ix.Classes[i].IRI] = i
+	}
+	for c, a := range accs {
+		i, ok := byIRI[c]
+		if !ok {
+			if a.instances <= 0 {
+				continue // exact bookkeeping: a class that never existed nets to zero
+			}
+			ix.Classes = append(ix.Classes, ClassIndex{IRI: c, Label: classLabel(post, c)})
+			i = len(ix.Classes) - 1
+			byIRI[c] = i
+		}
+		ci := &ix.Classes[i]
+		ci.Instances += a.instances
+		ix.Instances += a.instances
+		ci.DataProperties = mergePropertyCounts(ci.DataProperties, a.data)
+		ci.ObjectProperties = mergeLinkCounts(ci.ObjectProperties, a.links)
+	}
+	kept := ix.Classes[:0]
+	for _, ci := range ix.Classes {
+		if ci.Instances > 0 {
+			kept = append(kept, ci)
+		}
+	}
+	ix.Classes = kept
+	sortClasses(ix.Classes)
+}
+
+// classLabel resolves the display name of a class appearing for the
+// first time: its rdfs:label when the corpus carries one (same
+// plain > @en > other ranking as fetchLabels), else the IRI local name.
+func classLabel(post store.Queryable, iri string) string {
+	label := rdf.NewIRI(iri).LocalName()
+	best := 3
+	post.Match(store.Pattern{S: rdf.NewIRI(iri), P: rdf.NewIRI(rdf.RDFSLabel)}, func(tr rdf.Triple) bool {
+		if !tr.O.IsLiteral() || tr.O.Value == "" {
+			return true
+		}
+		r := 2
+		switch tr.O.Lang {
+		case "":
+			r = 0
+		case "en":
+			r = 1
+		}
+		if r < best {
+			best, label = r, tr.O.Value
+		}
+		return true
+	})
+	return label
+}
+
+// mergePropertyCounts folds a count delta into a sorted PropertyCount
+// list, dropping entries that reach zero; nil when nothing is left.
+func mergePropertyCounts(list []PropertyCount, delta map[string]int) []PropertyCount {
+	if len(delta) == 0 {
+		return list
+	}
+	m := make(map[string]int, len(list)+len(delta))
+	for _, pc := range list {
+		m[pc.IRI] = pc.Count
+	}
+	for iri, d := range delta {
+		m[iri] += d
+	}
+	var out []PropertyCount
+	for iri, n := range m {
+		if n > 0 {
+			out = append(out, PropertyCount{IRI: iri, Count: n})
+		}
+	}
+	sortPredicates(out)
+	return out
+}
+
+// mergeLinkCounts is mergePropertyCounts for (property, target) pairs.
+func mergeLinkCounts(list []LinkCount, delta map[[2]string]int) []LinkCount {
+	if len(delta) == 0 {
+		return list
+	}
+	m := make(map[[2]string]int, len(list)+len(delta))
+	for _, lc := range list {
+		m[[2]string{lc.IRI, lc.Target}] = lc.Count
+	}
+	for k, d := range delta {
+		m[k] += d
+	}
+	var out []LinkCount
+	for k, n := range m {
+		if n > 0 {
+			out = append(out, LinkCount{IRI: k[0], Target: k[1], Count: n})
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	ci := ClassIndex{ObjectProperties: out}
+	sortClassIndex(&ci)
+	return ci.ObjectProperties
+}

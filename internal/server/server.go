@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"io"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/snapcache"
 	"repro/internal/sparql"
 	"repro/internal/sparql/results"
+	"repro/internal/update"
 	"repro/internal/viz"
 )
 
@@ -47,7 +49,10 @@ type Server struct {
 	Log *slog.Logger
 	// SlowQuery is the slow-query threshold; zero disables the log.
 	SlowQuery time.Duration
-	mux       *http.ServeMux
+	// ReadOnly answers every POST /api/update with 403; the change feed
+	// stays readable. The serve CLI mode defaults to read-only.
+	ReadOnly bool
+	mux      *http.ServeMux
 }
 
 // New builds the server and its routes.
@@ -66,6 +71,8 @@ func New(tool *core.HBOLD) *Server {
 	s.mux.HandleFunc("/api/explore", s.handleExplore)
 	s.mux.HandleFunc("/api/class", s.handleClass)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/update", s.handleUpdate)
+	s.mux.HandleFunc("/api/changes", s.handleChanges)
 	s.mux.HandleFunc("/api/model/treemap", s.handleModel("treemap"))
 	s.mux.HandleFunc("/api/model/sunburst", s.handleModel("sunburst"))
 	s.mux.HandleFunc("/api/model/circlepack", s.handleModel("circlepack"))
@@ -819,6 +826,118 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// machine-readable degradation trailer: always present in partial
 		// mode, empty when every selected source delivered in full
 		enc.Encode(map[string][]string{"incomplete": incompleteSources(partial)})
+	}
+}
+
+// handleUpdate is the mutation API: POST a SPARQL 1.1 Update request —
+// raw body with Content-Type application/sparql-update, or an update=
+// form field — against ?dataset=. The update applies to the dataset's
+// writable local tier, every derived artifact (index, summary, cluster
+// schema, caches, ETags) is maintained incrementally, and the response
+// reports the net delta, the new generation and the change-feed
+// sequence number. A read-only instance answers 403.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a SPARQL update", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.ReadOnly {
+		http.Error(w, "read-only instance: updates are not accepted", http.StatusForbidden)
+		return
+	}
+	url := s.dataset(r)
+	var text string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/sparql-update") {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "reading request body", http.StatusBadRequest)
+			return
+		}
+		text = string(body)
+	} else {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form", http.StatusBadRequest)
+			return
+		}
+		text = r.Form.Get("update")
+		if url == "" {
+			url = r.Form.Get("dataset")
+		}
+	}
+	if url == "" {
+		http.Error(w, "missing dataset parameter", http.StatusBadRequest)
+		return
+	}
+	if text == "" {
+		http.Error(w, "missing update request", http.StatusBadRequest)
+		return
+	}
+	res, err := s.Tool.ApplyUpdate(r.Context(), url, text)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleChanges streams the change feed as NDJSON: one event object per
+// applied update. ?since=N replays the buffered events with Seq > N
+// first (the feed retains a bounded ring; a consumer further behind
+// re-reads the dataset instead), ?dataset= filters to one dataset, and
+// ?follow=false closes after the replay instead of streaming live —
+// the polling shape. The live stream ends when the client disconnects.
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	ds := s.dataset(r)
+	backlog, ch, cancel := s.Tool.Changes().Subscribe(since)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev update.Event) bool {
+		if ds != "" && ev.Dataset != ds {
+			return true
+		}
+		if enc.Encode(ev) != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, ev := range backlog {
+		if !emit(ev) {
+			return
+		}
+	}
+	if r.URL.Query().Get("follow") == "false" {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush() // commit headers so the subscriber sees the stream open
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		}
 	}
 }
 

@@ -1,0 +1,217 @@
+package server
+
+// Tests for the mutation API: POST /api/update applies a SPARQL 1.1
+// Update request, every derived artifact follows incrementally, cached
+// ETags stop validating, and the change feed on GET /api/changes
+// carries one event per applied update.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/update"
+)
+
+// postForm POSTs an x-www-form-urlencoded body and returns status+body.
+func postForm(t *testing.T, u string, form url.Values) (int, string) {
+	t.Helper()
+	resp, err := http.PostForm(u, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	return resp.StatusCode, sb.String()
+}
+
+const insertPaper = `PREFIX ex: <http://scholarly.example.org/>
+INSERT DATA { <http://scholarly.example.org/paper/test-live> a ex:Paper }`
+
+func TestUpdateAPI(t *testing.T) {
+	tool, srv := cacheTestTool(t)
+	gen0 := tool.Generation(dsURL)
+
+	// a summary ETag from before the write
+	resp := getWithETag(t, srv.URL+"/api/summary?dataset="+url.QueryEscape(dsURL), "")
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on /api/summary")
+	}
+
+	code, body := postForm(t, srv.URL+"/api/update", url.Values{
+		"dataset": {dsURL},
+		"update":  {insertPaper},
+	})
+	if code != 200 {
+		t.Fatalf("update status = %d, body %q", code, body)
+	}
+	var res core.UpdateResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 1 || res.Removed != 0 {
+		t.Fatalf("delta = +%d/-%d, want +1/-0", res.Added, res.Removed)
+	}
+	if res.Generation != gen0+1 {
+		t.Fatalf("generation = %d, want %d", res.Generation, gen0+1)
+	}
+	if res.Seq == 0 {
+		t.Fatal("no change-feed sequence number")
+	}
+
+	// the write invalidated the dataset's validators: the old ETag no
+	// longer revalidates and the fresh response carries a new one
+	resp = getWithETag(t, srv.URL+"/api/summary?dataset="+url.QueryEscape(dsURL), etag)
+	if resp.StatusCode != 200 {
+		t.Fatalf("revalidation after write = %d, want 200 (stale ETag)", resp.StatusCode)
+	}
+	if newTag := resp.Header.Get("ETag"); newTag == etag {
+		t.Fatalf("ETag unchanged after write: %s", newTag)
+	}
+
+	// the inserted instance is queryable through the standard read path
+	q := url.Values{
+		"dataset": {dsURL},
+		"sparql":  {`SELECT ?s WHERE { <http://scholarly.example.org/paper/test-live> a ?s }`},
+	}
+	code, body, _ = get(t, srv.URL+"/api/query?"+q.Encode())
+	if code != 200 || !strings.Contains(body, "test-live") && !strings.Contains(body, "Paper") {
+		t.Fatalf("query after update: status %d body %q", code, body)
+	}
+}
+
+func TestUpdateAPINoop(t *testing.T) {
+	tool, srv := cacheTestTool(t)
+	gen0 := tool.Generation(dsURL)
+	// deleting an absent triple nets to nothing: no generation bump, no event
+	code, body := postForm(t, srv.URL+"/api/update", url.Values{
+		"dataset": {dsURL},
+		"update":  {`DELETE DATA { <http://nobody/x> a <http://nobody/C> }`},
+	})
+	if code != 200 {
+		t.Fatalf("status = %d, body %q", code, body)
+	}
+	var res core.UpdateResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 0 || res.Removed != 0 || res.Seq != 0 {
+		t.Fatalf("no-op result = %+v", res)
+	}
+	if g := tool.Generation(dsURL); g != gen0 {
+		t.Fatalf("no-op bumped generation %d -> %d", gen0, g)
+	}
+}
+
+func TestUpdateAPIReadOnly(t *testing.T) {
+	tool, _ := cacheTestTool(t)
+	s := New(tool)
+	s.ReadOnly = true
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	code, _ := postForm(t, srv.URL+"/api/update", url.Values{
+		"dataset": {dsURL},
+		"update":  {insertPaper},
+	})
+	if code != http.StatusForbidden {
+		t.Fatalf("read-only update status = %d, want 403", code)
+	}
+	// the change feed stays readable on a read-only instance
+	code, _, _ = get(t, srv.URL+"/api/changes?follow=false")
+	if code != 200 {
+		t.Fatalf("read-only /api/changes status = %d", code)
+	}
+}
+
+func TestUpdateAPIErrors(t *testing.T) {
+	_, srv := cacheTestTool(t)
+	if code, _, _ := get(t, srv.URL+"/api/update"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /api/update = %d, want 405", code)
+	}
+	if code, _ := postForm(t, srv.URL+"/api/update", url.Values{"update": {insertPaper}}); code != http.StatusBadRequest {
+		t.Fatalf("missing dataset = %d, want 400", code)
+	}
+	if code, _ := postForm(t, srv.URL+"/api/update", url.Values{"dataset": {dsURL}}); code != http.StatusBadRequest {
+		t.Fatalf("missing update = %d, want 400", code)
+	}
+	if code, _ := postForm(t, srv.URL+"/api/update", url.Values{
+		"dataset": {dsURL}, "update": {"INSERT GARBAGE"},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("bad syntax = %d, want 400", code)
+	}
+	if code, _ := postForm(t, srv.URL+"/api/update", url.Values{
+		"dataset": {"http://nobody/sparql"}, "update": {insertPaper},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("unknown dataset = %d, want 400", code)
+	}
+}
+
+func TestChangesFeedReplay(t *testing.T) {
+	_, srv := cacheTestTool(t)
+
+	for _, upd := range []string{
+		insertPaper,
+		`DELETE DATA { <http://scholarly.example.org/paper/test-live> a <http://scholarly.example.org/Paper> }`,
+	} {
+		code, body := postForm(t, srv.URL+"/api/update", url.Values{
+			"dataset": {dsURL}, "update": {upd},
+		})
+		if code != 200 {
+			t.Fatalf("update status = %d, body %q", code, body)
+		}
+	}
+
+	code, body, hdr := get(t, srv.URL+"/api/changes?follow=false")
+	if code != 200 {
+		t.Fatalf("changes status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var events []update.Event
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var ev update.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("replayed %d events, want 2: %q", len(events), body)
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Fatalf("sequence numbers = %d, %d", events[0].Seq, events[1].Seq)
+	}
+	if events[0].Added != 1 || events[1].Removed != 1 {
+		t.Fatalf("deltas = %+v", events)
+	}
+	if events[0].Dataset != dsURL {
+		t.Fatalf("dataset = %q", events[0].Dataset)
+	}
+
+	// ?since= resumes after the given sequence number
+	_, body, _ = get(t, srv.URL+"/api/changes?follow=false&since=1")
+	if n := len(strings.Split(strings.TrimSpace(body), "\n")); n != 1 {
+		t.Fatalf("since=1 replayed %d events, want 1", n)
+	}
+	// a filter on another dataset drops everything
+	_, body, _ = get(t, srv.URL+"/api/changes?follow=false&dataset=http://other/sparql")
+	if strings.TrimSpace(body) != "" {
+		t.Fatalf("filtered replay not empty: %q", body)
+	}
+	// a malformed since is rejected
+	if code, _, _ := get(t, srv.URL+"/api/changes?since=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", code)
+	}
+}

@@ -59,6 +59,8 @@ var keywords = map[string]bool{
 	"COALESCE": true, "IF": true, "SAMETERM": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"SAMPLE": true, "GROUP_CONCAT": true, "SEPARATOR": true,
+	// SPARQL 1.1 Update
+	"INSERT": true, "DELETE": true, "DATA": true,
 }
 
 type lexer struct {

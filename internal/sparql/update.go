@@ -1,0 +1,264 @@
+package sparql
+
+import (
+	"repro/internal/rdf"
+)
+
+// SPARQL 1.1 Update support: INSERT DATA, DELETE DATA and the pattern form
+// DELETE/INSERT ... WHERE (including the DELETE WHERE shorthand). An update
+// request is a ';'-separated sequence of operations sharing one prologue;
+// each operation's WHERE clause compiles through the same plan path as a
+// SELECT query, so template instantiation sees exactly the solution
+// sequence a query over the pre-update store would.
+
+// Update is a parsed SPARQL Update request.
+type Update struct {
+	Prefixes *rdf.PrefixMap
+	Ops      []UpdateOp
+}
+
+// UpdateOp is one operation in an update request, applied in order.
+type UpdateOp interface {
+	updateOp()
+}
+
+// InsertData is INSERT DATA { triples }: ground triples, no variables.
+type InsertData struct {
+	Triples []TriplePattern
+}
+
+// DeleteData is DELETE DATA { triples }: ground triples, no variables and
+// no blank nodes (per SPARQL 1.1 Update §3.1.2).
+type DeleteData struct {
+	Triples []TriplePattern
+}
+
+// Modify is the pattern form: DELETE { tmpl } INSERT { tmpl } WHERE { p }.
+// Either template may be absent (nil). For the DELETE WHERE shorthand the
+// WHERE pattern doubles as the delete template.
+type Modify struct {
+	Delete []TriplePattern
+	Insert []TriplePattern
+	Where  *GroupPattern
+}
+
+func (*InsertData) updateOp() {}
+func (*DeleteData) updateOp() {}
+func (*Modify) updateOp()     {}
+
+// ParseUpdate parses a SPARQL Update request string.
+func ParseUpdate(src string) (*Update, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: rdf.NewPrefixMap()}
+	return p.update()
+}
+
+func (p *parser) update() (*Update, error) {
+	u := &Update{Prefixes: p.prefixes}
+	for {
+		if err := p.prologue(); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokEOF {
+			break
+		}
+		op, err := p.updateOperation()
+		if err != nil {
+			return nil, err
+		}
+		u.Ops = append(u.Ops, op)
+		if p.punct(";") {
+			continue
+		}
+		break
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.cur())
+	}
+	if len(u.Ops) == 0 {
+		return nil, p.errf("empty update request")
+	}
+	return u, nil
+}
+
+// prologue consumes any PREFIX/BASE declarations; update requests repeat
+// the prologue between operations.
+func (p *parser) prologue() error {
+	for {
+		if p.keyword("PREFIX") {
+			if p.cur().kind != tokPName {
+				return p.errf("expected prefixed name after PREFIX")
+			}
+			pname := p.next().text
+			i := 0
+			for i < len(pname) && pname[i] != ':' {
+				i++
+			}
+			prefix := pname[:i]
+			if p.cur().kind != tokIRI {
+				return p.errf("expected IRI after PREFIX %s:", prefix)
+			}
+			p.prefixes.Bind(prefix, p.next().text)
+			continue
+		}
+		if p.keyword("BASE") {
+			if p.cur().kind != tokIRI {
+				return p.errf("expected IRI after BASE")
+			}
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) updateOperation() (UpdateOp, error) {
+	switch {
+	case p.keyword("INSERT"):
+		if p.keyword("DATA") {
+			trips, err := p.quadData()
+			if err != nil {
+				return nil, err
+			}
+			if err := validateGround(p, trips, true); err != nil {
+				return nil, err
+			}
+			return &InsertData{Triples: trips}, nil
+		}
+		// INSERT { tmpl } WHERE { ... }
+		ins, err := p.updateTemplate()
+		if err != nil {
+			return nil, err
+		}
+		w, err := p.updateWhere()
+		if err != nil {
+			return nil, err
+		}
+		return &Modify{Insert: ins, Where: w}, nil
+	case p.keyword("DELETE"):
+		if p.keyword("DATA") {
+			trips, err := p.quadData()
+			if err != nil {
+				return nil, err
+			}
+			if err := validateGround(p, trips, false); err != nil {
+				return nil, err
+			}
+			return &DeleteData{Triples: trips}, nil
+		}
+		if p.peekKeyword("WHERE") {
+			// DELETE WHERE { pattern }: the pattern is the template.
+			w, err := p.updateWhere()
+			if err != nil {
+				return nil, err
+			}
+			tmpl := flattenBGPs(w)
+			if len(tmpl) == 0 {
+				return nil, p.errf("DELETE WHERE requires a triples-only pattern")
+			}
+			return &Modify{Delete: tmpl, Where: w}, nil
+		}
+		del, err := p.updateTemplate()
+		if err != nil {
+			return nil, err
+		}
+		if err := rejectBlanks(p, del); err != nil {
+			return nil, err
+		}
+		var ins []TriplePattern
+		if p.keyword("INSERT") {
+			ins, err = p.updateTemplate()
+			if err != nil {
+				return nil, err
+			}
+		}
+		w, err := p.updateWhere()
+		if err != nil {
+			return nil, err
+		}
+		return &Modify{Delete: del, Insert: ins, Where: w}, nil
+	}
+	return nil, p.errf("expected INSERT or DELETE, found %s", p.cur())
+}
+
+// quadData parses the { triples } block of INSERT DATA / DELETE DATA.
+func (p *parser) quadData() ([]TriplePattern, error) {
+	return p.updateTemplate()
+}
+
+// updateTemplate parses a { triplesSameSubject* } block shared by data
+// blocks and DELETE/INSERT templates.
+func (p *parser) updateTemplate() ([]TriplePattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	bgp := &BGP{}
+	for !p.punct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated update template")
+		}
+		if err := p.triplesSameSubject(bgp); err != nil {
+			return nil, err
+		}
+		p.punct(".")
+	}
+	return bgp.Patterns, nil
+}
+
+// updateWhere consumes the WHERE keyword and its group graph pattern.
+func (p *parser) updateWhere() (*GroupPattern, error) {
+	if !p.keyword("WHERE") {
+		return nil, p.errf("expected WHERE, found %s", p.cur())
+	}
+	return p.groupGraphPattern()
+}
+
+// validateGround rejects variables in a DATA block, and blank nodes too
+// when allowBlank is false (DELETE DATA).
+func validateGround(p *parser, trips []TriplePattern, allowBlank bool) error {
+	for _, tp := range trips {
+		for _, n := range []NodePattern{tp.S, tp.P, tp.O} {
+			if n.IsVar() {
+				return p.errf("variable ?%s not allowed in DATA block", n.Var)
+			}
+			if !allowBlank && n.Term.IsBlank() {
+				return p.errf("blank node not allowed in DELETE DATA")
+			}
+		}
+	}
+	return nil
+}
+
+// rejectBlanks errors on blank nodes in a DELETE template (SPARQL 1.1
+// Update §3.1.3.2: blank nodes cannot match by label, so they are
+// disallowed where triples are removed).
+func rejectBlanks(p *parser, trips []TriplePattern) error {
+	for _, tp := range trips {
+		for _, n := range []NodePattern{tp.S, tp.P, tp.O} {
+			if !n.IsVar() && n.Term.IsBlank() {
+				return p.errf("blank node not allowed in DELETE template")
+			}
+		}
+	}
+	return nil
+}
+
+// flattenBGPs extracts the triple patterns of a pattern group consisting
+// solely of BGPs (the only shape DELETE WHERE accepts as a template).
+func flattenBGPs(g *GroupPattern) []TriplePattern {
+	if g == nil || len(g.Filters) > 0 {
+		return nil
+	}
+	var out []TriplePattern
+	for _, e := range g.Elems {
+		bgp, ok := e.(*BGP)
+		if !ok {
+			return nil
+		}
+		out = append(out, bgp.Patterns...)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseInsertData(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:a ex:p ex:b . ex:a ex:q "v" , "w"@en ; a ex:C }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(u.Ops))
+	}
+	ins, ok := u.Ops[0].(*InsertData)
+	if !ok {
+		t.Fatalf("op type %T", u.Ops[0])
+	}
+	if len(ins.Triples) != 4 {
+		t.Fatalf("triples = %d, want 4", len(ins.Triples))
+	}
+	if got := ins.Triples[0].S.Term; got != rdf.NewIRI("http://ex/a") {
+		t.Fatalf("subject = %v", got)
+	}
+	if got := ins.Triples[3].P.Term; got != rdf.NewIRI(rdf.RDFType) {
+		t.Fatalf("'a' predicate = %v", got)
+	}
+	if got := ins.Triples[2].O.Term; got != rdf.NewLangLiteral("w", "en") {
+		t.Fatalf("lang literal = %v", got)
+	}
+}
+
+func TestParseDeleteData(t *testing.T) {
+	u, err := ParseUpdate(`DELETE DATA { <http://ex/a> <http://ex/p> "x" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.Ops[0].(*DeleteData); !ok {
+		t.Fatalf("op type %T", u.Ops[0])
+	}
+}
+
+func TestParseDataRejectsVariables(t *testing.T) {
+	for _, src := range []string{
+		`INSERT DATA { ?s <http://ex/p> <http://ex/o> }`,
+		`DELETE DATA { <http://ex/s> <http://ex/p> ?o }`,
+	} {
+		if _, err := ParseUpdate(src); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseDeleteDataRejectsBlankNodes(t *testing.T) {
+	if _, err := ParseUpdate(`DELETE DATA { _:b <http://ex/p> <http://ex/o> }`); err == nil {
+		t.Fatal("no error for blank node in DELETE DATA")
+	}
+}
+
+func TestParseModify(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX ex: <http://ex/>
+		DELETE { ?s ex:old ?v }
+		INSERT { ?s ex:new ?v }
+		WHERE { ?s ex:old ?v . FILTER(?v != "skip") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := u.Ops[0].(*Modify)
+	if !ok {
+		t.Fatalf("op type %T", u.Ops[0])
+	}
+	if len(m.Delete) != 1 || len(m.Insert) != 1 {
+		t.Fatalf("templates: delete %d, insert %d", len(m.Delete), len(m.Insert))
+	}
+	if m.Where == nil || len(m.Where.Filters) != 1 {
+		t.Fatalf("WHERE not carried: %+v", m.Where)
+	}
+}
+
+func TestParseInsertWhere(t *testing.T) {
+	u, err := ParseUpdate(`INSERT { ?s <http://ex/copy> ?o } WHERE { ?s <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := u.Ops[0].(*Modify)
+	if m.Delete != nil || len(m.Insert) != 1 {
+		t.Fatalf("unexpected templates %+v", m)
+	}
+}
+
+func TestParseDeleteWhereShorthand(t *testing.T) {
+	u, err := ParseUpdate(`DELETE WHERE { ?s <http://ex/p> ?o . ?o <http://ex/q> ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := u.Ops[0].(*Modify)
+	if len(m.Delete) != 2 {
+		t.Fatalf("delete template = %d triples, want 2", len(m.Delete))
+	}
+	if m.Insert != nil {
+		t.Fatal("unexpected insert template")
+	}
+}
+
+func TestParseUpdateSequence(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:a ex:p ex:b } ;
+		DELETE DATA { ex:c ex:p ex:d } ;
+		DELETE { ?s ex:p ?o } INSERT { ?s ex:q ?o } WHERE { ?s ex:p ?o } ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(u.Ops))
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`SELECT ?s WHERE { ?s ?p ?o }`,
+		`INSERT DATA { <http://ex/a> <http://ex/p> }`,
+		`INSERT { ?s ?p ?o }`, // missing WHERE
+		`DELETE`,
+		`INSERT DATA { <http://ex/a> <http://ex/p> <http://ex/o> } garbage`,
+	} {
+		if _, err := ParseUpdate(src); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseUpdateErrorMentionsLine(t *testing.T) {
+	_, err := ParseUpdate("PREFIX ex: <http://ex/>\nINSERT DATA { ?bad ex:p ex:o }")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 position", err)
+	}
+}

@@ -81,6 +81,10 @@ type Backend interface {
 	// Insert adds one triple, reporting whether it was new. Writable
 	// tiers may buffer; Flush makes every prior Insert durable.
 	Insert(t rdf.Triple) (bool, error)
+	// Delete removes one triple, reporting whether it was present.
+	// Like Insert it may buffer; Flush commits the whole pending
+	// insert+delete batch atomically on persistent tiers.
+	Delete(t rdf.Triple) (bool, error)
 	// Len returns the number of triples, including buffered inserts.
 	Len() int
 	// Flush commits and (for persistent tiers) makes durable every
@@ -95,6 +99,9 @@ func (s *Store) Snapshot() ReaderAPI { return s.Reader() }
 
 // Insert implements Backend for the in-memory tier.
 func (s *Store) Insert(t rdf.Triple) (bool, error) { return s.Add(t), nil }
+
+// Delete implements Backend for the in-memory tier.
+func (s *Store) Delete(t rdf.Triple) (bool, error) { return s.Remove(t), nil }
 
 // Flush implements Backend; the in-memory tier has nothing to persist.
 func (s *Store) Flush() error { return nil }

@@ -45,9 +45,15 @@ type Store struct {
 	batch          *kv.Batch
 	pendingDict    map[rdf.Term]store.ID
 	pendingTriples map[[3]store.ID]bool
+	pendingDeletes map[[3]store.ID]bool
 	pendingRole    map[store.ID]byte
 	pendingHash    map[uint64][]store.ID
-	dirtyMeta      bool
+	// Net pending triple delta per subject / object ID (+1 insert,
+	// -1 delete); at flush time, committed count + delta == 0 means the
+	// term no longer plays that role and its distinct counter drops.
+	pendingSubj map[store.ID]int
+	pendingObj  map[store.ID]int
+	dirtyMeta   bool
 
 	// term cache: ID → rdf.Term, shared by every Reader. IDs are never
 	// reused, so entries stay valid across snapshots and compactions.
@@ -85,8 +91,11 @@ func (s *Store) resetPending() {
 	s.batch = &kv.Batch{}
 	s.pendingDict = make(map[rdf.Term]store.ID)
 	s.pendingTriples = make(map[[3]store.ID]bool)
+	s.pendingDeletes = make(map[[3]store.ID]bool)
 	s.pendingRole = make(map[store.ID]byte)
 	s.pendingHash = make(map[uint64][]store.ID)
+	s.pendingSubj = make(map[store.ID]int)
+	s.pendingObj = make(map[store.ID]int)
 	s.dirtyMeta = false
 }
 
@@ -117,7 +126,12 @@ func (s *Store) insertIDsLocked(si, pi, oi store.ID) (bool, error) {
 	if s.pendingTriples[key] {
 		return false, nil
 	}
-	if _, ok := s.db.Get(tripleKey(kSPO, si, pi, oi)); ok {
+	if s.pendingDeletes[key] {
+		// Deleted earlier in this batch; the re-insert's Puts land after
+		// the staged Deletes, and the KV layer applies batch ops in
+		// order, so the final state is present.
+		delete(s.pendingDeletes, key)
+	} else if _, ok := s.db.Get(tripleKey(kSPO, si, pi, oi)); ok {
 		return false, nil
 	}
 	s.pendingTriples[key] = true
@@ -126,6 +140,8 @@ func (s *Store) insertIDsLocked(si, pi, oi store.ID) (bool, error) {
 	s.batch.Put(tripleKey(kOSP, oi, si, pi), nil)
 	s.meta.Len++
 	s.meta.PredCount[pi]++
+	s.pendingSubj[si]++
+	s.pendingObj[oi]++
 	s.markRole(si, roleSubject, &s.meta.DistinctS)
 	s.markRole(pi, rolePredicate, &s.meta.DistinctP)
 	s.markRole(oi, roleObject, &s.meta.DistinctO)
@@ -136,6 +152,136 @@ func (s *Store) insertIDsLocked(si, pi, oi store.ID) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// Delete removes one triple, reporting whether it was present. Like
+// Insert, the tombstones land in the pending batch and commit with the
+// next Flush as part of the same atomic WAL record; the KV compaction
+// drops them from the segment files later. Terms are never removed from
+// the dictionary — IDs are append-only — but role bits and the distinct
+// counters are recomputed at flush time so the statistics stay exact.
+func (s *Store) Delete(t rdf.Triple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si := s.lookupLocked(t.S)
+	if si == store.NoID {
+		return false, nil
+	}
+	pi := s.lookupLocked(t.P)
+	if pi == store.NoID {
+		return false, nil
+	}
+	oi := s.lookupLocked(t.O)
+	if oi == store.NoID {
+		return false, nil
+	}
+	return s.deleteIDsLocked(si, pi, oi)
+}
+
+// lookupLocked resolves a term without interning it (deletes must not
+// grow the dictionary).
+func (s *Store) lookupLocked(t rdf.Term) store.ID {
+	if id, ok := s.pendingDict[t]; ok {
+		return id
+	}
+	id := lookupEnc(encodeTerm(t), s.db.Get)
+	if id != store.NoID {
+		s.pendingDict[t] = id
+	}
+	return id
+}
+
+// deleteIDsLocked stages one triple deletion already resolved to IDs,
+// returning whether the triple was present.
+func (s *Store) deleteIDsLocked(si, pi, oi store.ID) (bool, error) {
+	key := [3]store.ID{si, pi, oi}
+	switch {
+	case s.pendingTriples[key]:
+		delete(s.pendingTriples, key)
+	case s.pendingDeletes[key]:
+		return false, nil
+	default:
+		if _, ok := s.db.Get(tripleKey(kSPO, si, pi, oi)); !ok {
+			return false, nil
+		}
+	}
+	s.pendingDeletes[key] = true
+	s.batch.Delete(tripleKey(kSPO, si, pi, oi))
+	s.batch.Delete(tripleKey(kPOS, pi, oi, si))
+	s.batch.Delete(tripleKey(kOSP, oi, si, pi))
+	s.meta.Len--
+	s.pendingSubj[si]--
+	s.pendingObj[oi]--
+	if n := s.meta.PredCount[pi] - 1; n <= 0 {
+		// The per-predicate counts are exact incrementally, so the
+		// predicate's distinct transition resolves right here; subjects
+		// and objects wait for the flush-time recount.
+		delete(s.meta.PredCount, pi)
+		s.clearRole(pi, rolePredicate, &s.meta.DistinctP)
+	} else {
+		s.meta.PredCount[pi] = n
+	}
+	s.dirtyMeta = true
+	if s.batch.Len() >= maxBatchOps {
+		if err := s.flushLocked(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// clearRole drops a role bit from a term, decrementing the distinct
+// counter if the bit was set.
+func (s *Store) clearRole(id store.ID, bit byte, counter *int) {
+	mask, ok := s.pendingRole[id]
+	if !ok {
+		if raw, found := s.db.Get(roleKey(id)); found && len(raw) == 1 {
+			mask = raw[0]
+		}
+	}
+	if mask&bit == 0 {
+		return
+	}
+	mask &^= bit
+	s.pendingRole[id] = mask
+	if mask == 0 {
+		s.batch.Delete(roleKey(id))
+	} else {
+		s.batch.Put(roleKey(id), []byte{mask})
+	}
+	*counter--
+	s.dirtyMeta = true
+}
+
+// resolveDeletedRolesLocked settles the subject/object distinct counters
+// for every term touched by a pending delete: a term whose committed
+// triple count under the role plus the pending delta reaches zero sheds
+// its role bit. Runs inside flushLocked so the corrected counters and
+// role keys commit in the same WAL record as the deletes themselves.
+func (s *Store) resolveDeletedRolesLocked() {
+	if len(s.pendingDeletes) == 0 {
+		return
+	}
+	touchedS := make(map[store.ID]bool)
+	touchedO := make(map[store.ID]bool)
+	for k := range s.pendingDeletes {
+		touchedS[k[0]] = true
+		touchedO[k[2]] = true
+	}
+	snap := s.db.Snapshot()
+	defer snap.Release()
+	for id := range touchedS {
+		p := prefix1(kSPO, id)
+		if snap.Count(p, kv.PrefixEnd(p))+s.pendingSubj[id] <= 0 {
+			s.clearRole(id, roleSubject, &s.meta.DistinctS)
+		}
+	}
+	for id := range touchedO {
+		p := prefix1(kOSP, id)
+		if snap.Count(p, kv.PrefixEnd(p))+s.pendingObj[id] <= 0 {
+			s.clearRole(id, roleObject, &s.meta.DistinctO)
+		}
+	}
 }
 
 // CopyFrom replicates the full content of a ReaderAPI view into this
@@ -258,6 +404,7 @@ func (s *Store) flushLocked() error {
 	if s.batch.Len() == 0 && !s.dirtyMeta {
 		return nil
 	}
+	s.resolveDeletedRolesLocked()
 	raw, err := json.Marshal(&s.meta)
 	if err != nil {
 		return err

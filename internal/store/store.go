@@ -126,6 +126,32 @@ func (s *Store) AddSPO(sub, pred, obj rdf.Term) bool {
 	return s.Add(rdf.Triple{S: sub, P: pred, O: obj})
 }
 
+// Remove deletes a triple. It reports whether the triple was present.
+// All three permutation indexes shed the triple, and emptied posting
+// lists and first-level keys are removed so the distinct subject /
+// predicate / object counts (derived from the index key sets) stay
+// exact under deletion. Term IDs are never reclaimed: the dictionary
+// keeps interned terms so concurrently-held Readers stay valid and ID
+// assignment remains append-only.
+func (s *Store) Remove(t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si, pi, oi := s.dict[t.S], s.dict[t.P], s.dict[t.O]
+	if si == NoID || pi == NoID || oi == NoID {
+		return false
+	}
+	if !s.spo.remove(si, pi, oi) {
+		return false
+	}
+	s.pos.remove(pi, oi, si)
+	s.osp.remove(oi, si, pi)
+	s.nTrips--
+	if s.predCount[pi]--; s.predCount[pi] <= 0 {
+		delete(s.predCount, pi)
+	}
+	return true
+}
+
 // insert adds c into the sorted set ix[a][b], reporting whether it was new.
 func (ix *index) insert(a, b, c ID) bool {
 	p := ix.m[a]
@@ -147,6 +173,46 @@ func (ix *index) insert(a, b, c ID) bool {
 	list[i] = c
 	p.m[b] = list
 	return true
+}
+
+// remove deletes c from the sorted set ix[a][b], reporting whether it was
+// present. Emptied third-key lists drop their second-level key, and an
+// emptied postings drops its first-level key, so the key sets always name
+// exactly the values that still occur in that index position.
+func (ix *index) remove(a, b, c ID) bool {
+	p := ix.m[a]
+	if p == nil {
+		return false
+	}
+	list, ok := p.m[b]
+	if !ok {
+		return false
+	}
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= c })
+	if i >= len(list) || list[i] != c {
+		return false
+	}
+	if len(list) == 1 {
+		delete(p.m, b)
+		removeSortedID(&p.keys, b)
+	} else {
+		copy(list[i:], list[i+1:])
+		p.m[b] = list[:len(list)-1]
+	}
+	if len(p.m) == 0 {
+		delete(ix.m, a)
+		removeSortedID(&ix.keys, a)
+	}
+	return true
+}
+
+// removeSortedID deletes v from the sorted slice. The caller guarantees v
+// is present.
+func removeSortedID(s *[]ID, v ID) {
+	l := *s
+	i := sort.Search(len(l), func(k int) bool { return l[k] >= v })
+	copy(l[i:], l[i+1:])
+	*s = l[:len(l)-1]
 }
 
 // insertSortedID inserts v into the sorted slice, keeping it sorted. The

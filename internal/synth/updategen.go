@@ -1,0 +1,116 @@
+package synth
+
+// Randomized SPARQL Update generation — the mutation half of the
+// differential-fuzz harness. UpdateGen emits request texts over a fixed
+// vocabulary of subjects, predicates, classes and literals, so the same
+// seeded stream can be replayed against any store.Backend and the
+// resulting states compared. Shapes cover the whole update surface:
+// INSERT DATA (sometimes duplicating existing triples), DELETE DATA
+// (sometimes targeting absent ones), pattern-driven DELETE/INSERT WHERE
+// in all three component combinations, DELETE WHERE, and multi-operation
+// requests separated by semicolons.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// UpdateGen produces random update request texts, deterministic per
+// seed: a failing stream reproduces from its seed and index.
+type UpdateGen struct {
+	rng *rand.Rand
+}
+
+// NewUpdateGen builds a generator with the given seed.
+func NewUpdateGen(seed int64) *UpdateGen {
+	return &UpdateGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// The fixed vocabulary. Small pools on purpose: collisions between
+// updates (re-inserting a deleted triple, deleting a never-inserted one,
+// retyping the same subject twice) are exactly the cases worth fuzzing.
+func (g *UpdateGen) subj() string {
+	return fmt.Sprintf("<http://fuzz/s%d>", g.rng.Intn(12))
+}
+func (g *UpdateGen) pred() string {
+	return fmt.Sprintf("<http://fuzz/p%d>", g.rng.Intn(4))
+}
+func (g *UpdateGen) class() string {
+	return fmt.Sprintf("<http://fuzz/C%d>", g.rng.Intn(3))
+}
+
+// object draws an IRI from the subject pool or a literal; type triples
+// always get IRI objects so extraction-layer class handling stays
+// well-formed.
+func (g *UpdateGen) object() string {
+	if g.rng.Intn(2) == 0 {
+		return g.subj()
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("lit-%d", g.rng.Intn(6)))
+}
+
+// triple emits one ground triple, type-shaped one time in three.
+func (g *UpdateGen) triple() string {
+	if g.rng.Intn(3) == 0 {
+		return fmt.Sprintf("%s a %s .", g.subj(), g.class())
+	}
+	return fmt.Sprintf("%s %s %s .", g.subj(), g.pred(), g.object())
+}
+
+// triples emits 1–4 ground triples.
+func (g *UpdateGen) triples() string {
+	n := 1 + g.rng.Intn(4)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.triple()
+	}
+	return strings.Join(out, " ")
+}
+
+// op emits one update operation.
+func (g *UpdateGen) op() string {
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		return fmt.Sprintf("INSERT DATA { %s }", g.triples())
+	case 2:
+		return fmt.Sprintf("DELETE DATA { %s }", g.triples())
+	case 3:
+		// DELETE WHERE: erase everything a random subject says with a
+		// random predicate, or its whole description
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("DELETE WHERE { %s ?p ?o }", g.subj())
+		}
+		return fmt.Sprintf("DELETE WHERE { %s %s ?o }", g.subj(), g.pred())
+	case 4:
+		// retype: the DELETE/INSERT WHERE reclassification shape
+		return fmt.Sprintf("DELETE { ?s a %s } INSERT { ?s a %s } WHERE { ?s a %s }",
+			g.class(), g.class(), g.class())
+	default:
+		// rename a predicate, or insert-only / delete-only pattern forms
+		switch g.rng.Intn(3) {
+		case 0:
+			p, q := g.pred(), g.pred()
+			return fmt.Sprintf("DELETE { ?s %s ?o } INSERT { ?s %s ?o } WHERE { ?s %s ?o }", p, q, p)
+		case 1:
+			return fmt.Sprintf("INSERT { ?s %s %s } WHERE { ?s a %s }", g.pred(), g.object(), g.class())
+		default:
+			return fmt.Sprintf("DELETE { ?s %s ?o } WHERE { ?s a %s . ?s %s ?o }", g.pred(), g.class(), g.pred())
+		}
+	}
+}
+
+// Update returns the next random update request text: usually one
+// operation, sometimes several separated by semicolons (one request,
+// one atomic batch).
+func (g *UpdateGen) Update() string {
+	n := 1
+	if g.rng.Intn(4) == 0 {
+		n = 2 + g.rng.Intn(2)
+	}
+	ops := make([]string, n)
+	for i := range ops {
+		ops[i] = g.op()
+	}
+	return strings.Join(ops, " ; ")
+}

@@ -1,0 +1,110 @@
+package update
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// Event is one change-feed entry: the schema.Diff-shaped consequence of
+// an applied update, stamped with a per-feed sequence number so
+// consumers can resume (?since=) without loss while the event is still
+// in the replay ring.
+type Event struct {
+	// Seq is the feed-wide sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Dataset is the endpoint URL the update applied to.
+	Dataset string `json:"dataset"`
+	// Time is when the update committed.
+	Time time.Time `json:"time"`
+	// Generation is the dataset's generation after the update; cached
+	// snapshots and ETags of earlier generations are stale.
+	Generation uint64 `json:"generation"`
+	// Added and Removed count the net triple delta.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// Diff is the schema-level consequence (class/edge/instance deltas),
+	// computed from the incrementally-maintained index — not from a
+	// re-extraction.
+	Diff *schema.Diff `json:"diff,omitempty"`
+}
+
+// feedRing is how many events a Feed retains for ?since= replay.
+const feedRing = 256
+
+// subBuffer is each subscriber's channel capacity. A subscriber that
+// falls further behind than this misses events (its NDJSON stream keeps
+// going with the newest ones); the ring exists so a reconnect with
+// ?since= can recover the gap.
+const subBuffer = 64
+
+// Feed is a fan-out change feed: Publish appends an event to the replay
+// ring and offers it to every live subscriber without blocking the
+// write path.
+type Feed struct {
+	mu      sync.Mutex
+	ring    []Event // at most feedRing, oldest first
+	nextSeq uint64
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// NewFeed returns an empty feed.
+func NewFeed() *Feed {
+	return &Feed{nextSeq: 1, subs: make(map[int]chan Event)}
+}
+
+// Publish stamps the event with the next sequence number and delivers
+// it. It never blocks: a subscriber whose buffer is full misses this
+// event (recoverable via the replay ring).
+func (f *Feed) Publish(ev Event) Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ev.Seq = f.nextSeq
+	f.nextSeq++
+	f.ring = append(f.ring, ev)
+	if len(f.ring) > feedRing {
+		f.ring = f.ring[len(f.ring)-feedRing:]
+	}
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	return ev
+}
+
+// LastSeq returns the sequence number of the most recent event, or 0.
+func (f *Feed) LastSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nextSeq - 1
+}
+
+// Subscribe registers a consumer. Events with Seq > since still in the
+// replay ring are returned immediately as backlog; subsequent events
+// arrive on the channel. Call the returned cancel function to
+// unsubscribe (the channel is then closed).
+func (f *Feed) Subscribe(since uint64) (backlog []Event, ch <-chan Event, cancel func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ev := range f.ring {
+		if ev.Seq > since {
+			backlog = append(backlog, ev)
+		}
+	}
+	c := make(chan Event, subBuffer)
+	id := f.nextSub
+	f.nextSub++
+	f.subs[id] = c
+	return backlog, c, func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if _, ok := f.subs[id]; ok {
+			delete(f.subs, id)
+			close(c)
+		}
+	}
+}
